@@ -1,0 +1,70 @@
+"""Validation — the closed-form capacity model vs the simulator.
+
+The analytic model of ``repro.sim.analytic`` predicts the saturation
+point, the cleaning cost, and the Section 5.3 time breakdown from the
+configuration alone.  This benchmark checks it against measured
+simulation at several utilizations: a reproduction is much more
+trustworthy when an independent back-of-the-envelope lands on the same
+numbers the event-driven path produces.
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.core import EnvyConfig
+from repro.sim import CapacityModel, TransactionProfile, simulate_tpca
+from conftest import FULL_SCALE
+
+UTILIZATIONS = [0.5, 0.8, 0.9]
+PROBE_RATE = 80_000  # beyond saturation everywhere
+DURATION = 0.2 if FULL_SCALE else 0.1
+
+
+def model_for(utilization):
+    config = EnvyConfig.scaled(num_segments=128, pages_per_segment=1024,
+                               max_utilization=utilization)
+    return CapacityModel(config, TransactionProfile(reads=82))
+
+
+def run_validation():
+    rows = []
+    pairs = {}
+    for utilization in UTILIZATIONS:
+        predicted = model_for(utilization).saturation_tps()
+        measured = simulate_tpca(PROBE_RATE, duration_s=DURATION,
+                                 warmup_s=0.03, utilization=utilization,
+                                 prewarm_turnovers=8).throughput_tps
+        pairs[utilization] = (predicted, measured)
+        rows.append([f"{utilization:.0%}", round(predicted),
+                     round(measured),
+                     f"{measured / predicted:.2f}x"])
+    model = model_for(0.8)
+    breakdown = model.time_breakdown_at_saturation()
+    report = "\n".join([
+        banner("Validation: analytic capacity model vs timed simulator"),
+        format_table(["Utilization", "Predicted sat. TPS",
+                      "Measured sat. TPS", "Ratio"], rows),
+        "",
+        f"model cleaning cost at 80%: {model.cleaning_cost:.2f} "
+        f"(paper: 1.97)",
+        "model breakdown at saturation: "
+        + ", ".join(f"{k} {v:.0%}" for k, v in breakdown.items()),
+        f"model SRAM-only speedup bound: "
+        f"{model.sram_only_speedup():.2f}x (paper: ~2.5x)",
+    ])
+    return pairs, model, report
+
+
+def test_analytic_model_validation(benchmark, record):
+    pairs, model, report = benchmark.pedantic(run_validation, rounds=1,
+                                              iterations=1)
+    record("analytic_model", report)
+    # Prediction within 30% of measurement at every utilization.
+    for utilization, (predicted, measured) in pairs.items():
+        assert measured == pytest.approx(predicted, rel=0.30), utilization
+    # The model's internals land near the paper's reported values.
+    assert model.cleaning_cost == pytest.approx(1.97, abs=0.6)
+    assert 1.5 <= model.sram_only_speedup() <= 3.0
+    breakdown = model.time_breakdown_at_saturation()
+    assert 0.35 <= breakdown["read"] <= 0.6
+    assert 0.15 <= breakdown["clean"] <= 0.4

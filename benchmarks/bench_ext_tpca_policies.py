@@ -1,0 +1,61 @@
+"""Extension — which cleaning policy should the TPC-A system run?
+
+The paper fixes the hybrid policy (partition 16) for its Section 5
+simulations.  This experiment re-runs the saturation probe under each
+policy.  TPC-A's flush stream is nearly uniform over the account pages
+(the truly hot teller/branch pages coalesce in the SRAM buffer and
+rarely flush), so by Figure 8's logic greedy/FIFO should be competitive
+here and hybrid's advantage modest — evidence that the paper's choice is
+about robustness across workloads, not about TPC-A specifically.
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.sim import simulate_tpca
+from conftest import FULL_SCALE
+
+POLICIES = ["greedy", "fifo", "locality", "hybrid"]
+PROBE_RATE = 60_000
+DURATION = 0.2 if FULL_SCALE else 0.1
+
+
+def run_experiment():
+    results = {}
+    for policy in POLICIES:
+        stats = simulate_tpca(PROBE_RATE, duration_s=DURATION,
+                              warmup_s=0.03, policy=policy,
+                              prewarm_turnovers=8)
+        results[policy] = stats
+    rows = [[policy, round(stats.throughput_tps),
+             f"{stats.cleaning_cost:.2f}",
+             f"{stats.write_latency.mean_ns:.0f}"]
+            for policy, stats in results.items()]
+    report = "\n".join([
+        banner("Extension: TPC-A saturation by cleaning policy "
+               "(80% utilization)"),
+        format_table(["Policy", "Peak TPS", "Cleaning cost",
+                      "Write ns"], rows),
+        "",
+        "TPC-A's flush stream is nearly uniform (hot records coalesce",
+        "in SRAM), so greedy/FIFO are competitive here; hybrid's case",
+        "is robustness across localities (Figure 8), not this workload.",
+    ])
+    return results, report
+
+
+def test_tpca_policy_choice(benchmark, record):
+    results, report = benchmark.pedantic(run_experiment, rounds=1,
+                                         iterations=1)
+    record("ext_tpca_policies", report)
+    peaks = {policy: stats.throughput_tps
+             for policy, stats in results.items()}
+    # Every policy sustains a healthy fraction of the best.
+    best = max(peaks.values())
+    for policy in ("greedy", "fifo", "hybrid"):
+        assert peaks[policy] > best * 0.75, policy
+    # Uniform-ish traffic: greedy at least matches locality gathering.
+    assert peaks["greedy"] >= peaks["locality"] * 0.95
+    # All policies keep the saturation point in the paper's band.
+    for policy, stats in results.items():
+        assert 20_000 <= stats.throughput_tps <= 60_000, policy

@@ -1,0 +1,44 @@
+"""Figure 1 — Feature Comparison of Storage Technologies.
+
+Regenerates the technology table and the three dollar claims derived
+from it: the ~$70,000 eNVy system (Section 5.1), the ~$250,000 pure-SRAM
+alternative, and the ~10% page-table overhead (Section 3.3).
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.core import EnvyConfig, system_cost
+from repro.core.costmodel import TECHNOLOGIES
+
+
+def build_report():
+    rows = [TECHNOLOGIES[key].row
+            for key in ("disk", "dram", "sram", "flash")]
+    table = format_table(
+        ["Technology", "Read", "Write", "Cost/MiB", "Retention/GiB"], rows)
+    cost = system_cost(EnvyConfig.paper())
+    lines = [
+        banner("Figure 1: feature comparison of storage technologies"),
+        table,
+        "",
+        f"2 GB eNVy system cost:   ${cost.total_dollars:,.0f}  "
+        f"(paper: ~$70,000)",
+        f"  flash array            ${cost.flash_dollars:,.0f}",
+        f"  SRAM write buffer      ${cost.write_buffer_dollars:,.0f}",
+        f"  SRAM page table        ${cost.page_table_dollars:,.0f}  "
+        f"({cost.page_table_overhead:.1%} of flash; paper: ~10%)",
+        f"pure SRAM alternative:   ${cost.sram_only_alternative():,.0f}  "
+        f"(paper: ~$250,000)",
+        f"eNVy saving factor:      {cost.savings_vs_sram:.2f}x  "
+        f"(paper: ~4x / 'near 400% reduction')",
+    ]
+    return cost, "\n".join(lines)
+
+
+def test_fig01_technology_table(benchmark, record):
+    cost, report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    record("fig01_technology", report)
+    assert cost.total_dollars == pytest.approx(70_000, rel=0.05)
+    assert cost.sram_only_alternative() == pytest.approx(250_000, rel=0.05)
+    assert cost.page_table_overhead == pytest.approx(0.10, abs=0.02)

@@ -1,0 +1,65 @@
+"""Figure 9 — Cleaning Costs vs Partition Size.
+
+Hybrid cleaning cost as a function of segments per partition on a
+128-segment array.  The extremes degenerate to the pure algorithms
+(1 = locality gathering, 128 = FIFO); the paper finds the sweet spot at
+16 segments per partition, balancing locality separation against FIFO's
+low uniform-access cost.
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.cleaning import HybridPolicy, measure_cleaning_cost
+from conftest import FULL_SCALE
+
+PARTITION_SIZES = [1, 2, 4, 8, 16, 32, 64, 128]
+LOCALITIES = ["50/50", "30/70", "20/80", "10/90", "5/95"]
+SEGMENTS = 128
+PAGES = 128
+TURNOVERS = 4 if FULL_SCALE else 3
+WARMUP = 10 if FULL_SCALE else 8
+
+
+def run_figure():
+    costs = {}
+    for size in PARTITION_SIZES:
+        for locality in LOCALITIES:
+            result = measure_cleaning_cost(
+                HybridPolicy(partition_segments=size), locality,
+                num_segments=SEGMENTS, pages_per_segment=PAGES,
+                turnovers=TURNOVERS, warmup_turnovers=WARMUP)
+            costs[(size, locality)] = result.cleaning_cost
+    rows = [[size] + [costs[(size, locality)] for locality in LOCALITIES]
+            for size in PARTITION_SIZES]
+    report = "\n".join([
+        banner(f"Figure 9: hybrid cleaning cost vs segments/partition "
+               f"({SEGMENTS} segments x {PAGES} pages)"),
+        format_table(["Segs/partition"] + LOCALITIES, rows),
+        "",
+        "Paper: extremes behave like locality gathering (1) and FIFO",
+        "(128); 'The lowest overall cleaning cost occurs with a",
+        "partition size of 16.'",
+    ])
+    return costs, report
+
+
+def test_fig09_partition_size(benchmark, record):
+    costs, report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record("fig09_partition_size", report)
+    # Partition of 1 behaves like locality gathering: ~4 at uniform.
+    assert costs[(1, "50/50")] == pytest.approx(4.0, abs=0.8)
+    # Uniform access improves monotonically-ish toward pure FIFO.
+    assert costs[(128, "50/50")] < costs[(1, "50/50")] - 1.0
+    # High locality: both extremes lose to the middle.
+    for locality in ("10/90", "5/95"):
+        middle = min(costs[(size, locality)] for size in (8, 16, 32))
+        assert middle < costs[(1, locality)]
+        assert middle < costs[(128, locality)]
+    # The paper's chosen size 16 is within noise of the best for the
+    # overall (summed) cost.
+    totals = {size: sum(costs[(size, locality)]
+                        for locality in LOCALITIES)
+              for size in PARTITION_SIZES}
+    best = min(totals.values())
+    assert totals[16] <= best * 1.35

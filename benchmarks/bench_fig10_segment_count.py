@@ -1,0 +1,61 @@
+"""Figure 10 — Cleaning Costs vs Number of Segments.
+
+A fixed-size array divided into ever more (smaller) segments, at a fixed
+number of partitions (8), under the hybrid cleaner.  The paper: "Cleaning
+efficiency does get better as the system is divided into more and more
+segments.  However, after each segment represents less than 1% of the
+array, further gains are marginal."
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.cleaning import HybridPolicy, measure_cleaning_cost
+from conftest import FULL_SCALE
+
+SEGMENT_COUNTS = [32, 64, 128, 256, 512]
+LOCALITIES = ["50/50", "20/80", "10/90", "5/95"]
+TOTAL_PAGES = 32_768 if FULL_SCALE else 16_384
+PARTITIONS = 8
+TURNOVERS = 3
+WARMUP = 8
+
+
+def run_figure():
+    costs = {}
+    for count in SEGMENT_COUNTS:
+        pages = TOTAL_PAGES // count
+        for locality in LOCALITIES:
+            result = measure_cleaning_cost(
+                HybridPolicy(partition_segments=count // PARTITIONS),
+                locality, num_segments=count, pages_per_segment=pages,
+                turnovers=TURNOVERS, warmup_turnovers=WARMUP)
+            costs[(count, locality)] = result.cleaning_cost
+    rows = [[count, f"{100 / count:.2f}%"]
+            + [costs[(count, locality)] for locality in LOCALITIES]
+            for count in SEGMENT_COUNTS]
+    report = "\n".join([
+        banner(f"Figure 10: cleaning cost vs number of segments "
+               f"(fixed {TOTAL_PAGES}-page array, {PARTITIONS} "
+               f"partitions)"),
+        format_table(["Segments", "Segment/array"] + LOCALITIES, rows),
+        "",
+        "Paper: efficiency improves with more segments; gains become",
+        "marginal once each segment is under ~1% of the array.",
+    ])
+    return costs, report
+
+
+def test_fig10_segment_count(benchmark, record):
+    costs, report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record("fig10_segment_count", report)
+    # Finer segmentation helps: the coarsest array is never the best.
+    for locality in ("50/50", "20/80"):
+        finer = min(costs[(count, locality)]
+                    for count in SEGMENT_COUNTS[1:])
+        assert finer < costs[(32, locality)] + 0.4
+    # Gains level off: the jump 32 -> 128 dwarfs 128 -> 512 on the
+    # uniform workload.
+    early_gain = costs[(32, "50/50")] - costs[(128, "50/50")]
+    late_gain = costs[(128, "50/50")] - costs[(512, "50/50")]
+    assert late_gain < early_gain + 0.3

@@ -1,0 +1,64 @@
+"""Figure 14 — Throughput for Various Levels of Utilization.
+
+Throughput at fixed request rates while the Flash array's live-data
+fraction varies.  The paper: "After about 80% utilization, performance
+drops off steeply, reinforcing our decision to keep at least 20% of the
+Flash array's storage space free at any given time."
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.sim import simulate_tpca
+from conftest import FULL_SCALE
+
+UTILIZATIONS = [0.3, 0.5, 0.7, 0.8, 0.85, 0.9]
+RATES = [20_000, 40_000] if not FULL_SCALE else [10_000, 20_000, 30_000,
+                                                 40_000]
+DURATION = 0.25 if FULL_SCALE else 0.12
+WARMUP = 0.05 if FULL_SCALE else 0.03
+
+
+def run_figure():
+    stats = {}
+    for utilization in UTILIZATIONS:
+        for rate in RATES:
+            stats[(utilization, rate)] = simulate_tpca(
+                rate, duration_s=DURATION, warmup_s=WARMUP,
+                utilization=utilization, prewarm_turnovers=8)
+    rows = []
+    for utilization in UTILIZATIONS:
+        row = [f"{utilization:.0%}"]
+        for rate in RATES:
+            entry = stats[(utilization, rate)]
+            row.append(round(entry.throughput_tps))
+        row.append(f"{stats[(utilization, RATES[-1])].cleaning_cost:.2f}")
+        rows.append(row)
+    report = "\n".join([
+        banner("Figure 14: throughput vs Flash array utilization"),
+        format_table(["Utilization"]
+                     + [f"TPS @{rate:,}" for rate in RATES]
+                     + [f"cost @{RATES[-1]:,}"], rows),
+        "",
+        "Paper: flat until ~80% utilization, then a steep drop —",
+        "the reason eNVy reserves 20% of the array.",
+    ])
+    return stats, report
+
+
+def test_fig14_utilization_cliff(benchmark, record):
+    stats, report = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    record("fig14_utilization", report)
+    heavy = RATES[-1]
+    # Below 80% the request rate is sustained.
+    assert stats[(0.5, heavy)].throughput_tps == pytest.approx(heavy,
+                                                               rel=0.12)
+    # Past 80% the cleaning cost explodes and throughput collapses.
+    assert stats[(0.9, heavy)].cleaning_cost > \
+        stats[(0.5, heavy)].cleaning_cost + 1.5
+    assert stats[(0.9, heavy)].throughput_tps < \
+        stats[(0.5, heavy)].throughput_tps * 0.95
+    # The light rate survives longer (its demand is lower).
+    light = RATES[0]
+    assert stats[(0.8, light)].throughput_tps == pytest.approx(light,
+                                                               rel=0.12)

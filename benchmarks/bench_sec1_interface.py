@@ -1,0 +1,106 @@
+"""Section 1 — the memory-mapped interface versus an emulated disk.
+
+"eNVy presents its storage space as a linear, memory mapped array rather
+than as an emulated disk in order to provide an efficient and easy to
+use software interface. ... This interface simplifies data access
+routines because there is no need to be concerned with disk block
+boundaries ... Substantial reductions in code size and in instruction
+pathlengths can result."
+
+This benchmark quantifies the claim on eNVy itself: the same TPC-A-style
+balance update performed (a) natively through word-granularity loads and
+stores, and (b) through the RAM-disk block interface, where every small
+update becomes a sector read-modify-write.  Both paths run over the same
+controller, so the difference is purely the interface.
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.core import EnvyConfig, EnvySystem
+from repro.ramdisk import BlockDevice
+
+UPDATES = 2000
+RECORD_BYTES = 100
+BLOCK_BYTES = 512
+
+
+def fresh_system():
+    return EnvySystem(EnvyConfig.small(num_segments=16,
+                                       pages_per_segment=256),
+                      store_data=False)
+
+
+def memory_interface():
+    """Balance update: read one word, write one word, in place."""
+    system = fresh_system()
+    system.metrics.reset()
+    total_ns = 0
+    for index in range(UPDATES):
+        address = (index * RECORD_BYTES) % (system.size_bytes - 16)
+        _, read_ns = system.read_timed(address + 8, 8)
+        total_ns += read_ns
+        total_ns += system.write(address + 8, b"\x01" * 8)
+        system.background_work(10 ** 12)  # think time between updates
+    return system, total_ns
+
+
+def block_interface():
+    """The same update through 512-byte sectors."""
+    system = fresh_system()
+    device = BlockDevice(system, block_bytes=BLOCK_BYTES)
+    system.metrics.reset()
+    total_ns = 0
+    for index in range(UPDATES):
+        address = (index * RECORD_BYTES) % (device.size_bytes - 600)
+        block, offset = divmod(address + 8, BLOCK_BYTES)
+        # Read-modify-write the whole sector, as a block API must.
+        _, read_ns = system.read_timed(block * BLOCK_BYTES, BLOCK_BYTES)
+        total_ns += read_ns
+        sector = bytearray(BLOCK_BYTES)
+        sector[offset:offset + 8] = b"\x01" * 8
+        total_ns += system.write(block * BLOCK_BYTES, bytes(sector))
+        system.background_work(10 ** 12)  # think time between updates
+    return system, total_ns
+
+
+def run_comparison():
+    memory_system, memory_ns = memory_interface()
+    block_system, block_ns = block_interface()
+    rows = [
+        ["storage accesses",
+         memory_system.metrics.reads + memory_system.metrics.writes,
+         block_system.metrics.reads + block_system.metrics.writes],
+        ["bytes written (host)", UPDATES * 8, UPDATES * BLOCK_BYTES],
+        ["pages flushed", memory_system.metrics.flushes,
+         block_system.metrics.flushes],
+        ["simulated time per update (ns)",
+         round(memory_ns / UPDATES), round(block_ns / UPDATES)],
+    ]
+    report = "\n".join([
+        banner("Section 1: memory-mapped interface vs emulated disk "
+               f"({UPDATES:,} balance updates)"),
+        format_table(["Quantity", "Memory interface",
+                      "Block interface"], rows),
+        "",
+        "Paper: word-sized access removes block read-modify-write,",
+        "shortening instruction pathlengths and write traffic — the",
+        "reason eNVy is not presented as an emulated disk.",
+    ])
+    return (memory_system, memory_ns, block_system, block_ns), report
+
+
+def test_sec1_interface_comparison(benchmark, record):
+    (memory_system, memory_ns, block_system, block_ns), report = \
+        benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record("sec1_interface", report)
+    # The block path costs materially more host time...
+    assert block_ns > 1.5 * memory_ns
+    # ...moves 64x the bytes, and generates more Flash traffic for
+    # identical logical work.
+    assert block_system.metrics.flushes >= memory_system.metrics.flushes
+    # The memory path touches two words per update (a little over:
+    # some words straddle a page boundary and count twice).
+    per_update = (memory_system.metrics.reads
+                  + memory_system.metrics.writes) / UPDATES
+    assert per_update == pytest.approx(2.0, abs=0.1)

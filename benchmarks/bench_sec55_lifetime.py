@@ -1,0 +1,59 @@
+"""Section 5.5 — Estimated eNVy Lifetime.
+
+Reproduces the worked example: at 10,000 TPS the simulator reports the
+page flush rate and cleaning cost, and the lifetime model turns them
+into days of continuous use for the 2 GB array of 1-million-cycle parts.
+
+Paper numbers: 10,376 pages/s flushed, cleaning cost 1.97, lifetime
+3,151 days (8.63 years).
+"""
+
+import pytest
+
+from repro.analysis import banner, format_table
+from repro.core import EnvyConfig, estimate_lifetime
+from repro.core.lifetime import paper_example
+from repro.sim import simulate_tpca
+from conftest import FULL_SCALE
+
+RATE = 10_000
+DURATION = 0.4 if FULL_SCALE else 0.2
+
+
+def run_lifetime():
+    stats = simulate_tpca(RATE, duration_s=DURATION, warmup_s=0.05,
+                          prewarm_turnovers=10)
+    # The flush rate is per transaction; the cost is scale-free.  Apply
+    # both to the full 2 GB array exactly as Section 5.5 does.
+    measured = estimate_lifetime(EnvyConfig.paper(),
+                                 page_flush_rate=stats.page_flush_rate,
+                                 cleaning_cost=stats.cleaning_cost)
+    reference = paper_example()
+    rows = [
+        ["Page flush rate (pages/s)", f"{stats.page_flush_rate:,.0f}",
+         "10,376"],
+        ["Cleaning cost", f"{stats.cleaning_cost:.2f}", "1.97"],
+        ["Lifetime (days)", f"{measured.days:,.0f}", "3,151"],
+        ["Lifetime (years)", f"{measured.years:.2f}", "8.63"],
+    ]
+    report = "\n".join([
+        banner(f"Section 5.5: lifetime at {RATE:,} TPS "
+               f"(2 GB array, 1M-cycle parts)"),
+        format_table(["Quantity", "Measured", "Paper"], rows),
+        "",
+        f"Reference (paper's own inputs): {reference}",
+    ])
+    return stats, measured, report
+
+
+def test_sec55_lifetime(benchmark, record):
+    stats, measured, report = benchmark.pedantic(run_lifetime, rounds=1,
+                                                 iterations=1)
+    record("sec55_lifetime", report)
+    # The model reproduces the paper's arithmetic exactly.
+    assert paper_example().years == pytest.approx(8.63, rel=0.01)
+    # The simulator's inputs land near the paper's measurements.
+    assert stats.page_flush_rate == pytest.approx(10_376, rel=0.25)
+    assert stats.cleaning_cost == pytest.approx(1.97, abs=0.8)
+    # And the resulting lifetime is in the paper's ~10-year range.
+    assert 5.0 <= measured.years <= 16.0

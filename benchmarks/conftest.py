@@ -1,0 +1,33 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark prints the same rows/series its paper figure plots, and
+appends them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+be assembled from a single ``pytest benchmarks/ --benchmark-only`` run.
+
+Scale: the benchmarks default to configurations that finish in seconds
+to a few minutes while preserving the ratios the results depend on (see
+DESIGN.md).  Set ``ENVY_BENCH_SCALE=full`` for larger arrays and longer
+runs closer to paper scale.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("ENVY_BENCH_SCALE", "quick") == "full"
+
+
+@pytest.fixture
+def record():
+    """Print an experiment's output and persist it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

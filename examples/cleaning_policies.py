@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Exploring the Section 4 cleaning policies.
+
+Runs the four cleaners (greedy, FIFO, locality gathering, hybrid) under
+increasing write locality and prints the cleaning-cost table of
+Figure 8, then visualises how locality gathering physically sorts hot
+data toward segment 0 (the Figure 7 intuition) with a terminal heat map.
+
+Run:  python examples/cleaning_policies.py
+"""
+
+from repro import (FifoPolicy, GreedyPolicy, HybridPolicy,
+                   LocalityGatheringPolicy, PolicySimulator,
+                   measure_cleaning_cost)
+from repro.workloads import BimodalWorkload
+
+SEGMENTS = 64
+PAGES = 128
+LOCALITIES = ["50/50", "30/70", "10/90", "5/95"]
+
+
+def cost_table() -> None:
+    print(f"cleaning cost (cleaner programs per flushed page), "
+          f"{SEGMENTS} segments x {PAGES} pages, 80% utilization\n")
+    print(f"{'locality':>10} {'greedy':>8} {'fifo':>8} "
+          f"{'locality':>9} {'hybrid':>8}")
+    factories = (GreedyPolicy, FifoPolicy, LocalityGatheringPolicy,
+                 lambda: HybridPolicy(partition_segments=8))
+    for label in LOCALITIES:
+        costs = []
+        for factory in factories:
+            result = measure_cleaning_cost(
+                factory(), label, num_segments=SEGMENTS,
+                pages_per_segment=PAGES, turnovers=3, warmup_turnovers=8)
+            costs.append(result.cleaning_cost)
+        print(f"{label:>10} " + " ".join(f"{cost:8.2f}" for cost in costs))
+    print("\nnote the paper's shapes: greedy rises with locality,")
+    print("locality gathering is pinned near 4 under uniform access and")
+    print("falls with locality, hybrid gets the best of both.")
+
+
+def heat_map() -> None:
+    policy = LocalityGatheringPolicy()
+    simulator = PolicySimulator(policy, num_segments=SEGMENTS,
+                                pages_per_segment=PAGES,
+                                utilization=0.8, buffer_pages=0)
+    live = simulator.store.num_logical_pages
+    workload = BimodalWorkload(live, 0.10, 0.90, seed=1)
+    print("\nlocality gathering under a 10/90 workload")
+    print("each char = one segment, hot-data share: "
+          "'.' none  '-' some  '#' mostly hot\n")
+    for step in range(5):
+        simulator.run(workload, live * 3, warmup_writes=0)
+        store = simulator.store
+        hot_counts = [0] * SEGMENTS
+        for page in range(workload.hot_pages):
+            location = store.page_location[page]
+            if location is not None and location[0] >= 0:
+                hot_counts[location[0]] += 1
+        cells = []
+        for position in store.positions:
+            share = (hot_counts[position.index]
+                     / max(1, position.live_count))
+            cells.append("#" if share > 0.5 else
+                         "-" if share > 0.05 else ".")
+        print(f"  after {live * 3 * (step + 1):>7,} writes  "
+              + "".join(cells))
+    utilizations = [p.utilization for p in simulator.store.positions]
+    print(f"\nhot segments end up lightly filled "
+          f"(seg 0-7 mean utilization "
+          f"{sum(utilizations[:8]) / 8:.2f}) while cold segments pack "
+          f"tight ({sum(utilizations[-8:]) / 8:.2f}), which is where "
+          f"the cleaning savings come from.")
+
+
+def main() -> None:
+    cost_table()
+    heat_map()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the closed-form capacity model.
+
+The analytic model (repro.sim.analytic) predicts saturation throughput,
+time breakdown and cleaning cost straight from a configuration — no
+simulation — so whole design spaces can be swept in milliseconds.  This
+explorer reproduces three of the paper's design arguments as charts:
+
+* the Figure 14 utilization cliff (why reserve 20%);
+* program-time sensitivity (why the Section 6 parallel-programming
+  extension pays);
+* the aging trajectory over the array's rated life (Sections 2 + 5.5).
+
+Run:  python examples/design_explorer.py
+"""
+
+import dataclasses
+
+from repro.analysis import line_chart
+from repro.core import EnvyConfig
+from repro.flash.endurance import ArrayAging
+from repro.sim import CapacityModel, TransactionProfile
+
+
+def utilization_cliff() -> None:
+    model = CapacityModel(EnvyConfig.paper(), TransactionProfile())
+    points = []
+    for percent in range(30, 96, 5):
+        utilization = percent / 100
+        tps = model.utilization_curve([utilization])[utilization]
+        points.append((percent, tps / 1000))
+    print("Saturation throughput vs Flash utilization "
+          "(the Figure 14 cliff):\n")
+    print(line_chart({"kTPS": points}, width=56, height=12,
+                     x_label="array utilization (%)", y_min=0))
+    print()
+
+
+def program_time_sensitivity() -> None:
+    series = {}
+    for label, speedup in (("serial (4us)", 1), ("4-way (1us)", 4),
+                           ("8-way (0.5us)", 8)):
+        config = EnvyConfig.paper()
+        flash = dataclasses.replace(config.flash,
+                                    program_ns=4000 // speedup,
+                                    erase_ns=config.flash.erase_ns
+                                    // speedup)
+        config = dataclasses.replace(config, flash=flash)
+        model = CapacityModel(config, TransactionProfile())
+        curve = model.utilization_curve([u / 100
+                                         for u in range(40, 96, 5)])
+        series[label] = [(u * 100, tps / 1000)
+                         for u, tps in curve.items()]
+    print("Saturation vs utilization per program speed "
+          "(Section 6's parallel programming):\n")
+    print(line_chart(series, width=56, height=12,
+                     x_label="array utilization (%)", y_min=0))
+    print()
+
+
+def aging_trajectory() -> None:
+    aging = ArrayAging(EnvyConfig.paper(), page_flush_rate=10_376,
+                       cleaning_cost=1.97)
+    rated = aging.rated_life_years()
+    tput = [(year, aging.throughput_decay(year, 30_000) / 1000)
+            for year in range(0, int(rated * 2) + 1)]
+    program = [(year, aging.program_time_after_years(year) / 1000)
+               for year in range(0, int(rated * 2) + 1)]
+    print(f"Aging at 10,000 TPS (rated life {rated:.1f} years):\n")
+    print(line_chart({"saturation kTPS": tput}, width=56, height=10,
+                     x_label="years of continuous operation", y_min=0))
+    print()
+    print(line_chart({"program time (us)": program}, width=56, height=8,
+                     x_label="years of continuous operation"))
+    print()
+
+
+def main() -> None:
+    utilization_cliff()
+    program_time_sensitivity()
+    aging_trajectory()
+    print("every curve above is closed-form — see "
+          "benchmarks/bench_analytic_model.py for the validation "
+          "against the event-driven simulator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A persistent key-value store in a few hundred lines — the intro's
+"reductions in code size" claim as a working program.
+
+Because eNVy already provides persistence, atomic commits, wear leveling
+and crash recovery at the memory layer, the KV store on top is just an
+index and an allocator: no write-ahead log, no fsync choreography, no
+page cache.  The demo stores data, survives a power failure, churns the
+store hard enough to force cleaning, and prints what the storage layer
+absorbed on the application's behalf.
+
+Run:  python examples/persistent_kv.py
+"""
+
+import random
+
+from repro import EnvyConfig, EnvySystem
+from repro.db.kvstore import KVStore
+
+
+def main() -> None:
+    system = EnvySystem(EnvyConfig.small(num_segments=16,
+                                         pages_per_segment=128))
+    store = KVStore(system)
+
+    # --- ordinary use --------------------------------------------------
+    store.put(b"paper", b"eNVy: A Non-Volatile, Main Memory Storage "
+                        b"System")
+    store.put(b"venue", b"ASPLOS 1994")
+    store.put(b"claim", b"near-SRAM persistent storage from Flash")
+    print(f"{len(store)} keys stored;")
+    print(f"  paper -> {store.get(b'paper').decode()}")
+    print(f"  venue -> {store.get(b'venue').decode()}")
+
+    # --- durability -----------------------------------------------------
+    system.power_cycle()
+    assert store.get(b"claim") == (b"near-SRAM persistent storage from "
+                                   b"Flash")
+    print("\npower failure -> all keys intact (battery-backed SRAM + "
+          "Flash)")
+
+    # --- update churn: force the cleaner to work ------------------------
+    rng = random.Random(0)
+    for _ in range(4000):
+        key = f"user:{rng.randrange(150)}".encode()
+        store.put(key, rng.randbytes(rng.randrange(80, 300)))
+    stats = store.stats()
+    metrics = system.metrics
+    print(f"\nafter 4,000 updates across 150 hot keys:")
+    print(f"  live keys          : {stats['keys']}")
+    print(f"  arena used/free    : {stats['arena_used']:,} / "
+          f"{stats['arena_free']:,} bytes")
+    print(f"  buffer hit rate    : {metrics.buffer_hit_rate:.0%}")
+    print(f"  pages flushed      : {metrics.flushes:,}")
+    print(f"  cleaning cost      : {metrics.cleaning_cost:.2f}")
+    print(f"  segments erased    : {metrics.erases}")
+    wear = system.array.wear_stats()
+    print(f"  wear spread        : {wear.spread} cycles")
+    print("\nnone of that required a line of code in the KV store — "
+          "the storage layer does it.")
+
+    # --- the records are just memory ------------------------------------
+    value = store.get(b"user:7")
+    address_note = ("values live at plain byte addresses; "
+                    f"user:7 is {len(value)} bytes readable via "
+                    "system.read() like any other memory")
+    print(f"\n{address_note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Backwards compatibility: a block filesystem on eNVy (Section 1).
+
+"For backwards compatibility, a simple RAM disk program can make a
+memory array usable by a standard file system."  This demo formats a
+small FAT-style filesystem on a 512-byte-sector RAM-disk view of eNVy,
+stores files, survives a power failure, and contrasts the block
+interface's cost against native memory-mapped access.
+
+Run:  python examples/ramdisk_filesystem.py
+"""
+
+from repro import BlockDevice, EnvyConfig, EnvySystem, FileSystem
+
+
+def main() -> None:
+    system = EnvySystem(EnvyConfig.small(num_segments=16,
+                                         pages_per_segment=128))
+    device = BlockDevice(system, block_bytes=512)
+    print(f"RAM disk: {device.num_blocks} sectors of "
+          f"{device.block_bytes} B over {system.size_bytes:,} B of eNVy")
+
+    filesystem = FileSystem(device)
+    filesystem.format()
+    print(f"formatted: {filesystem.free_blocks()} data blocks free")
+
+    # --- ordinary file operations -------------------------------------
+    filesystem.write_file("readme.txt",
+                          b"Files on a flash array, via a RAM disk.\n")
+    filesystem.write_file("data.bin", bytes(range(256)) * 40)  # 10 KiB
+    print(f"\nfiles: {filesystem.list_files()}")
+    entry = filesystem.stat("data.bin")
+    print(f"data.bin: {entry.size:,} bytes starting at block "
+          f"{entry.first_block}")
+    assert filesystem.read_file("data.bin") == bytes(range(256)) * 40
+
+    filesystem.delete("readme.txt")
+    print(f"after delete: {filesystem.list_files()}, "
+          f"{filesystem.free_blocks()} blocks free")
+
+    # --- power failure and remount -------------------------------------
+    system.power_cycle()
+    remounted = FileSystem(BlockDevice(system, block_bytes=512))
+    remounted.mount()
+    assert remounted.read_file("data.bin") == bytes(range(256)) * 40
+    print("\npower cycle + remount: data.bin intact")
+
+    # --- why the paper prefers the memory interface ---------------------
+    system.metrics.reset()
+    device.update_bytes(5, 100, b"!!")      # 2-byte change, block API
+    block_writes = system.metrics.writes
+    block_reads = system.metrics.reads
+    system.metrics.reset()
+    system.write(5 * 512 + 100, b"!!")      # same change, memory API
+    memory_writes = system.metrics.writes
+    print(f"\nupdating 2 bytes through the block interface: "
+          f"{block_reads} page reads + {block_writes} page writes")
+    print(f"updating 2 bytes through the memory interface: "
+          f"{memory_writes} page write(s), no reads")
+    print("— the word-addressable interface is the point of eNVy "
+          "(Section 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Reporting helpers and first-order comparison models."""
+
+from .alternatives import Alternative, compare_alternatives
+from .charts import line_chart, sparkline
+from .replication import ReplicationSummary, replicate
+from .tables import banner, format_series, format_table
+
+__all__ = ["format_table", "format_series", "banner", "line_chart",
+           "sparkline", "Alternative", "compare_alternatives", "ReplicationSummary",
+           "replicate"]

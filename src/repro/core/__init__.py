@@ -1,0 +1,54 @@
+"""Core eNVy system: configuration, controller, metrics, economics.
+
+The controller (`EnvySystem`) is the paper's primary contribution; the
+rest of this package holds the Figure 12 configuration, the Figure 1
+cost model, the Section 5.5 lifetime model and the metrics plumbing.
+"""
+
+from .binding import BoundStore
+from .config import EnvyConfig, FlashParams, SramParams, TpcParams
+from .controller import EnvyController, EnvySystem
+from .costmodel import TECHNOLOGIES, EnvyCostBreakdown, system_cost
+from .lifetime import LifetimeEstimate, estimate_lifetime, paper_example
+from .memview import EnvyMemoryView
+from .metrics import ControllerMetrics, LatencyStat
+from .persistence import load_system, save_system
+from .prototype import (PrototypeController, PrototypeTimings,
+                        narrow_path_timings, prototype_config)
+from .tracing import AccessRecord, AccessTrace, TracingController
+from .recovery import (CleaningJournal, CleanPhase, CrashInjector,
+                       SimulatedPowerFailure, attach_journal, recover)
+
+__all__ = [
+    "EnvyConfig",
+    "FlashParams",
+    "SramParams",
+    "TpcParams",
+    "EnvyController",
+    "EnvySystem",
+    "BoundStore",
+    "ControllerMetrics",
+    "LatencyStat",
+    "TECHNOLOGIES",
+    "EnvyCostBreakdown",
+    "system_cost",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+    "paper_example",
+    "save_system",
+    "load_system",
+    "PrototypeController",
+    "PrototypeTimings",
+    "prototype_config",
+    "narrow_path_timings",
+    "CleaningJournal",
+    "CleanPhase",
+    "CrashInjector",
+    "SimulatedPowerFailure",
+    "attach_journal",
+    "recover",
+    "EnvyMemoryView",
+    "TracingController",
+    "AccessTrace",
+    "AccessRecord",
+]

@@ -1,0 +1,208 @@
+"""Binds the placement store to the physical Flash array.
+
+:class:`~repro.cleaning.store.SegmentStore` is the single source of truth
+for *where* every logical page lives, and the cleaning policies operate
+on it.  :class:`BoundStore` extends it so that every placement operation
+also moves real bytes through the byte-semantics
+:class:`~repro.flash.array.FlashArray` — programs go to the matching
+physical segment in append order, invalidations and erases are mirrored,
+and cleaning physically copies survivor data onto the spare segment
+before the old one is erased.
+
+Because both sides are append-only per segment, the store's slot index
+always equals the Flash page index, so the mirror needs no extra maps.
+The FlashArray enforces write-once/bulk-erase at page level, so any
+placement bug (double program, erase with live data, read of an erased
+page) trips a :class:`~repro.flash.errors.FlashError` instead of passing
+silently — the array acts as a runtime checker for the cleaner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cleaning.store import SegmentStore, StoreError
+from ..flash.array import FlashArray
+
+__all__ = ["BoundStore"]
+
+
+class BoundStore(SegmentStore):
+    """A SegmentStore whose operations carry page data through Flash."""
+
+    def __init__(self, num_positions: int, pages_per_segment: int,
+                 num_logical_pages: int, array: FlashArray,
+                 observer=None) -> None:
+        if array.num_segments != num_positions + 1:
+            raise ValueError(
+                f"array must provide {num_positions + 1} segments "
+                f"(positions + the spare); it has {array.num_segments}")
+        if array.pages_per_segment != pages_per_segment:
+            raise ValueError("array/store pages-per-segment mismatch")
+        super().__init__(num_positions, pages_per_segment,
+                         num_logical_pages, observer=observer)
+        self.array = array
+        #: Data for pages detached by pop_live, awaiting re-programming.
+        self._pending_data: Dict[int, Optional[bytes]] = {}
+        #: Callbacks invoked with (position, physical_segment) just
+        #: before a segment's contents are destroyed by erase.  The
+        #: transaction extension (Section 6) uses this to rescue shadow
+        #: copies that are still needed for rollback.
+        self.pre_erase_hooks: List = []
+        #: Optional battery-backed cleaning journal (Section 3.4); when
+        #: set, clean() records its phases so a power failure at any
+        #: Flash operation is recoverable (see repro.core.recovery).
+        self.journal = None
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def read_page_data(self, logical_page: int) -> Optional[bytes]:
+        """Bytes of a Flash-resident logical page (None = never written)."""
+        loc = self.page_location[logical_page]
+        if loc is None or loc == (-1, -1):
+            raise StoreError(
+                f"page {logical_page} is not resident in Flash")
+        position, slot = loc
+        phys = self.positions[position].phys
+        return self.array.read_page(phys, slot)
+
+    # ------------------------------------------------------------------
+    # Mirrored operations
+    # ------------------------------------------------------------------
+
+    def stage_data(self, logical_page: int, data: Optional[bytes]) -> None:
+        """Provide the payload for the next program of ``logical_page``.
+
+        The controller stages buffer contents here before asking the
+        cleaning policy to place the flush; whichever position the
+        policy appends to receives these bytes.
+        """
+        self._pending_data[logical_page] = data
+
+    def append(self, pos_index: int, logical_page: int,
+               count_as_flush: bool = True,
+               data: Optional[bytes] = None) -> None:
+        if data is None:
+            data = self._pending_data.get(logical_page)
+        phys = self.positions[pos_index].phys
+        self.array.program_page(phys, data)
+        # Consume the staged bytes only after the program committed, so
+        # a power failure mid-program still finds them for recovery.
+        self._pending_data.pop(logical_page, None)
+        super().append(pos_index, logical_page, count_as_flush)
+
+    def _kill(self, loc) -> None:
+        position, slot = loc
+        phys = self.positions[position].phys
+        self.array.invalidate_page(phys, slot)
+        super()._kill(loc)
+
+    def pop_live(self, pos_index: int, from_end: bool) -> Optional[int]:
+        pos = self.positions[pos_index]
+        if pos.live_count == 0:
+            return None
+        # Find the victim the same way the parent will, to read its data
+        # before the location is cleared.
+        indices = (range(len(pos.slots) - 1, -1, -1) if from_end
+                   else range(len(pos.slots)))
+        for slot in indices:
+            page = pos.slots[slot]
+            if self.page_location[page] == (pos_index, slot):
+                self._pending_data[page] = self.array.read_page(pos.phys,
+                                                                slot)
+                self.array.invalidate_page(pos.phys, slot)
+                break
+        return super().pop_live(pos_index, from_end)
+
+    def receive(self, pos_index: int, logical_page: int,
+                demote: bool = False) -> None:
+        data = self._pending_data.get(logical_page)
+        phys = self.positions[pos_index].phys
+        self.array.program_page(phys, data)
+        self._pending_data.pop(logical_page, None)
+        super().receive(pos_index, logical_page, demote)
+
+    def clean(self, pos_index: int,
+              prepend: Optional[List[int]] = None) -> int:
+        """Physically copy survivors to the spare, then mirror the store.
+
+        The program order must match the order the parent class will
+        record: prepended pages first, then demoted survivors, then the
+        remaining survivors in slot order.  Choosing the order *while*
+        programming the fresh segment is exactly what real cleaning
+        hardware does; the data just has to be read out before the old
+        copies are invalidated.
+        """
+        pos = self.positions[pos_index]
+        old_phys = pos.phys
+        new_phys = self.spare_phys
+        if not self.array.segment(new_phys).is_erased:
+            raise StoreError(f"spare segment {new_phys} is not erased")
+        if self.journal is not None:
+            # Section 3.4: the clean's phase is journalled in persistent
+            # memory.  Until commit, the old segment and the page table
+            # are untouched (shadow paging), so a crash during the copy
+            # only wastes the spare.
+            self.journal.begin(pos_index, old_phys, new_phys)
+        survivor_pairs = [(slot, page) for slot, page in enumerate(pos.slots)
+                          if self.page_location[page] == (pos_index, slot)]
+        ordered = [page for _, page in survivor_pairs]
+        if pos.demoted:
+            demoted = [p for p in ordered if p in pos.demoted]
+            if demoted:
+                ordered = demoted + [p for p in ordered
+                                     if p not in pos.demoted]
+        data_by_page = {page: self.array.read_page(old_phys, slot)
+                        for slot, page in survivor_pairs}
+        for page in (prepend or ()):
+            self.array.program_page(new_phys,
+                                    self._pending_data.get(page))
+            self._pending_data.pop(page, None)
+        for page in ordered:
+            self.array.program_page(new_phys, data_by_page[page])
+        for slot, _ in survivor_pairs:
+            self.array.invalidate_page(old_phys, slot)
+        copies = super().clean(pos_index, prepend)
+        if self.journal is not None:
+            # The remap is now the truth; only the bulk erase remains.
+            self.journal.commit()
+        for hook in self.pre_erase_hooks:
+            hook(pos_index, old_phys)
+        self.array.erase_segment(old_phys)
+        if self.journal is not None:
+            self.journal.clear()
+        return copies
+
+    def verify_against_array(self) -> None:
+        """Cross-check placement bookkeeping against the Flash array.
+
+        Used by the integration tests: every live store slot must be a
+        VALID page in the matching physical segment, and write pointers
+        must agree.
+        """
+        from ..flash.segment import PageState
+
+        for pos in self.positions:
+            segment = self.array.segment(pos.phys)
+            if segment.write_pointer != len(pos.slots):
+                raise StoreError(
+                    f"position {pos.index}: write pointer drift "
+                    f"({segment.write_pointer} != {len(pos.slots)})")
+            if segment.live_count != pos.live_count:
+                raise StoreError(
+                    f"position {pos.index}: live-count drift "
+                    f"({segment.live_count} != {pos.live_count})")
+            for slot, page in enumerate(pos.slots):
+                live = self.page_location[page] == (pos.index, slot)
+                state = segment.states[slot]
+                expected = PageState.VALID if live else PageState.INVALID
+                if state is not expected:
+                    raise StoreError(
+                        f"position {pos.index} slot {slot}: store says "
+                        f"{'live' if live else 'dead'}, array says "
+                        f"{state.name}")
+        spare = self.array.segment(self.spare_phys)
+        if not spare.is_erased:
+            raise StoreError("spare segment is not erased")

@@ -1,0 +1,366 @@
+"""The eNVy controller: a linear non-volatile memory over Flash.
+
+This is the paper's primary contribution (Section 3): the host sees a
+flat, byte-addressable, persistent address space and issues plain reads
+and writes; the controller hides Flash's write-once, slow-program,
+limited-endurance nature behind
+
+* **copy-on-write** — a write to a Flash-resident page copies the page
+  into battery-backed SRAM, applies the write there, and atomically
+  repoints the page table (Section 3.1, Figure 3);
+* **a FIFO write buffer** — repeated writes to a buffered page are plain
+  SRAM updates; pages flush to Flash in the background once the buffer
+  passes its threshold (Section 3.2);
+* **page remapping** — a 6-byte-per-page table in battery-backed SRAM,
+  fronted by an MMU translation cache (Sections 3.3, 5.1);
+* **cleaning** — any of the Section 4 policies reclaims invalidated
+  space segment-by-segment, keeping one segment always erased.
+
+Every host operation returns the nanoseconds it took under the Figure 12
+timing model, and all background work (flush programs, cleaner copies,
+erases) is charged to the metrics' time breakdown so the Section 5.3
+accounting can be reproduced.  The controller itself is synchronous —
+callers that need overlap (the timed simulator of Figures 13-15) meter
+out the background work against idle bus time themselves via
+:meth:`background_work`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..cleaning import CleaningPolicy, WearLeveler, make_policy
+from ..flash.array import FlashArray
+from ..sram.buffer import WriteBuffer
+from ..sram.mmu import Mmu
+from ..sram.pagetable import Location, PageTable
+from .binding import BoundStore
+from .config import EnvyConfig
+from .metrics import ControllerMetrics
+
+__all__ = ["EnvyController", "EnvySystem"]
+
+
+class EnvyController:
+    """Services host reads/writes and runs the Flash maintenance work."""
+
+    def __init__(self, config: Optional[EnvyConfig] = None,
+                 policy: Optional[CleaningPolicy] = None,
+                 store_data: bool = True) -> None:
+        self.config = config or EnvyConfig.small()
+        self.config.validate()
+        cfg = self.config
+        self.store_data = store_data
+        self.array = FlashArray(cfg.flash, cfg.page_bytes,
+                                store_data=store_data, spare_segments=1)
+        self.store = BoundStore(cfg.flash.num_segments,
+                                cfg.pages_per_segment,
+                                cfg.logical_pages, self.array,
+                                observer=self._on_store_event)
+        self.policy = policy or make_policy(
+            cfg.cleaning_policy,
+            **({"partition_segments": cfg.partition_segments}
+               if cfg.cleaning_policy == "hybrid" else {}))
+        self.page_table = PageTable(cfg.logical_pages,
+                                    entry_bytes=cfg.page_table_entry_bytes,
+                                    read_ns=cfg.sram.read_ns,
+                                    write_ns=cfg.sram.write_ns)
+        self.mmu = Mmu(self.page_table)
+        self.buffer = WriteBuffer(cfg.buffer_pages, cfg.page_bytes,
+                                  flush_threshold=cfg.flush_threshold)
+        self.leveler = WearLeveler(cfg.wear_swap_cycles)
+        self.metrics = ControllerMetrics()
+        self._pending_work_ns = 0
+        self._format()
+        self.policy.attach(self.store)
+
+    # ------------------------------------------------------------------
+    # Initial layout
+    # ------------------------------------------------------------------
+
+    def _format(self) -> None:
+        """Assign every logical page an initial physical home.
+
+        eNVy presents a fixed-size linear memory, so all pages exist from
+        the start; a fresh page holds zeroes (its Flash cells are tracked
+        but carry no payload until first written).  The layout matches
+        the policy's assumption: sequential for greedy/FIFO, contiguous
+        striping for the locality-aware policies.
+        """
+        if self.policy is not None and \
+                self.policy.preferred_layout == "sequential":
+            self.store.populate_sequential()
+        else:
+            self.store.populate_contiguous()
+        for page in range(self.config.logical_pages):
+            position, slot = self.store.page_location[page]
+            self.page_table.update(page, Location.flash(position, slot))
+        # Formatting is not measured work.
+        self.metrics.reset()
+        self._pending_work_ns = 0
+
+    # ------------------------------------------------------------------
+    # Store event hook: charge background work to the time breakdown
+    # ------------------------------------------------------------------
+
+    def _on_store_event(self, event: str, position: int, amount: int) -> None:
+        # Timing comes from the array so wear degradation (Section 2),
+        # when enabled, makes an aged segment genuinely slower.
+        phys = self.store.positions[position].phys
+        if event == "program":
+            ns = amount * self.array.program_time_ns(phys)
+            self.metrics.charge("flush", ns)
+            self.metrics.flushes += amount
+        elif event in ("clean_copy", "transfer"):
+            ns = amount * self.array.program_time_ns(phys)
+            self.metrics.charge("clean", ns)
+            self.metrics.clean_copies += amount
+        elif event == "erase":
+            ns = amount * self.array.erase_time_ns(phys)
+            self.metrics.charge("erase", ns)
+            self.metrics.erases += amount
+        else:  # pragma: no cover - future event kinds
+            return
+        self._pending_work_ns += ns
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of linear memory presented to the host."""
+        return self.config.logical_bytes
+
+    def _check_range(self, address: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("length cannot be negative")
+        if address < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"address range [{address}, {address + length}) outside "
+                f"the {self.size_bytes}-byte array")
+
+    # ------------------------------------------------------------------
+    # Host reads
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        data, _ = self.read_timed(address, length)
+        return data
+
+    def read_timed(self, address: int, length: int) -> Tuple[bytes, int]:
+        """Read ``length`` bytes; returns (data, nanoseconds).
+
+        Accesses are accounted per page touched: each page access costs
+        bus overhead + (page-table read on MMU miss) + one SRAM or Flash
+        read cycle — 160 ns in the common case (Section 5.1).
+        """
+        self._check_range(address, length)
+        cfg = self.config
+        pieces = []
+        total_ns = 0
+        offset = address
+        remaining = length
+        while remaining > 0:
+            page, page_offset = divmod(offset, cfg.page_bytes)
+            chunk = min(remaining, cfg.page_bytes - page_offset)
+            location, translate_ns = self.mmu.translate_timed(page)
+            access_ns = cfg.bus_overhead_ns + translate_ns
+            if location is not None and location.in_sram:
+                entry = self.buffer.peek(location.slot)
+                payload = entry.data if entry is not None else None
+                access_ns += cfg.sram.read_ns
+            else:
+                payload = (self.store.read_page_data(page)
+                           if self.store_data else None)
+                access_ns += cfg.flash.read_ns
+            if payload is None:
+                pieces.append(bytes(chunk))
+            else:
+                pieces.append(bytes(payload[page_offset:page_offset + chunk]))
+            self.metrics.reads += 1
+            self.metrics.read_latency.record(access_ns)
+            self.metrics.charge("read", access_ns)
+            total_ns += access_ns
+            offset += chunk
+            remaining -= chunk
+        return b"".join(pieces), total_ns
+
+    # ------------------------------------------------------------------
+    # Host writes
+    # ------------------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> int:
+        """Write ``data`` at ``address``; returns nanoseconds taken.
+
+        A write to a buffered page is a plain SRAM update (~160 ns).  A
+        write to a Flash-resident page triggers the copy-on-write of
+        Figure 3: the page is copied to SRAM in one wide cycle while the
+        page table is updated in parallel, then the write lands in SRAM.
+        If the buffer is full the host stalls while a page is flushed —
+        the latency cliff of Figure 15.
+        """
+        self._check_range(address, len(data))
+        cfg = self.config
+        total_ns = 0
+        offset = address
+        view = memoryview(bytes(data))
+        consumed = 0
+        while consumed < len(data):
+            page, page_offset = divmod(offset, cfg.page_bytes)
+            chunk = min(len(data) - consumed, cfg.page_bytes - page_offset)
+            access_ns = self._write_page(page, page_offset,
+                                         view[consumed:consumed + chunk])
+            self.metrics.writes += 1
+            self.metrics.write_latency.record(access_ns)
+            total_ns += access_ns
+            offset += chunk
+            consumed += chunk
+        return total_ns
+
+    def _write_page(self, page: int, page_offset: int, chunk) -> int:
+        cfg = self.config
+        location, translate_ns = self.mmu.translate_timed(page)
+        access_ns = cfg.bus_overhead_ns + translate_ns
+        if location is not None and location.in_sram:
+            entry = self.buffer.peek(location.slot)
+            if entry is not None and entry.data is not None:
+                entry.data[page_offset:page_offset + len(chunk)] = chunk
+            self.metrics.buffer_hits += 1
+            access_ns += cfg.sram.write_ns
+            self.metrics.charge("host-write", access_ns)
+            return access_ns
+        # Copy-on-write path.  A full buffer stalls the host while the
+        # controller flushes (and possibly cleans) — that work happens
+        # "now" from the host's point of view.  The stall time is
+        # already charged to the flush/clean/erase buckets by the store
+        # observer, so only the access itself lands in host-write below.
+        stall_ns = 0
+        if self.buffer.is_full:
+            stall_ns = self.flush_one()
+            access_ns += stall_ns
+        old_data = None
+        if self.store_data:
+            old_data = self.store.read_page_data(page)
+        page_data = bytearray(old_data) if old_data is not None else \
+            bytearray(cfg.page_bytes)
+        page_data[page_offset:page_offset + len(chunk)] = chunk
+        origin = self.store.buffer_page(page)
+        entry = self.buffer.insert(page, page_data if self.store_data
+                                   else None, origin)
+        self.mmu.update(page, Location.sram(page))
+        self.metrics.copy_on_writes += 1
+        # One wide Flash read to copy the page + the SRAM write; the
+        # page-table update happens in parallel with the transfer
+        # (Section 5.1) and adds nothing.
+        access_ns += cfg.flash.read_ns + cfg.sram.write_ns
+        self.metrics.charge("host-write", access_ns - stall_ns)
+        return access_ns
+
+    # ------------------------------------------------------------------
+    # Background maintenance
+    # ------------------------------------------------------------------
+
+    def flush_one(self) -> int:
+        """Flush the buffer tail through the cleaning policy.
+
+        Returns the nanoseconds of Flash work performed (program plus any
+        cleaning and erasing it triggered).
+        """
+        entry = self.buffer.pop_tail()
+        before = self._pending_work_ns
+        page = entry.logical_page
+        journal = self.store.journal
+        if journal is not None:
+            # The page leaves the FIFO now but is not durable until the
+            # program commits; journal it for power-failure recovery.
+            journal.note_flush(page, entry.origin)
+        if self.store_data and entry.data is not None:
+            self.store.stage_data(page, bytes(entry.data))
+        self.policy.flush(page, entry.origin)
+        location = self.store.page_location[page]
+        self.mmu.update(page, Location.flash(location[0], location[1]))
+        if journal is not None:
+            journal.clear_flush()
+        self.leveler.maybe_level(self.store)
+        self.metrics.wear_swaps = self.leveler.swap_count
+        return self._pending_work_ns - before
+
+    def background_work(self, budget_ns: int) -> int:
+        """Do up to ``budget_ns`` of flushing while over the threshold.
+
+        Called by the timed simulator with the idle time between host
+        accesses; the library API never requires it (writes flush
+        synchronously when the buffer is full).  Returns nanoseconds of
+        work actually performed; a single flush is not split, mirroring
+        the suspendable-but-not-abortable long operations of Section 3.4.
+        """
+        done = 0
+        while self.buffer.over_threshold and done < budget_ns:
+            done += self.flush_one()
+        return done
+
+    def view(self, offset: int = 0, length: int = None):
+        """A memory-mapped (slice-syntax) window onto the array.
+
+        The Section 1 interface in idiomatic Python: ``v = system.view();
+        v[0:5] = b"hello"``.  See :class:`~repro.core.memview.
+        EnvyMemoryView`.
+        """
+        from .memview import EnvyMemoryView
+
+        return EnvyMemoryView(self, offset, length)
+
+    def drain(self) -> int:
+        """Flush everything (e.g. before an orderly shutdown)."""
+        done = 0
+        while len(self.buffer):
+            done += self.flush_one()
+        return done
+
+    # ------------------------------------------------------------------
+    # Power failure / recovery (Section 3.2: battery-backed SRAM)
+    # ------------------------------------------------------------------
+
+    def power_cycle(self) -> None:
+        """Simulate a power failure and recovery.
+
+        Flash and battery-backed SRAM (page table, write buffer) retain
+        their contents; the volatile MMU translation cache is lost and
+        refills on demand.  Cleaning state lives in the store, which is
+        persistent ("The state of the cleaning process is kept in
+        persistent memory so the controller can recover quickly",
+        Section 3.4).
+        """
+        self.buffer.power_cycle()
+        self.mmu.flush()
+
+    def check_consistency(self) -> None:
+        """Verify page table, buffer, store and Flash agree (for tests)."""
+        self.store.check_invariants()
+        if self.store_data:
+            self.store.verify_against_array()
+        for page in range(self.config.logical_pages):
+            table_loc = self.page_table.lookup(page)
+            store_loc = self.store.page_location[page]
+            if store_loc == (-1, -1):
+                if not (table_loc is not None and table_loc.in_sram):
+                    raise AssertionError(
+                        f"page {page} buffered but table says {table_loc}")
+                if page not in self.buffer:
+                    raise AssertionError(f"page {page} missing from buffer")
+            else:
+                if table_loc is None or not table_loc.in_flash:
+                    raise AssertionError(
+                        f"page {page} in flash but table says {table_loc}")
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EnvyController({self.size_bytes // (1 << 20)} MiB over "
+                f"{self.config.flash.num_segments} segments, "
+                f"policy={self.policy.name})")
+
+
+#: Friendlier alias used throughout the examples and docs.
+EnvySystem = EnvyController

@@ -1,0 +1,98 @@
+"""Storage-technology economics (Figure 1) and system cost (Section 5.1).
+
+Figure 1 compares disk, DRAM, low-power SRAM and Flash on access time,
+cost per megabyte, and data-retention current.  Those constants drive two
+claims reproduced here:
+
+* Section 3.3 — the 6-byte page-table entry costs about 10% of the Flash
+  it maps ("For every gigabyte of Flash ($30,000), 24 MBytes of SRAM
+  ($2,880) is required for the page table").
+* Section 5.1 — the 2 GB eNVy system costs about $70,000, "about one
+  quarter of a pure SRAM system of the same size ($250,000)".
+
+All prices are 1994 dollars, of course; the point of the model is the
+*ratios*, which are what the paper's design decisions traded against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .config import MIB, EnvyConfig
+
+__all__ = ["Technology", "TECHNOLOGIES", "system_cost", "EnvyCostBreakdown"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """One row of Figure 1."""
+
+    name: str
+    read_access: str
+    write_access: str
+    cost_per_mib: float
+    #: Current needed to retain data, per gigabyte ("OA" = none).
+    retention_current_per_gib: str
+
+    @property
+    def row(self) -> List[str]:
+        return [self.name, self.read_access, self.write_access,
+                f"${self.cost_per_mib:.2f}", self.retention_current_per_gib]
+
+
+#: Figure 1: Feature Comparison of Storage Technologies.
+TECHNOLOGIES: Dict[str, Technology] = {
+    "disk": Technology("Disk", "8.3ms", "8.3ms", 1.00, "0A"),
+    "dram": Technology("DRAM", "60ns", "60ns", 35.00, "1A"),
+    "sram": Technology("Low Power SRAM", "85ns", "85ns", 120.00, "2mA"),
+    "flash": Technology("Flash", "85ns", "4-10us", 30.00, "0A"),
+}
+
+
+@dataclass(frozen=True)
+class EnvyCostBreakdown:
+    """Dollar cost of an eNVy configuration, by component."""
+
+    flash_dollars: float
+    write_buffer_dollars: float
+    page_table_dollars: float
+
+    @property
+    def sram_dollars(self) -> float:
+        return self.write_buffer_dollars + self.page_table_dollars
+
+    @property
+    def total_dollars(self) -> float:
+        return self.flash_dollars + self.sram_dollars
+
+    @property
+    def page_table_overhead(self) -> float:
+        """Page-table SRAM cost as a fraction of the Flash cost.
+
+        Section 3.3 calls this "only about a 10% increase in overall
+        cost" for 256-byte pages.
+        """
+        return self.page_table_dollars / self.flash_dollars
+
+    def sram_only_alternative(self) -> float:
+        """Cost of a pure battery-backed SRAM array of the same capacity."""
+        flash_mib = self.flash_dollars / TECHNOLOGIES["flash"].cost_per_mib
+        return flash_mib * TECHNOLOGIES["sram"].cost_per_mib
+
+    @property
+    def savings_vs_sram(self) -> float:
+        """How many times cheaper eNVy is than the pure SRAM system."""
+        return self.sram_only_alternative() / self.total_dollars
+
+
+def system_cost(config: EnvyConfig) -> EnvyCostBreakdown:
+    """Price an eNVy configuration with the Figure 1 cost constants."""
+    flash_mib = config.flash.array_bytes / MIB
+    buffer_mib = config.sram.buffer_bytes / MIB
+    table_mib = config.page_table_bytes / MIB
+    return EnvyCostBreakdown(
+        flash_dollars=flash_mib * config.flash.cost_per_mib,
+        write_buffer_dollars=buffer_mib * config.sram.cost_per_mib,
+        page_table_dollars=table_mib * config.sram.cost_per_mib,
+    )

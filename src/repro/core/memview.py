@@ -1,0 +1,124 @@
+"""A memory-mapped view of eNVy: Python slice syntax over the array.
+
+The paper's whole interface argument (Section 1) is that persistent
+storage should look like memory.  For a Python library the idiomatic
+spelling of "looks like memory" is the mutable-sequence protocol, so
+
+    view = system.view()
+    view[0:5] = b"hello"          # a store
+    assert view[0:5] == b"hello"  # a load
+    count = view.read_u64(1024)   # typed accessors for records
+
+behaves like a ``bytearray`` whose contents happen to be non-volatile,
+wear-leveled Flash.  Slices map one-to-one onto controller reads and
+writes; nothing is cached in the view, so aliasing views agree and
+persistence semantics are exactly the controller's.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+__all__ = ["EnvyMemoryView"]
+
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+
+
+class EnvyMemoryView:
+    """Mutable-sequence facade over a controller's address space."""
+
+    def __init__(self, controller, offset: int = 0,
+                 length: int = None) -> None:
+        size = controller.size_bytes
+        if length is None:
+            length = size - offset
+        if offset < 0 or length < 0 or offset + length > size:
+            raise ValueError(
+                f"window [{offset}, {offset + length}) outside the "
+                f"{size}-byte array")
+        self._controller = controller
+        self._offset = offset
+        self._length = length
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _resolve(self, key: Union[int, slice]) -> "tuple[int, int]":
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self._length)
+            if step != 1:
+                raise ValueError("extended slices are not supported")
+            return self._offset + start, max(0, stop - start)
+        index = key
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {key} out of range")
+        return self._offset + index, 1
+
+    def __getitem__(self, key: Union[int, slice]) -> Union[int, bytes]:
+        address, length = self._resolve(key)
+        data = self._controller.read(address, length)
+        if isinstance(key, slice):
+            return data
+        return data[0]
+
+    def __setitem__(self, key: Union[int, slice],
+                    value: Union[int, bytes, bytearray]) -> None:
+        address, length = self._resolve(key)
+        if isinstance(key, slice):
+            payload = bytes(value)
+            if len(payload) != length:
+                raise ValueError(
+                    f"cannot assign {len(payload)} bytes to a "
+                    f"{length}-byte slice (the array does not resize)")
+        else:
+            if not isinstance(value, int) or not 0 <= value <= 0xFF:
+                raise ValueError("byte assignment needs an int in 0..255")
+            payload = bytes([value])
+        self._controller.write(address, payload)
+
+    # ------------------------------------------------------------------
+    # Typed accessors (the word-sized loads/stores of Section 1)
+    # ------------------------------------------------------------------
+
+    def read_u64(self, offset: int) -> int:
+        return _U64.unpack(self[offset:offset + 8])[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self[offset:offset + 8] = _U64.pack(value)
+
+    def read_i64(self, offset: int) -> int:
+        return _I64.unpack(self[offset:offset + 8])[0]
+
+    def write_i64(self, offset: int, value: int) -> None:
+        self[offset:offset + 8] = _I64.pack(value)
+
+    # ------------------------------------------------------------------
+
+    def subview(self, offset: int, length: int) -> "EnvyMemoryView":
+        """A window into this window (for carving out data structures)."""
+        if offset < 0 or length < 0 or offset + length > self._length:
+            raise ValueError("subview outside the parent window")
+        return EnvyMemoryView(self._controller, self._offset + offset,
+                              length)
+
+    def fill(self, value: int, chunk: int = 4096) -> None:
+        """Set every byte of the window to ``value``."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError("fill value must be a byte")
+        payload = bytes([value]) * chunk
+        written = 0
+        while written < self._length:
+            piece = min(chunk, self._length - written)
+            self._controller.write(self._offset + written,
+                                   payload[:piece])
+            written += piece
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EnvyMemoryView([{self._offset}, "
+                f"{self._offset + self._length}) of {self._controller!r})")

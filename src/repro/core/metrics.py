@@ -1,0 +1,119 @@
+"""Latency and throughput accounting for the eNVy controller.
+
+Collects the quantities Section 5 reports: host read/write counts and
+average latencies (Figure 15), copy-on-write and buffer-hit rates, flush
+and cleaning volume (the cleaning-cost numerator/denominator), and the
+controller time breakdown of Section 5.3 (reads vs cleaning vs flushing
+vs erasing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["LatencyStat", "ControllerMetrics"]
+
+
+@dataclass
+class LatencyStat:
+    """Streaming min/max/mean of an operation latency in nanoseconds."""
+
+    count: int = 0
+    total_ns: int = 0
+    min_ns: int = 0
+    max_ns: int = 0
+
+    def record(self, ns: int) -> None:
+        if self.count == 0 or ns < self.min_ns:
+            self.min_ns = ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+        self.count += 1
+        self.total_ns += ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStat") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min_ns = other.min_ns
+        self.min_ns = min(self.min_ns, other.min_ns)
+        self.max_ns = max(self.max_ns, other.max_ns)
+        self.count += other.count
+        self.total_ns += other.total_ns
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_ns:.0f}ns "
+                f"[{self.min_ns}..{self.max_ns}]")
+
+
+@dataclass
+class ControllerMetrics:
+    """Counters the eNVy controller maintains while servicing a host."""
+
+    reads: int = 0
+    writes: int = 0
+    buffer_hits: int = 0
+    copy_on_writes: int = 0
+    flushes: int = 0
+    clean_copies: int = 0
+    erases: int = 0
+    wear_swaps: int = 0
+    read_latency: LatencyStat = field(default_factory=LatencyStat)
+    write_latency: LatencyStat = field(default_factory=LatencyStat)
+    #: Controller time by activity, nanoseconds (Section 5.3 breakdown).
+    busy_ns: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, activity: str, ns: int) -> None:
+        """Attribute ``ns`` of controller time to an activity."""
+        self.busy_ns[activity] = self.busy_ns.get(activity, 0) + ns
+
+    # ------------------------------------------------------------------
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        return self.buffer_hits / self.writes if self.writes else 0.0
+
+    @property
+    def cleaning_cost(self) -> float:
+        """Cleaner programs per flushed page (Section 4.1)."""
+        return self.clean_copies / self.flushes if self.flushes else 0.0
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Fraction of busy time per activity (Section 5.3)."""
+        total = sum(self.busy_ns.values())
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(self.busy_ns.items())}
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.buffer_hits = 0
+        self.copy_on_writes = 0
+        self.flushes = 0
+        self.clean_copies = 0
+        self.erases = 0
+        self.wear_swaps = 0
+        self.read_latency = LatencyStat()
+        self.write_latency = LatencyStat()
+        self.busy_ns = {}
+
+    def summary(self) -> str:
+        lines = [
+            f"reads:  {self.reads} (avg {self.read_latency.mean_ns:.0f}ns)",
+            f"writes: {self.writes} "
+            f"(avg {self.write_latency.mean_ns:.0f}ns, "
+            f"{self.buffer_hit_rate:.0%} buffered)",
+            f"flushes: {self.flushes}, cleaning cost "
+            f"{self.cleaning_cost:.2f}, erases: {self.erases}",
+        ]
+        breakdown = self.time_breakdown()
+        if breakdown:
+            parts = ", ".join(f"{k} {v:.0%}" for k, v in breakdown.items())
+            lines.append(f"controller time: {parts}")
+        return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Crash-consistent cleaning and power-failure recovery (Section 3.4).
+
+"The state of the cleaning process is kept in persistent memory so the
+controller can recover quickly after a failure."
+
+Cleaning is the one multi-step operation whose partial completion could
+corrupt the array: it copies live pages to the spare segment, commits
+the remap, and erases the old segment.  eNVy makes it crash-safe by
+shadow paging — nothing about the old segment changes until the new copy
+is complete — plus a small journal in battery-backed SRAM recording
+which phase a clean is in:
+
+* ``COPYING``  — survivor pages are streaming to the spare.  The page
+  table still points at the old segment, so a crash loses nothing; the
+  partially-written spare is simply re-erased and the clean rerun.
+* ``COMMITTED`` — the remap is done; only the old segment's bulk erase
+  is outstanding.  Recovery finishes the erase (the new copies are
+  already the live ones).
+
+:class:`CrashInjector` arms a countdown over Flash operations and raises
+:class:`SimulatedPowerFailure` mid-clean; :func:`recover` brings the
+system back to a consistent state from the journal, exactly as the
+controller's firmware would at power-on.  The property tests crash at
+every reachable point and verify no data is ever lost.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from ..flash.segment import PageState
+from .controller import EnvyController
+
+__all__ = ["CleanPhase", "CleaningJournal", "CrashInjector",
+           "SimulatedPowerFailure", "JournalledStore", "recover",
+           "attach_journal"]
+
+
+class SimulatedPowerFailure(Exception):
+    """Raised by the crash injector at the armed Flash operation."""
+
+
+class CleanPhase(Enum):
+    IDLE = "idle"
+    COPYING = "copying"
+    COMMITTED = "committed"
+
+
+class CleaningJournal:
+    """The battery-backed record of in-flight maintenance work."""
+
+    def __init__(self) -> None:
+        self.phase = CleanPhase.IDLE
+        self.position: Optional[int] = None
+        self.old_phys: Optional[int] = None
+        self.new_phys: Optional[int] = None
+        #: The flush being serviced when the clean started: the buffer
+        #: slot is logically still owned by this page until the flush's
+        #: program commits, so recovery can re-queue it.
+        self.flush_page: Optional[int] = None
+        self.flush_origin: Optional[int] = None
+
+    def begin(self, position: int, old_phys: int, new_phys: int) -> None:
+        self.phase = CleanPhase.COPYING
+        self.position = position
+        self.old_phys = old_phys
+        self.new_phys = new_phys
+
+    def commit(self) -> None:
+        self.phase = CleanPhase.COMMITTED
+
+    def clear(self) -> None:
+        self.phase = CleanPhase.IDLE
+        self.position = None
+        self.old_phys = None
+        self.new_phys = None
+
+    def note_flush(self, page: int, origin: int) -> None:
+        self.flush_page = page
+        self.flush_origin = origin
+
+    def clear_flush(self) -> None:
+        self.flush_page = None
+        self.flush_origin = None
+
+
+def attach_journal(system: EnvyController) -> CleaningJournal:
+    """Enable journalled cleaning on a controller.
+
+    Returns the journal (creating and instrumenting on first call).
+    The store's ``clean`` records its phase transitions, and every Flash
+    program/erase first calls ``system.crash_hook`` (if set) so an
+    injector can cut the power at any operation.
+    """
+    store = system.store
+    if store.journal is not None:
+        return store.journal
+    journal = CleaningJournal()
+    store.journal = journal
+    array = store.array
+    # Instrument the array so every program/erase can crash first.
+    for name in ("program_page", "erase_segment"):
+        original = getattr(array, name)
+
+        def instrumented(*args, _original=original, **kwargs):
+            hook = getattr(system, "crash_hook", None)
+            if hook is not None:
+                hook()
+            return _original(*args, **kwargs)
+
+        setattr(array, name, instrumented)
+    return journal
+
+
+class CrashInjector:
+    """Cuts the power after a chosen number of Flash operations."""
+
+    def __init__(self, system: EnvyController,
+                 journal: Optional[CleaningJournal] = None) -> None:
+        self.system = system
+        self.journal = journal if journal is not None \
+            else attach_journal(system)
+        self._countdown: Optional[int] = None
+        system.crash_hook = self._tick
+
+    def arm(self, after_operations: int) -> None:
+        """Crash on the Nth upcoming Flash program/erase (1-based)."""
+        if after_operations < 1:
+            raise ValueError("must allow at least one operation")
+        self._countdown = after_operations
+
+    def disarm(self) -> None:
+        self._countdown = None
+
+    def _tick(self) -> None:
+        if self._countdown is None:
+            return
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = None
+            raise SimulatedPowerFailure("power lost mid-operation")
+
+
+def recover(system: EnvyController,
+            journal: CleaningJournal) -> CleanPhase:
+    """Power-on recovery: repair any interrupted clean.
+
+    Returns the phase the crash interrupted (IDLE when the system was
+    quiescent).  After this returns, ``system.check_consistency()``
+    holds and every logical page is intact.
+    """
+    interrupted = journal.phase
+    system.power_cycle()  # volatile state (MMU cache) is gone regardless
+    store = system.store
+    array = store.array
+    if interrupted is CleanPhase.COPYING:
+        # Shadow paging: the old segment and the page table are
+        # untouched, so the partial copy is garbage.  Invalidate and
+        # erase it; the clean will be redone on demand.
+        spare = array.segment(journal.new_phys)
+        for slot in range(spare.write_pointer):
+            if spare.states[slot] is PageState.VALID:
+                spare.invalidate_page(slot)
+        if not spare.is_erased:
+            array.erase_segment(journal.new_phys)
+            store.phys_erase_counts[journal.new_phys] += 1
+            store.erase_count += 1
+    elif interrupted is CleanPhase.COMMITTED:
+        # The remap committed; only the old segment's bulk erase was
+        # outstanding.  (The store's erase counters were advanced at
+        # commit time, so only the physical erase is replayed.)
+        old = array.segment(journal.old_phys)
+        if not old.is_erased:
+            for slot in range(old.write_pointer):
+                if old.states[slot] is PageState.VALID:
+                    old.invalidate_page(slot)
+            array.erase_segment(journal.old_phys)
+    journal.clear()
+    _requeue_orphans(system, journal)
+    return interrupted
+
+
+def _requeue_orphans(system: EnvyController,
+                     journal: CleaningJournal) -> None:
+    """Re-queue pages whose relocation never committed.
+
+    Two kinds of page are in flight during maintenance work: the flush
+    the controller took off the FIFO (its only copy is the staged SRAM
+    data), and pages the cleaner detached from one segment but had not
+    yet programmed into another (their bytes sit in the controller's
+    SRAM transfer buffer — ``_pending_data``).  Real hardware keeps both
+    in battery-backed staging until the receiving program commits; the
+    model re-inserts them into the write buffer, from where the normal
+    flush path re-homes them.
+    """
+    store = system.store
+    default_origin = (journal.flush_origin
+                      if journal.flush_origin is not None else 0)
+    # The interrupted flush, if any.
+    candidates = []
+    if journal.flush_page is not None:
+        candidates.append((journal.flush_page, default_origin))
+    # Pages detached by pop_live (location cleared, not buffered).
+    for page, location in enumerate(store.page_location):
+        if location is None and page not in system.buffer:
+            candidates.append((page, default_origin))
+    for page, origin in candidates:
+        location = store.page_location[page]
+        if location is not None and location != (-1, -1):
+            continue  # it landed after all
+        if page in system.buffer:
+            continue
+        data = store._pending_data.pop(page, None)
+        if data is None and system.store_data:
+            data = bytes(system.config.page_bytes)
+        while system.buffer.is_full:
+            system.flush_one()
+        store.page_location[page] = (-1, -1)
+        system.buffer.insert(
+            page, bytearray(data) if data is not None else None, origin)
+        from ..sram.pagetable import Location
+
+        system.page_table.update(page, Location.sram(page))
+    journal.clear_flush()
+
+
+def crash_points_in_clean(system: EnvyController,
+                          position: int) -> List[int]:
+    """How many Flash operations the next clean of ``position`` makes.
+
+    Handy for tests that want to crash at every reachable point: a clean
+    performs one program per (prepended + surviving) page plus one
+    erase.
+    """
+    pos = system.store.positions[position]
+    return list(range(1, pos.live_count + 2))

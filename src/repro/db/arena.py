@@ -1,0 +1,115 @@
+"""A simple region allocator for eNVy's linear address space.
+
+Data structures living inside eNVy (B-trees, record arrays, application
+state) need somewhere to put themselves.  ``Arena`` carves a window of
+the address space into allocations with a bump pointer plus a free list
+with first-fit reuse and coalescing — enough memory management for the
+library's own structures and for applications that want malloc-like
+behaviour over persistent memory.
+
+The arena's bookkeeping is deliberately host-side (plain Python state):
+persistence of the *allocator* is an application concern (snapshot it,
+rebuild it from your own headers, or allocate append-only), mirroring
+how the paper's applications manage their own layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["Arena", "ArenaError"]
+
+
+class ArenaError(Exception):
+    """Raised for invalid frees or exhaustion."""
+
+
+class Arena:
+    """First-fit allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int,
+                 alignment: int = 8) -> None:
+        if size <= 0:
+            raise ValueError("arena needs positive size")
+        if alignment < 1 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two")
+        self.base = base
+        self.size = size
+        self.alignment = alignment
+        #: Sorted list of (address, length) holes.
+        self._free: List[Tuple[int, int]] = [(base, size)]
+        #: Live allocations: address -> length.
+        self._allocated: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _align(self, value: int) -> int:
+        mask = self.alignment - 1
+        return (value + mask) & ~mask
+
+    def allocate(self, length: int) -> int:
+        """Return the address of a fresh block of at least ``length``."""
+        if length <= 0:
+            raise ValueError("allocation must be positive")
+        needed = self._align(length)
+        for index, (address, hole) in enumerate(self._free):
+            if hole >= needed:
+                remainder = hole - needed
+                if remainder:
+                    self._free[index] = (address + needed, remainder)
+                else:
+                    del self._free[index]
+                self._allocated[address] = needed
+                return address
+        raise ArenaError(
+            f"out of space: need {needed} bytes, largest hole is "
+            f"{max((h for _, h in self._free), default=0)}")
+
+    def free(self, address: int) -> None:
+        """Return a block to the arena (coalescing neighbours)."""
+        try:
+            length = self._allocated.pop(address)
+        except KeyError:
+            raise ArenaError(f"address {address} is not allocated")
+        self._free.append((address, length))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for hole_address, hole_length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == hole_address:
+                merged[-1] = (merged[-1][0],
+                              merged[-1][1] + hole_length)
+            else:
+                merged.append((hole_address, hole_length))
+        self._free = merged
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, length: int) -> int:
+        """Arenas are callable so BTree(allocate=arena) just works."""
+        return self.allocate(length)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    @property
+    def largest_hole(self) -> int:
+        return max((length for _, length in self._free), default=0)
+
+    def check_invariants(self) -> None:
+        """Free holes and allocations tile the arena exactly."""
+        spans = sorted(list(self._free)
+                       + [(a, l) for a, l in self._allocated.items()])
+        cursor = self.base
+        for address, length in spans:
+            if address < cursor:
+                raise ArenaError(f"overlap at {address}")
+            cursor = address + length
+        if cursor > self.base + self.size:
+            raise ArenaError("spans exceed the arena")
+        if self.used_bytes + self.free_bytes != self.size:
+            raise ArenaError("accounting mismatch")

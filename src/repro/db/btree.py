@@ -1,0 +1,362 @@
+"""A B-tree stored in eNVy's linear memory (Section 5.2, Figure 12).
+
+"The simulator implements each index tree as a B-Tree with 32 entries
+per node."  This is the real data structure: nodes are serialised into
+the byte-addressable eNVy space and every probe is an actual memory read
+through the controller, so index searches exercise the same storage path
+the paper's simulated database does.
+
+Two construction modes:
+
+* :meth:`BTree.bulk_load` — build a packed tree for keys 0..n-1 in the
+  deterministic layout of :class:`~repro.db.layout.BTreeGeometry`.  This
+  is how the TPC-A database is created, and it makes the tree's access
+  pattern predictable enough for the trace generator to mirror.
+* :meth:`BTree.insert` — ordinary top-down insertion with node splits
+  into space from an allocator, for use as a general-purpose index.
+
+Node format (16-byte header + 32 x 16-byte entries = 528 bytes):
+
+    count (2) | leaf flag (1) | padding (13) | [key (8) | value (8)] x 32
+
+For interior nodes ``value`` is the child node's address; for leaves it
+is the user value (the TPC-A database stores record addresses).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .layout import ENTRY_BYTES, NODE_HEADER_BYTES, BTreeGeometry
+
+__all__ = ["BTree", "BTreeError"]
+
+_HEADER = struct.Struct("<HB13x")
+_ENTRY = struct.Struct("<qq")
+
+
+class BTreeError(Exception):
+    """Raised for malformed trees or failed operations."""
+
+
+class _Node:
+    """In-memory image of one node (serialised on every store)."""
+
+    __slots__ = ("address", "count", "leaf", "keys", "values")
+
+    def __init__(self, address: int, leaf: bool) -> None:
+        self.address = address
+        self.leaf = leaf
+        self.count = 0
+        self.keys: List[int] = []
+        self.values: List[int] = []
+
+
+class BTree:
+    """A fanout-32 B-tree over a byte-addressable memory object.
+
+    ``memory`` must provide ``read(address, length) -> bytes`` and
+    ``write(address, data)`` — the :class:`~repro.core.controller.
+    EnvySystem` interface.
+    """
+
+    def __init__(self, memory, root_address: int, fanout: int = 32,
+                 allocate: Optional[Callable[[int], int]] = None) -> None:
+        if fanout < 3:
+            raise ValueError("fanout must be at least 3")
+        self.memory = memory
+        self.fanout = fanout
+        self.node_bytes = NODE_HEADER_BYTES + fanout * ENTRY_BYTES
+        self.root_address = root_address
+        self._allocate = allocate
+
+    # ------------------------------------------------------------------
+    # Node (de)serialisation
+    # ------------------------------------------------------------------
+
+    def _load(self, address: int) -> _Node:
+        raw = self.memory.read(address, self.node_bytes)
+        count, leaf = _HEADER.unpack_from(raw)
+        if count > self.fanout:
+            raise BTreeError(f"node at {address} has count {count} "
+                             f"> fanout {self.fanout}")
+        node = _Node(address, bool(leaf))
+        node.count = count
+        offset = NODE_HEADER_BYTES
+        for _ in range(count):
+            key, value = _ENTRY.unpack_from(raw, offset)
+            node.keys.append(key)
+            node.values.append(value)
+            offset += ENTRY_BYTES
+        return node
+
+    def _store(self, node: _Node) -> None:
+        parts = [_HEADER.pack(len(node.keys), int(node.leaf))]
+        for key, value in zip(node.keys, node.values):
+            parts.append(_ENTRY.pack(key, value))
+        free = self.fanout - len(node.keys)
+        parts.append(b"\x00" * (free * ENTRY_BYTES))
+        self.memory.write(node.address, b"".join(parts))
+
+    def _new_node(self, leaf: bool) -> _Node:
+        if self._allocate is None:
+            raise BTreeError("tree has no allocator; use bulk_load or "
+                             "construct with allocate=")
+        return _Node(self._allocate(self.node_bytes), leaf)
+
+    @classmethod
+    def create(cls, memory, root_address: int, fanout: int = 32,
+               allocate: Optional[Callable[[int], int]] = None) -> "BTree":
+        """Initialise an empty tree (a zero-count leaf root) and return it."""
+        tree = cls(memory, root_address, fanout, allocate)
+        root = _Node(root_address, leaf=True)
+        tree._store(root)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, memory, geometry: BTreeGeometry,
+                  value_of: Callable[[int], int]) -> "BTree":
+        """Build a packed tree for keys 0..n-1 at ``geometry``'s layout.
+
+        ``value_of(key)`` supplies each leaf value (e.g. the record
+        address).  Interior levels are written fully packed so that the
+        node visited for any key is computable arithmetically — the
+        property the TPC-A trace generator relies on.
+        """
+        tree = cls(memory, geometry.base_address, geometry.fanout)
+        fanout = geometry.fanout
+        depth = geometry.depth
+        for level in range(depth - 1, -1, -1):
+            nodes = geometry.nodes_in_level(level)
+            span = fanout ** (depth - 1 - level)
+            for index in range(nodes):
+                node = _Node(geometry.node_address(level, index),
+                             leaf=(level == depth - 1))
+                first_key = index * span * fanout
+                for slot in range(fanout):
+                    key = first_key + slot * span
+                    if key >= geometry.num_keys:
+                        break
+                    node.keys.append(key)
+                    if node.leaf:
+                        node.values.append(value_of(key))
+                    else:
+                        child = geometry.node_address(
+                            level + 1, index * fanout + slot)
+                        node.values.append(child)
+                tree._store(node)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, key: int) -> Optional[int]:
+        """Return the value stored for ``key``, or None."""
+        address = self.root_address
+        while True:
+            node = self._load(address)
+            if node.count == 0:
+                return None
+            index = self._position(node, key)
+            if node.leaf:
+                if index < node.count and node.keys[index] == key:
+                    return node.values[index]
+                return None
+            address = node.values[self._child_for(node, key, index)]
+
+    @staticmethod
+    def _position(node: _Node, key: int) -> int:
+        """Index of the first key >= ``key`` (binary search)."""
+        lo, hi = 0, node.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @staticmethod
+    def _child_for(node: _Node, key: int, index: int) -> int:
+        """Child slot covering ``key`` in an interior node.
+
+        Interior keys are the minimum keys of their subtrees, so descend
+        into the last child whose separator key is <= the target.
+        """
+        if index == node.count or node.keys[index] != key:
+            index = max(0, index - 1)
+        return index
+
+    def update_value(self, key: int, value: int) -> bool:
+        """Overwrite the value of an existing key; False if absent."""
+        address = self.root_address
+        while True:
+            node = self._load(address)
+            if node.count == 0:
+                return False
+            index = self._position(node, key)
+            if node.leaf:
+                if index < node.count and node.keys[index] == key:
+                    node.values[index] = value
+                    self._store(node)
+                    return True
+                return False
+            address = node.values[self._child_for(node, key, index)]
+
+    # ------------------------------------------------------------------
+    # Insert (general-purpose mode)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert or update ``key``; splits full nodes top-down."""
+        root = self._load(self.root_address)
+        if root.count == self.fanout:
+            # Split the root: move its contents to a fresh node and make
+            # the root an interior node over the two halves.  The root
+            # address never changes, so callers can keep it.
+            left = self._new_node(root.leaf)
+            right = self._new_node(root.leaf)
+            mid = root.count // 2
+            left.keys, left.values = root.keys[:mid], root.values[:mid]
+            right.keys, right.values = root.keys[mid:], root.values[mid:]
+            left.count, right.count = len(left.keys), len(right.keys)
+            self._store(left)
+            self._store(right)
+            root.leaf = False
+            root.keys = [left.keys[0], right.keys[0]]
+            root.values = [left.address, right.address]
+            root.count = 2
+            self._store(root)
+        self._insert_nonfull(root, key, value)
+
+    def _insert_nonfull(self, node: _Node, key: int, value: int) -> None:
+        while True:
+            index = self._position(node, key)
+            if node.leaf:
+                if index < node.count and node.keys[index] == key:
+                    node.values[index] = value
+                else:
+                    node.keys.insert(index, key)
+                    node.values.insert(index, value)
+                    node.count += 1
+                self._store(node)
+                return
+            child_index = self._child_for(node, key, index)
+            child = self._load(node.values[child_index])
+            if child.count == self.fanout:
+                child, node = self._split_child(node, child_index, child,
+                                                key)
+                continue
+            node = child
+
+    def _split_child(self, parent: _Node, child_index: int, child: _Node,
+                     key: int) -> Tuple[_Node, _Node]:
+        """Split a full child; returns (descend_into, parent)."""
+        sibling = self._new_node(child.leaf)
+        mid = child.count // 2
+        sibling.keys = child.keys[mid:]
+        sibling.values = child.values[mid:]
+        sibling.count = len(sibling.keys)
+        child.keys = child.keys[:mid]
+        child.values = child.values[:mid]
+        child.count = len(child.keys)
+        self._store(child)
+        self._store(sibling)
+        # Refresh the left half's separator: the leftmost child's
+        # separator can go stale (keys below it are clamped into it),
+        # and a stale separator equal to the new sibling's would make
+        # the smaller keys unreachable.
+        parent.keys[child_index] = child.keys[0]
+        parent.keys.insert(child_index + 1, sibling.keys[0])
+        parent.values.insert(child_index + 1, sibling.address)
+        parent.count += 1
+        self._store(parent)
+        descend = sibling if key >= sibling.keys[0] else child
+        return descend, parent
+
+    # ------------------------------------------------------------------
+    # Delete and range scan
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False if it was absent.
+
+        Lazy structural policy: the entry leaves its leaf but nodes are
+        not merged or rebalanced, so interior separators stay valid and
+        search/insert keep working.  Fill factor degrades under heavy
+        deletion — acceptable for the index workloads here (TPC-A never
+        deletes), and the classic trade log-structured systems make.
+        """
+        address = self.root_address
+        while True:
+            node = self._load(address)
+            if node.count == 0:
+                return False
+            index = self._position(node, key)
+            if node.leaf:
+                if index < node.count and node.keys[index] == key:
+                    del node.keys[index]
+                    del node.values[index]
+                    node.count -= 1
+                    self._store(node)
+                    return True
+                return False
+            address = node.values[self._child_for(node, key, index)]
+
+    def range_scan(self, low: int, high: int
+                   ) -> Iterator[Tuple[int, int]]:
+        """Yield (key, value) for low <= key < high, in key order.
+
+        Walks only the subtrees whose separator ranges intersect the
+        query — the standard pruned descent.
+        """
+        if high <= low:
+            return
+        yield from self._scan(self.root_address, low, high)
+
+    def _scan(self, address: int, low: int,
+              high: int) -> Iterator[Tuple[int, int]]:
+        node = self._load(address)
+        if node.leaf:
+            for key, value in zip(node.keys, node.values):
+                if low <= key < high:
+                    yield key, value
+            return
+        for index in range(node.count):
+            # Child index covers [keys[index], keys[index + 1]).
+            child_low = node.keys[index]
+            child_high = (node.keys[index + 1]
+                          if index + 1 < node.count else None)
+            if child_high is not None and child_high <= low:
+                continue
+            if child_low >= high and index > 0:
+                break
+            yield from self._scan(node.values[index], low, high)
+
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all (key, value) pairs in key order."""
+        yield from self._walk(self.root_address)
+
+    def _walk(self, address: int) -> Iterator[Tuple[int, int]]:
+        node = self._load(address)
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for child in node.values:
+            yield from self._walk(child)
+
+    def check_invariants(self) -> None:
+        """Keys sorted within and across nodes; counts within fanout."""
+        previous = None
+        for key, _ in self.items():
+            if previous is not None and key <= previous:
+                raise BTreeError(f"keys out of order: {previous} then {key}")
+            previous = key

@@ -1,0 +1,190 @@
+"""A persistent key-value store on eNVy.
+
+The introduction's pitch is that a word-addressable persistent memory
+"simplifies data access routines ... Substantial reductions in code size
+and in instruction pathlengths can result."  This module is that claim
+as a component: a complete KV store in a couple hundred lines, because
+the storage layer already provides persistence, atomic page-table
+commits, wear leveling and crash recovery.
+
+Layout inside the arena-managed region:
+
+* every record is ``[key_len u16 | value_len u32 | key | value]``,
+  allocated from the :class:`~repro.db.arena.Arena`;
+* a fanout-32 :class:`~repro.db.btree.BTree` maps ``hash64(key)`` to the
+  head of a collision chain; chain links (``next_record u64``) prefix
+  each record so distinct keys sharing a hash still resolve.
+
+Updates are copy-on-write at the record level: a put writes a fresh
+record and repoints the index, so a torn update can never corrupt the
+previous value — the same shadow discipline the controller uses for
+pages.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from .arena import Arena
+from .btree import BTree
+
+__all__ = ["KVStore", "KVError"]
+
+_HEADER = struct.Struct("<QHI")  # next_record, key_len, value_len
+MAX_KEY_BYTES = 1 << 14
+MAX_VALUE_BYTES = 1 << 26
+_NIL = 0  # arena addresses start past the index, so 0 is free as nil
+
+
+def hash64(key: bytes) -> int:
+    """FNV-1a, folded to a positive 63-bit int (BTree keys are i64)."""
+    value = 0xCBF29CE484222325
+    for byte in key:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value & 0x7FFFFFFFFFFFFFFF
+
+
+class KVError(Exception):
+    """Raised for malformed keys/values or storage exhaustion."""
+
+
+class KVStore:
+    """Hash-indexed KV store over a byte-addressable memory."""
+
+    def __init__(self, memory, base: int = 0, size: int = None,
+                 fanout: int = 32) -> None:
+        if size is None:
+            if not hasattr(memory, "size_bytes"):
+                raise ValueError("size required when the memory does "
+                                 "not report its size")
+            size = memory.size_bytes - base
+        self.memory = memory
+        # Region plan: [index root | arena].  The index grows through
+        # the same arena, so one allocator covers everything.
+        self.arena = Arena(base, size, alignment=8)
+        root = self.arena.allocate(BTree(memory, 0, fanout).node_bytes)
+        self.index = BTree.create(memory, root, fanout=fanout,
+                                  allocate=self.arena)
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Record encoding
+    # ------------------------------------------------------------------
+
+    def _write_record(self, key: bytes, value: bytes,
+                      next_record: int) -> int:
+        length = _HEADER.size + len(key) + len(value)
+        try:
+            address = self.arena.allocate(length)
+        except Exception as exc:
+            raise KVError(f"out of space storing {len(value)}-byte "
+                          f"value") from exc
+        self.memory.write(address, _HEADER.pack(next_record, len(key),
+                                                len(value)) + key + value)
+        return address
+
+    def _read_record(self, address: int
+                     ) -> Tuple[int, bytes, bytes]:
+        header = self.memory.read(address, _HEADER.size)
+        next_record, key_len, value_len = _HEADER.unpack(header)
+        body = self.memory.read(address + _HEADER.size,
+                                key_len + value_len)
+        return next_record, bytes(body[:key_len]), bytes(body[key_len:])
+
+    @staticmethod
+    def _check_key(key: bytes) -> bytes:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise KVError("keys must be non-empty bytes")
+        if len(key) > MAX_KEY_BYTES:
+            raise KVError(f"key longer than {MAX_KEY_BYTES} bytes")
+        return bytes(key)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key = self._check_key(key)
+        if len(value) > MAX_VALUE_BYTES:
+            raise KVError(f"value longer than {MAX_VALUE_BYTES} bytes")
+        value = bytes(value)
+        bucket = hash64(key)
+        head = self.index.search(bucket) or _NIL
+        # Walk the chain: replace in place (copy-on-write the record) if
+        # the key exists, else prepend.
+        previous = _NIL
+        cursor = head
+        while cursor != _NIL:
+            next_record, existing_key, _ = self._read_record(cursor)
+            if existing_key == key:
+                replacement = self._write_record(key, value, next_record)
+                if previous == _NIL:
+                    self.index.insert(bucket, replacement)
+                else:
+                    self._set_next(previous, replacement)
+                self.arena.free(cursor)
+                return
+            previous = cursor
+            cursor = next_record
+        record = self._write_record(key, value, head)
+        self.index.insert(bucket, record)
+        self.count += 1
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        key = self._check_key(key)
+        cursor = self.index.search(hash64(key)) or _NIL
+        while cursor != _NIL:
+            next_record, existing_key, value = self._read_record(cursor)
+            if existing_key == key:
+                return value
+            cursor = next_record
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        key = self._check_key(key)
+        bucket = hash64(key)
+        head = self.index.search(bucket) or _NIL
+        previous = _NIL
+        cursor = head
+        while cursor != _NIL:
+            next_record, existing_key, _ = self._read_record(cursor)
+            if existing_key == key:
+                if previous == _NIL:
+                    if next_record == _NIL:
+                        self.index.delete(bucket)
+                    else:
+                        self.index.insert(bucket, next_record)
+                else:
+                    self._set_next(previous, next_record)
+                self.arena.free(cursor)
+                self.count -= 1
+                return True
+            previous = cursor
+            cursor = next_record
+        return False
+
+    def _set_next(self, record: int, next_record: int) -> None:
+        self.memory.write(record, struct.pack("<Q", next_record))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs (hash order, chains in place)."""
+        for _, head in self.index.items():
+            cursor = head
+            while cursor != _NIL:
+                cursor, key, value = self._read_record(cursor)
+                yield key, value
+
+    def stats(self) -> dict:
+        return {
+            "keys": self.count,
+            "arena_used": self.arena.used_bytes,
+            "arena_free": self.arena.free_bytes,
+        }

@@ -1,0 +1,54 @@
+"""Fixed-size balance records (Section 5.2).
+
+"Balance information for each bank, teller, and account is kept in the
+form of a 100 byte record."  The layout puts the fields the transaction
+touches first — id, then the 8-byte balance at offset 8 (the word the
+trace generator writes) — followed by bookkeeping fields and padding out
+to exactly 100 bytes, standing in for the address/comment filler of the
+TPC-A schema.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["BalanceRecord", "RECORD_BYTES", "BALANCE_OFFSET"]
+
+RECORD_BYTES = 100
+BALANCE_OFFSET = 8
+
+#: id (8) | balance (8) | parent id (8) | update count (8) = 32 bytes,
+#: followed by 68 bytes of padding/filler.
+_HEADER = struct.Struct("<qqqq")
+_PAD = RECORD_BYTES - _HEADER.size
+
+
+@dataclass
+class BalanceRecord:
+    """One branch, teller or account record."""
+
+    record_id: int
+    balance: int = 0
+    #: Owning teller for accounts, owning branch for tellers, -1 for
+    #: branches.
+    parent_id: int = -1
+    update_count: int = 0
+
+    def pack(self) -> bytes:
+        """Serialise to exactly 100 bytes."""
+        return _HEADER.pack(self.record_id, self.balance, self.parent_id,
+                            self.update_count) + b"\x00" * _PAD
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "BalanceRecord":
+        if len(raw) < _HEADER.size:
+            raise ValueError(f"record needs at least {_HEADER.size} bytes")
+        record_id, balance, parent_id, update_count = _HEADER.unpack(
+            raw[:_HEADER.size])
+        return cls(record_id, balance, parent_id, update_count)
+
+    def apply_delta(self, delta: int) -> None:
+        """The TPC-A balance update."""
+        self.balance += delta
+        self.update_count += 1

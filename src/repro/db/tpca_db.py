@@ -1,0 +1,204 @@
+"""The TPC-A database running on eNVy (Section 5.2).
+
+A working implementation of the benchmark's data model on top of the
+memory-mapped storage API: branch/teller/account balance records packed
+into the linear address space, three bulk-loaded B-tree indexes, and the
+TPC-A transaction ("changing the balance of an individual account and
+updating the corresponding bank and teller records"), which searches all
+three trees and modifies all three records.
+
+This is the component the paper's introduction motivates: a database
+whose data access routines use plain loads and stores with "no need to
+be concerned with disk block boundaries" — compare
+:meth:`TpcaDatabase.transaction` with what the same operation costs
+through a block device.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import TpcParams
+from .btree import BTree
+from .layout import TpcaLayout
+from .records import BALANCE_OFFSET, BalanceRecord
+
+__all__ = ["TpcaDatabase", "TransactionResult"]
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of one TPC-A transaction."""
+
+    account: int
+    teller: int
+    branch: int
+    delta: int
+    account_balance: int
+    teller_balance: int
+    branch_balance: int
+
+
+class TpcaDatabase:
+    """Branches, tellers, accounts and their indexes inside eNVy."""
+
+    def __init__(self, memory, params: Optional[TpcParams] = None) -> None:
+        """``memory`` is an EnvySystem (or anything with read/write)."""
+        self.memory = memory
+        self.params = params or TpcParams()
+        self.layout = TpcaLayout(self.params)
+        if hasattr(memory, "size_bytes") and \
+                self.layout.total_bytes > memory.size_bytes:
+            raise ValueError(
+                f"database needs {self.layout.total_bytes} bytes but the "
+                f"array exposes {memory.size_bytes}; scale the accounts "
+                f"down (TpcParams.scaled_to_accounts)")
+        self.branch_index: Optional[BTree] = None
+        self.teller_index: Optional[BTree] = None
+        self.account_index: Optional[BTree] = None
+        self.transactions_run = 0
+        self._initial_balance = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, initial_balance: int = 1000) -> None:
+        """Create all records and bulk-load the three indexes."""
+        params = self.params
+        layout = self.layout
+        self._initial_balance = initial_balance
+        for branch in range(params.num_branches):
+            record = BalanceRecord(branch, initial_balance)
+            self.memory.write(layout.branch_address(branch), record.pack())
+        for teller in range(params.num_tellers):
+            record = BalanceRecord(teller, initial_balance,
+                                   parent_id=teller
+                                   // params.tellers_per_branch)
+            self.memory.write(layout.teller_address(teller), record.pack())
+        for account in range(params.num_accounts):
+            record = BalanceRecord(account, initial_balance,
+                                   parent_id=account
+                                   // params.accounts_per_teller)
+            self.memory.write(layout.account_address(account),
+                              record.pack())
+        self.branch_index = BTree.bulk_load(
+            self.memory, layout.branch_tree, layout.branch_address)
+        self.teller_index = BTree.bulk_load(
+            self.memory, layout.teller_tree, layout.teller_address)
+        self.account_index = BTree.bulk_load(
+            self.memory, layout.account_tree, layout.account_address)
+
+    def _require_loaded(self) -> None:
+        if self.account_index is None:
+            raise RuntimeError("database not loaded; call load() first")
+
+    # ------------------------------------------------------------------
+    # The TPC-A transaction
+    # ------------------------------------------------------------------
+
+    def transaction(self, account: int, delta: int) -> TransactionResult:
+        """Apply a balance change to an account, its teller and branch.
+
+        All three records are found through their index trees (as the
+        paper's simulator does) and updated in place with plain memory
+        writes; the controller's copy-on-write machinery makes the
+        updates persistent.
+        """
+        self._require_loaded()
+        params = self.params
+        teller = min(account // params.accounts_per_teller,
+                     params.num_tellers - 1)
+        branch = teller // params.tellers_per_branch
+        balances = []
+        for index, key in ((self.account_index, account),
+                           (self.teller_index, teller),
+                           (self.branch_index, branch)):
+            address = index.search(key)
+            if address is None:
+                raise KeyError(f"record {key} missing from index")
+            record = BalanceRecord.unpack(
+                self.memory.read(address, self.params.record_bytes))
+            record.apply_delta(delta)
+            # Write back only the fields that changed (balance and
+            # update count live in one aligned span).
+            self.memory.write(address + BALANCE_OFFSET,
+                              record.pack()[BALANCE_OFFSET:32])
+            balances.append(record.balance)
+        self.transactions_run += 1
+        return TransactionResult(account, teller, branch, delta,
+                                 balances[0], balances[1], balances[2])
+
+    def run(self, count: int, seed: Optional[int] = None,
+            max_delta: int = 1000) -> int:
+        """Run ``count`` random transactions; returns net balance moved."""
+        self._require_loaded()
+        rng = random.Random(seed)
+        net = 0
+        for _ in range(count):
+            account = rng.randrange(self.params.num_accounts)
+            delta = rng.randint(-max_delta, max_delta)
+            self.transaction(account, delta)
+            net += delta
+        return net
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def account_balance(self, account: int) -> int:
+        self._require_loaded()
+        address = self.account_index.search(account)
+        if address is None:
+            raise KeyError(f"account {account} not found")
+        return BalanceRecord.unpack(
+            self.memory.read(address, self.params.record_bytes)).balance
+
+    def teller_balance(self, teller: int) -> int:
+        self._require_loaded()
+        address = self.teller_index.search(teller)
+        if address is None:
+            raise KeyError(f"teller {teller} not found")
+        return BalanceRecord.unpack(
+            self.memory.read(address, self.params.record_bytes)).balance
+
+    def branch_balance(self, branch: int) -> int:
+        self._require_loaded()
+        address = self.branch_index.search(branch)
+        if address is None:
+            raise KeyError(f"branch {branch} not found")
+        return BalanceRecord.unpack(
+            self.memory.read(address, self.params.record_bytes)).balance
+
+    def check_consistency(self) -> None:
+        """TPC-A invariant: balance deltas roll up the hierarchy exactly.
+
+        Every transaction applies one delta to an account, its teller and
+        its branch, so (relative to the initial load) a teller's balance
+        change equals the sum of its accounts' changes, and a branch's
+        equals the sum of its tellers'.
+        """
+        self._require_loaded()
+        params = self.params
+        init = self._initial_balance
+        teller_delta = [0] * params.num_tellers
+        for account in range(params.num_accounts):
+            teller = min(account // params.accounts_per_teller,
+                         params.num_tellers - 1)
+            teller_delta[teller] += self.account_balance(account) - init
+        branch_delta = [0] * params.num_branches
+        for teller in range(params.num_tellers):
+            change = self.teller_balance(teller) - init
+            if change != teller_delta[teller]:
+                raise AssertionError(
+                    f"teller {teller}: balance moved by {change} but its "
+                    f"accounts moved by {teller_delta[teller]}")
+            branch_delta[teller // params.tellers_per_branch] += change
+        for branch in range(params.num_branches):
+            change = self.branch_balance(branch) - init
+            if change != branch_delta[branch]:
+                raise AssertionError(
+                    f"branch {branch}: balance moved by {change} but its "
+                    f"tellers moved by {branch_delta[branch]}")

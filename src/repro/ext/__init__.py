@@ -1,0 +1,12 @@
+"""Hardware extensions of Section 6: parallel banks, atomic transactions."""
+
+from .parallel import FlushBatch, ParallelFlushScheduler
+from .transactions import Transaction, TransactionError, TransactionManager
+
+__all__ = [
+    "ParallelFlushScheduler",
+    "FlushBatch",
+    "TransactionManager",
+    "Transaction",
+    "TransactionError",
+]

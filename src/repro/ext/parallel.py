@@ -1,0 +1,171 @@
+"""Parallel bank operations (Section 6, "Hardware Extensions").
+
+"An obvious example is to perform multiple program and erase operations
+at the same time to different banks of Flash memory.  The order in which
+pages are flushed from the write buffer does not affect correctness so
+it is easy to select pages that can be written in parallel. ... With the
+cleaner executing 4 to 8 concurrent programming operations, the average
+time to flush a page can drop from 4us to less than 1us."
+
+The scheduler below implements the page-selection side of that claim: it
+scans the write buffer in FIFO order, predicts which bank each entry's
+flush will program (the cleaning policy determines the destination
+segment, and segments map to banks), and packs entries into batches of
+bank-disjoint operations.  A batch completes in one program time instead
+of one per page, so the effective per-page flush time is
+``program_ns / batch_size``.
+
+Erasures parallelise the same way: segments in different banks can erase
+concurrently, which lets multiple cleaning operations overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cleaning.fifo import FifoPolicy
+from ..cleaning.greedy import GreedyPolicy
+from ..cleaning.hybrid import HybridPolicy
+from ..core.controller import EnvyController
+from ..sram.pagetable import Location
+
+__all__ = ["FlushBatch", "ParallelFlushScheduler"]
+
+
+@dataclass
+class FlushBatch:
+    """One group of simultaneous page programs on distinct banks."""
+
+    pages: List[int]
+    banks: List[int]
+    #: Wall time of the parallel program step (one program time).
+    time_ns: int
+    #: Cleaning/erase work the batch triggered, accounted separately:
+    #: cleans serialise on the cleaning processor, and the paper
+    #: parallelises erasures through the same banking trick.
+    overhead_ns: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.pages)
+
+
+class ParallelFlushScheduler:
+    """Selects bank-disjoint flushes and executes them as batches."""
+
+    def __init__(self, controller: EnvyController,
+                 max_concurrency: int = 8) -> None:
+        if max_concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        self.controller = controller
+        self.max_concurrency = max_concurrency
+        self.batches_executed = 0
+        self.pages_flushed = 0
+        self.total_time_ns = 0
+        self.total_overhead_ns = 0
+
+    # ------------------------------------------------------------------
+
+    def predict_bank(self, origin: int) -> int:
+        """Bank the next flush with this origin would program.
+
+        Locality-aware policies write back to the origin segment or its
+        partition's active segment; greedy/FIFO write to the single
+        global active segment (so they expose no flush parallelism —
+        one reason the hybrid policy suits this extension).
+        """
+        controller = self.controller
+        policy = controller.policy
+        store = controller.store
+        if isinstance(policy, HybridPolicy):
+            position = policy.partition_of(origin).active
+        elif isinstance(policy, (GreedyPolicy, FifoPolicy)):
+            position = policy._active
+        else:  # locality gathering: straight back to the origin
+            position = origin
+        return store.array.bank_of(store.positions[position].phys)
+
+    def plan_batch(self) -> List[int]:
+        """Pick up to ``max_concurrency`` buffered pages on distinct banks.
+
+        FIFO order is respected per bank: the scan starts at the tail
+        and only skips entries whose bank is already claimed, exactly
+        the reordering freedom Section 6 describes.
+        """
+        claimed_banks = set()
+        batch: List[int] = []
+        for entry in self.controller.buffer.entries():
+            bank = self.predict_bank(entry.origin)
+            if bank in claimed_banks:
+                continue
+            claimed_banks.add(bank)
+            batch.append(entry.logical_page)
+            if len(batch) >= self.max_concurrency:
+                break
+        return batch
+
+    def flush_batch(self) -> FlushBatch:
+        """Flush one planned batch; returns what ran and its duration.
+
+        The batch takes one (worst-case) program time plus any cleaning
+        work its members triggered — cleans still serialise on the
+        cleaning processor, so only the pure program time parallelises.
+        """
+        controller = self.controller
+        cfg = controller.config
+        pages = self.plan_batch()
+        if not pages:
+            raise RuntimeError("write buffer is empty; nothing to flush")
+        banks = []
+        extra_ns = 0
+        for page in pages:
+            entry = controller.buffer.remove(page)
+            banks.append(self.predict_bank(entry.origin))
+            before = controller.metrics.busy_ns
+            flush_before = before.get("flush", 0)
+            clean_before = before.get("clean", 0)
+            erase_before = before.get("erase", 0)
+            if controller.store_data and entry.data is not None:
+                controller.store.stage_data(page, bytes(entry.data))
+            controller.policy.flush(page, entry.origin)
+            location = controller.store.page_location[page]
+            controller.mmu.update(page, Location.flash(location[0],
+                                                       location[1]))
+            after = controller.metrics.busy_ns
+            extra_ns += (after.get("clean", 0) - clean_before
+                         + after.get("erase", 0) - erase_before)
+            del flush_before
+        batch = FlushBatch(pages, banks, cfg.flash.program_ns, extra_ns)
+        self.batches_executed += 1
+        self.pages_flushed += len(pages)
+        self.total_time_ns += batch.time_ns
+        self.total_overhead_ns += extra_ns
+        return batch
+
+    def drain(self, min_pages: int) -> None:
+        """Flush batches until at least ``min_pages`` pages have left."""
+        flushed = 0
+        while flushed < min_pages and len(self.controller.buffer):
+            flushed += self.flush_batch().size
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_flush_time_ns(self) -> float:
+        """Average program time per flushed page.
+
+        The Section 6 claim: under 1000 ns with 4-8 way concurrency,
+        against the 4000 ns serial baseline.  Cleaning overhead is
+        reported separately (see ``total_overhead_ns``) because it
+        exists equally in the serial design.
+        """
+        if self.pages_flushed == 0:
+            return 0.0
+        return self.total_time_ns / self.pages_flushed
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches_executed == 0:
+            return 0.0
+        return self.pages_flushed / self.batches_executed

@@ -1,0 +1,233 @@
+"""The complete eNVy Flash array: banks of chips, viewed as segments.
+
+The array is the unit the controller and cleaner operate on.  It exposes
+
+* page-granularity program / read / invalidate / erase operations with
+  Flash's write-once, bulk-erase semantics enforced by
+  :class:`~repro.flash.segment.FlashSegment`,
+* the timing parameters of Figure 12 (100 ns reads, 4 us programs, 50 ms
+  erases) including optional wear degradation, and
+* wear statistics (per-segment program/erase cycles, spread, endurance
+  headroom) used by the wear-leveling policy of Section 4.3 and the
+  lifetime model of Section 5.5.
+
+Physical pages are addressed either by ``(segment, page)`` pairs or by a
+flat physical page number ``segment * pages_per_segment + page``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.config import FlashParams
+from .errors import AddressError
+from .segment import FlashSegment, PageState
+
+__all__ = ["FlashArray", "WearStats"]
+
+
+class WearStats:
+    """Snapshot of program/erase wear across the array."""
+
+    __slots__ = ("erase_counts", "program_counts", "endurance_cycles")
+
+    def __init__(self, erase_counts: List[int], program_counts: List[int],
+                 endurance_cycles: int) -> None:
+        self.erase_counts = erase_counts
+        self.program_counts = program_counts
+        self.endurance_cycles = endurance_cycles
+
+    @property
+    def min_erases(self) -> int:
+        return min(self.erase_counts)
+
+    @property
+    def max_erases(self) -> int:
+        return max(self.erase_counts)
+
+    @property
+    def spread(self) -> int:
+        """Cycle gap between the most- and least-worn segments.
+
+        Section 4.3 triggers a leveling swap when this exceeds 100.
+        """
+        return self.max_erases - self.min_erases
+
+    @property
+    def total_erases(self) -> int:
+        return sum(self.erase_counts)
+
+    @property
+    def total_programs(self) -> int:
+        return sum(self.program_counts)
+
+    @property
+    def remaining_fraction(self) -> float:
+        """Fraction of rated endurance left on the most-worn segment."""
+        if self.endurance_cycles <= 0:
+            return 0.0
+        used = self.max_erases / self.endurance_cycles
+        return max(0.0, 1.0 - used)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WearStats(erases {self.min_erases}..{self.max_erases}, "
+                f"spread={self.spread})")
+
+
+class FlashArray:
+    """A segment-addressed model of the whole Flash array."""
+
+    def __init__(self, params: Optional[FlashParams] = None,
+                 page_bytes: int = 256, store_data: bool = True,
+                 spare_segments: int = 0) -> None:
+        """``spare_segments`` adds segments beyond the nominal geometry.
+
+        The controller models the always-erased cleaning target
+        (Section 3.4) as one extra segment so that the data segments can
+        be partitioned exactly; the capacity difference versus floating
+        the spare inside the nominal array is under 1% at paper scale.
+        """
+        self.params = params or FlashParams()
+        self.params.validate()
+        if self.params.segment_bytes % page_bytes:
+            raise ValueError("segment size must be a multiple of page size")
+        if spare_segments < 0:
+            raise ValueError("spare_segments cannot be negative")
+        self.page_bytes = page_bytes
+        self.pages_per_segment = self.params.segment_bytes // page_bytes
+        self.num_segments = self.params.num_segments + spare_segments
+        self.store_data = store_data
+        self.segments: List[FlashSegment] = [
+            FlashSegment(i, self.pages_per_segment, page_bytes,
+                         store_data=store_data)
+            for i in range(self.num_segments)
+        ]
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def total_pages(self) -> int:
+        return self.num_segments * self.pages_per_segment
+
+    def segment(self, index: int) -> FlashSegment:
+        if not 0 <= index < self.num_segments:
+            raise AddressError(f"segment {index} out of range "
+                               f"(array has {self.num_segments})")
+        return self.segments[index]
+
+    def split_physical(self, physical_page: int) -> Tuple[int, int]:
+        """Decompose a flat physical page number into (segment, page)."""
+        if not 0 <= physical_page < self.total_pages:
+            raise AddressError(f"physical page {physical_page} out of range")
+        return divmod(physical_page, self.pages_per_segment)
+
+    def join_physical(self, segment: int, page: int) -> int:
+        """Compose (segment, page) into a flat physical page number."""
+        if not 0 <= segment < self.num_segments:
+            raise AddressError(f"segment {segment} out of range")
+        if not 0 <= page < self.pages_per_segment:
+            raise AddressError(f"page {page} out of range")
+        return segment * self.pages_per_segment + page
+
+    def bank_of(self, segment: int) -> int:
+        """Bank that ``segment`` physically resides in.
+
+        Segments are striped across banks in block order: bank *b* holds
+        segments ``b * segments_per_bank .. (b+1) * segments_per_bank - 1``.
+        Needed by the Section 6 extension that overlaps operations on
+        different banks.
+        """
+        if not 0 <= segment < self.num_segments:
+            raise AddressError(f"segment {segment} out of range")
+        return segment // self.params.segments_per_bank
+
+    # ------------------------------------------------------------------
+    # Operations (delegate to segments, return timing)
+    # ------------------------------------------------------------------
+
+    def program_page(self, segment: int, data: Optional[bytes] = None
+                     ) -> Tuple[int, int]:
+        """Program the next page of ``segment``; return (page, time_ns)."""
+        seg = self.segment(segment)
+        page = seg.program_page(data)
+        return page, self.program_time_ns(segment)
+
+    def read_page(self, segment: int, page: int) -> Optional[bytes]:
+        return self.segment(segment).read_page(page)
+
+    def invalidate_page(self, segment: int, page: int) -> None:
+        self.segment(segment).invalidate_page(page)
+
+    def erase_segment(self, segment: int) -> int:
+        """Erase ``segment``; returns the erase time in nanoseconds."""
+        seg = self.segment(segment)
+        time_ns = self.erase_time_ns(segment)
+        seg.erase()
+        return time_ns
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def enable_degradation(self, program_curve=None,
+                           erase_curve=None) -> None:
+        """Make program/erase times wear-dependent (Section 2).
+
+        Pass :class:`~repro.flash.endurance.DegradationCurve` instances;
+        omitted curves default to the module's calibrated ones.  Once
+        enabled, :meth:`program_time_ns` and :meth:`erase_time_ns`
+        reflect each segment's accumulated erase cycles, so an aged
+        array really is slower to maintain.
+        """
+        from .endurance import (ERASE_SPEC_NS, PROGRAM_SPEC_NS,
+                                DegradationCurve)
+
+        self._program_curve = program_curve or DegradationCurve(
+            self.params.program_ns, PROGRAM_SPEC_NS)
+        self._erase_curve = erase_curve or DegradationCurve(
+            self.params.erase_ns, ERASE_SPEC_NS)
+
+    def read_time_ns(self, segment: int = 0) -> int:
+        return self.params.read_ns  # reads never degrade (Section 2)
+
+    def program_time_ns(self, segment: int = 0) -> int:
+        curve = getattr(self, "_program_curve", None)
+        if curve is None:
+            return self.params.program_ns
+        return int(curve.time_at(self.segments[segment].erase_count))
+
+    def erase_time_ns(self, segment: int = 0) -> int:
+        curve = getattr(self, "_erase_curve", None)
+        if curve is None:
+            return self.params.erase_ns
+        return int(curve.time_at(self.segments[segment].erase_count))
+
+    # ------------------------------------------------------------------
+    # Wear and occupancy statistics
+    # ------------------------------------------------------------------
+
+    def wear_stats(self) -> WearStats:
+        return WearStats(
+            erase_counts=[s.erase_count for s in self.segments],
+            program_counts=[s.program_count for s in self.segments],
+            endurance_cycles=self.params.endurance_cycles,
+        )
+
+    def live_pages(self) -> int:
+        return sum(s.live_count for s in self.segments)
+
+    def utilization(self) -> float:
+        """Fraction of the whole array holding live data (Section 4.1)."""
+        return self.live_pages() / self.total_pages
+
+    def erased_segments(self) -> List[int]:
+        return [s.segment_id for s in self.segments if s.is_erased]
+
+    def iter_states(self, segment: int) -> Iterator[PageState]:
+        return iter(self.segment(segment).states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlashArray({self.num_segments} segments x "
+                f"{self.pages_per_segment} pages x {self.page_bytes} B)")

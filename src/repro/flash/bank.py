@@ -1,0 +1,113 @@
+"""A bank of byte-wide Flash chips with a page-wide data path.
+
+Section 3.3: "the Flash array is organized in banks of 256 (byte wide)
+chips.  This organization allows an entire page to be transferred in just
+one memory cycle."  Byte *i* of a page lives in chip *i*; page *p* of
+segment *s* occupies byte ``s * block_bytes + p`` of every chip, so the
+smallest independently erasable unit of a bank is one erase block across
+all of its chips — a *segment* (Figure 4).
+
+This class is the chip-accurate reference implementation of the wide data
+path.  The simulators use the faster page-granularity
+:class:`~repro.flash.segment.FlashSegment` bookkeeping; a property test in
+the suite checks the two stay in agreement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .chip import FlashChip
+from .errors import AddressError
+
+__all__ = ["FlashBank"]
+
+
+class FlashBank:
+    """A lock-step bank of Flash chips forming page-wide segments."""
+
+    def __init__(self, num_chips: int = 256, chip_bytes: int = 1 << 20,
+                 erase_blocks_per_chip: int = 16, read_ns: int = 100,
+                 program_ns: int = 4000, erase_ns: int = 50_000_000,
+                 endurance_cycles: int = 1_000_000) -> None:
+        self.chips: List[FlashChip] = [
+            FlashChip(chip_bytes=chip_bytes,
+                      erase_blocks=erase_blocks_per_chip,
+                      read_ns=read_ns, program_ns=program_ns,
+                      erase_ns=erase_ns, endurance_cycles=endurance_cycles)
+            for _ in range(num_chips)
+        ]
+        self.num_chips = num_chips
+        self.page_bytes = num_chips  # one byte per chip per page
+        self.num_segments = erase_blocks_per_chip
+        self.block_bytes = chip_bytes // erase_blocks_per_chip
+        self.pages_per_segment = self.block_bytes
+
+    # ------------------------------------------------------------------
+
+    def _check(self, segment: int, page: int) -> None:
+        if not 0 <= segment < self.num_segments:
+            raise AddressError(f"segment {segment} out of range")
+        if not 0 <= page < self.pages_per_segment:
+            raise AddressError(f"page {page} out of range")
+
+    def _chip_address(self, segment: int, page: int) -> int:
+        return segment * self.block_bytes + page
+
+    # ------------------------------------------------------------------
+
+    def program_page(self, segment: int, page: int,
+                     data: Sequence[int]) -> int:
+        """Program one page across all chips in parallel.
+
+        Returns the operation time in nanoseconds: the chips program
+        simultaneously, so the page takes one (possibly wear-degraded)
+        byte-program time, not ``num_chips`` of them.
+        """
+        self._check(segment, page)
+        if len(data) != self.page_bytes:
+            raise ValueError(
+                f"page data must be {self.page_bytes} bytes, got {len(data)}")
+        address = self._chip_address(segment, page)
+        time_ns = 0
+        for chip, value in zip(self.chips, data):
+            time_ns = max(time_ns, chip.program(address, value))
+        return time_ns
+
+    def read_page(self, segment: int, page: int) -> bytes:
+        """Read one page in a single wide memory cycle."""
+        self._check(segment, page)
+        address = self._chip_address(segment, page)
+        return bytes(chip.read(address) for chip in self.chips)
+
+    def read_byte(self, segment: int, page: int, offset: int) -> int:
+        """Read a single byte (offset selects the chip)."""
+        self._check(segment, page)
+        if not 0 <= offset < self.page_bytes:
+            raise AddressError(f"offset {offset} out of range")
+        return self.chips[offset].read(self._chip_address(segment, page))
+
+    def erase_segment(self, segment: int) -> int:
+        """Erase one block in every chip; returns the time in nanoseconds.
+
+        All chips erase in parallel, so the wall-clock cost is a single
+        block-erase time.
+        """
+        if not 0 <= segment < self.num_segments:
+            raise AddressError(f"segment {segment} out of range")
+        time_ns = 0
+        for chip in self.chips:
+            time_ns = max(time_ns, chip.erase_block(segment))
+        return time_ns
+
+    # ------------------------------------------------------------------
+
+    def segment_erase_count(self, segment: int) -> int:
+        """Erase cycles of a segment (uniform across the bank's chips)."""
+        if not 0 <= segment < self.num_segments:
+            raise AddressError(f"segment {segment} out of range")
+        counts = {chip.erase_count(segment) for chip in self.chips}
+        if len(counts) != 1:
+            raise AssertionError(
+                "bank chips disagree on erase count; lock-step violated")
+        return counts.pop()

@@ -1,0 +1,261 @@
+"""Byte-accurate model of a single Flash memory chip.
+
+Section 2 of the paper describes the device this models: a byte-wide array
+of non-volatile cells that reads like an EPROM, programs one byte at a time
+in 4-10 microseconds, erases in large independently erasable blocks
+(~64 KB) taking ~50 ms, and endures a limited number of program/erase
+cycles after which operations merely get slower (no data is lost).
+
+All commands go through a small Command User Interface (CUI) state
+machine, mirroring the command sequences of real parts (program/verify,
+erase, status, suspend).  The higher-level :class:`~repro.flash.array.
+FlashArray` does not route every byte through this class — wear inside a
+bank is uniform per segment, so the array keeps aggregate counters — but
+the chip model is the ground truth for semantics and is exercised heavily
+by the unit tests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from .errors import AddressError, EraseError, ProgramError
+
+__all__ = ["FlashChip", "ChipMode", "Command"]
+
+ERASED_BYTE = 0xFF
+
+
+class ChipMode(Enum):
+    """Operating mode of the chip's Command User Interface."""
+
+    READ_ARRAY = "read_array"
+    PROGRAM = "program"
+    ERASE = "erase"
+    ERASE_SUSPENDED = "erase_suspended"
+    STATUS = "status"
+
+
+class Command(Enum):
+    """Commands accepted by the Command User Interface (Section 2)."""
+
+    READ_ARRAY = 0xFF
+    PROGRAM_SETUP = 0x40
+    ERASE_SETUP = 0x20
+    ERASE_CONFIRM = 0xD0
+    ERASE_SUSPEND = 0xB0
+    ERASE_RESUME = 0xD0
+    READ_STATUS = 0x70
+    CLEAR_STATUS = 0x50
+
+
+class FlashChip:
+    """A single byte-wide Flash chip with bulk-erase blocks.
+
+    Parameters
+    ----------
+    chip_bytes:
+        Total capacity in bytes.
+    erase_blocks:
+        Number of independently erasable blocks the array is divided into.
+    program_ns / erase_ns:
+        Nominal (data-sheet) operation times for a fresh device.
+    endurance_cycles:
+        Cycles for which the timing above is guaranteed.
+    degradation_per_cycle:
+        Fractional slow-down of program/erase per cycle, modelling the
+        paper's observation that "programming method slightly degrades
+        program and erase times each time these operations are executed".
+    """
+
+    def __init__(self, chip_bytes: int = 1 << 20, erase_blocks: int = 16,
+                 read_ns: int = 100, program_ns: int = 4000,
+                 erase_ns: int = 50_000_000, endurance_cycles: int = 1_000_000,
+                 degradation_per_cycle: float = 0.0) -> None:
+        if chip_bytes <= 0 or erase_blocks <= 0 or chip_bytes % erase_blocks:
+            raise ValueError("chip size must divide evenly into erase blocks")
+        self.chip_bytes = chip_bytes
+        self.erase_blocks = erase_blocks
+        self.block_bytes = chip_bytes // erase_blocks
+        self.read_ns = read_ns
+        self.nominal_program_ns = program_ns
+        self.nominal_erase_ns = erase_ns
+        self.endurance_cycles = endurance_cycles
+        self.degradation_per_cycle = degradation_per_cycle
+
+        self._cells = bytearray([ERASED_BYTE] * chip_bytes)
+        self._erase_counts = [0] * erase_blocks
+        self._program_counts = [0] * erase_blocks
+        self._mode = ChipMode.READ_ARRAY
+        self._pending_erase_block: Optional[int] = None
+        self._status_ready = True
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def block_of(self, address: int) -> int:
+        """Return the erase block containing byte ``address``."""
+        self._check_address(address)
+        return address // self.block_bytes
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.chip_bytes:
+            raise AddressError(f"byte address {address} out of range "
+                               f"(chip is {self.chip_bytes} bytes)")
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.erase_blocks:
+            raise AddressError(f"block {block} out of range "
+                               f"(chip has {self.erase_blocks} blocks)")
+
+    # ------------------------------------------------------------------
+    # Array access
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> ChipMode:
+        return self._mode
+
+    def read(self, address: int) -> int:
+        """Read one byte.
+
+        Reads are only defined in read-array mode; during an erase the
+        caller must first suspend the operation (Section 2: commands exist
+        for "suspending long operations").
+        """
+        self._check_address(address)
+        if self._mode is ChipMode.ERASE:
+            raise EraseError("chip busy erasing; suspend the erase to read")
+        if self._mode is ChipMode.ERASE_SUSPENDED:
+            block = self._pending_erase_block
+            if block is not None and self.block_of(address) == block:
+                raise EraseError("cannot read from the block being erased")
+        return self._cells[address]
+
+    def command(self, value: int) -> None:
+        """Write a command byte to the Command User Interface."""
+        try:
+            cmd = Command(value)
+        except ValueError as exc:
+            raise FlashCommandError(value) from exc
+        if cmd is Command.READ_ARRAY:
+            self._mode = ChipMode.READ_ARRAY
+        elif cmd is Command.PROGRAM_SETUP:
+            self._mode = ChipMode.PROGRAM
+        elif cmd is Command.ERASE_SETUP:
+            self._mode = ChipMode.ERASE
+        elif cmd is Command.READ_STATUS:
+            self._mode = ChipMode.STATUS
+        elif cmd is Command.CLEAR_STATUS:
+            self._status_ready = True
+            self._mode = ChipMode.READ_ARRAY
+
+    # ------------------------------------------------------------------
+    # Program / erase
+    # ------------------------------------------------------------------
+
+    def program(self, address: int, value: int) -> int:
+        """Program one byte; returns the operation time in nanoseconds.
+
+        Programming can only clear bits (1 -> 0).  Writing a value that
+        would set any currently-cleared bit raises :class:`ProgramError`;
+        this is exactly the constraint that forces the copy-on-write
+        design of Section 3.1.
+        """
+        self._check_address(address)
+        if not 0 <= value <= 0xFF:
+            raise ValueError("value must be a byte")
+        current = self._cells[address]
+        if value & ~current:
+            raise ProgramError(
+                f"cannot program byte at {address}: 0x{current:02x} -> "
+                f"0x{value:02x} would set bits; erase the block first")
+        self._cells[address] = value
+        block = address // self.block_bytes
+        self._program_counts[block] += 1
+        return self.program_time_ns(block)
+
+    def erase_block(self, block: int) -> int:
+        """Erase a block to all 0xFF; returns the time in nanoseconds."""
+        self._check_block(block)
+        start = block * self.block_bytes
+        self._cells[start:start + self.block_bytes] = (
+            bytes([ERASED_BYTE]) * self.block_bytes)
+        self._erase_counts[block] += 1
+        self._mode = ChipMode.READ_ARRAY
+        return self.erase_time_ns(block)
+
+    def begin_erase(self, block: int) -> None:
+        """Start a suspendable erase (completed by :meth:`finish_erase`)."""
+        self._check_block(block)
+        if self._pending_erase_block is not None:
+            raise EraseError("an erase is already in progress")
+        self._pending_erase_block = block
+        self._mode = ChipMode.ERASE
+
+    def suspend_erase(self) -> None:
+        if self._pending_erase_block is None:
+            raise EraseError("no erase in progress to suspend")
+        self._mode = ChipMode.ERASE_SUSPENDED
+
+    def resume_erase(self) -> None:
+        if self._pending_erase_block is None:
+            raise EraseError("no erase in progress to resume")
+        self._mode = ChipMode.ERASE
+
+    def finish_erase(self) -> int:
+        """Complete the pending erase; returns the time in nanoseconds."""
+        block = self._pending_erase_block
+        if block is None:
+            raise EraseError("no erase in progress to finish")
+        self._pending_erase_block = None
+        return self.erase_block(block)
+
+    # ------------------------------------------------------------------
+    # Wear and timing
+    # ------------------------------------------------------------------
+
+    def erase_count(self, block: int) -> int:
+        self._check_block(block)
+        return self._erase_counts[block]
+
+    def program_count(self, block: int) -> int:
+        self._check_block(block)
+        return self._program_counts[block]
+
+    def cycles_used(self, block: int) -> int:
+        """Program/erase cycles consumed by ``block`` (max of the two)."""
+        self._check_block(block)
+        return max(self._erase_counts[block], 0)
+
+    def within_endurance(self, block: int) -> bool:
+        return self.cycles_used(block) <= self.endurance_cycles
+
+    def _degraded(self, nominal_ns: int, block: int) -> int:
+        cycles = self._erase_counts[block]
+        factor = 1.0 + self.degradation_per_cycle * cycles
+        return int(nominal_ns * factor)
+
+    def program_time_ns(self, block: int) -> int:
+        """Current program time for bytes in ``block``, including wear."""
+        return self._degraded(self.nominal_program_ns, block)
+
+    def erase_time_ns(self, block: int) -> int:
+        """Current erase time for ``block``, including wear."""
+        return self._degraded(self.nominal_erase_ns, block)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlashChip({self.chip_bytes} bytes, "
+                f"{self.erase_blocks} blocks)")
+
+
+class FlashCommandError(ProgramError):
+    """Raised for an unrecognised CUI command byte."""
+
+    def __init__(self, value: int) -> None:
+        super().__init__(f"unknown flash command 0x{value:02x}")
+        self.value = value

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Flash substrate."""
+
+__all__ = [
+    "FlashError",
+    "ProgramError",
+    "EraseError",
+    "AddressError",
+    "EnduranceExceeded",
+]
+
+
+class FlashError(Exception):
+    """Base class for all Flash device errors."""
+
+
+class ProgramError(FlashError):
+    """Raised when a program operation violates write-once semantics.
+
+    Flash cells can only be cleared (1 -> 0) by programming; restoring a
+    bit to 1 requires erasing the whole block (Section 2).
+    """
+
+
+class EraseError(FlashError):
+    """Raised when an erase targets an invalid or busy block."""
+
+
+class AddressError(FlashError, IndexError):
+    """Raised for out-of-range chip, block, page or byte addresses."""
+
+
+class EnduranceExceeded(FlashError):
+    """Raised when a block is cycled past its guaranteed endurance.
+
+    The paper notes (Section 2) that real parts usually keep working far
+    past the rated cycle count — the "failure" is only that operations may
+    exceed their specified time — so raising is optional; by default the
+    model records the overshoot and keeps going.
+    """

@@ -1,0 +1,12 @@
+"""Backwards compatibility: RAM-disk block device + small filesystem."""
+
+from .blockdev import BlockDevice, BlockDeviceError
+from .fs import DirEntry, FileSystem, FileSystemError
+
+__all__ = [
+    "BlockDevice",
+    "BlockDeviceError",
+    "FileSystem",
+    "FileSystemError",
+    "DirEntry",
+]

@@ -1,0 +1,94 @@
+"""RAM-disk block device over eNVy's linear memory (Section 1).
+
+"For backwards compatibility, a simple RAM disk program can make a
+memory array usable by a standard file system."  This adapter presents
+the word-addressable eNVy space as a classic block device — fixed-size
+sectors, read/write by block number — so unmodified block-oriented
+software (like the small filesystem in :mod:`repro.ramdisk.fs`) can run
+on top.
+
+It also illustrates the paper's efficiency argument in reverse: every
+single-byte update through the block interface costs a full sector
+read-modify-write, the overhead eNVy's memory-mapped interface removes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BlockDevice", "BlockDeviceError"]
+
+
+class BlockDeviceError(Exception):
+    """Raised for out-of-range or missized block operations."""
+
+
+class BlockDevice:
+    """Fixed-size-sector view of a byte-addressable memory."""
+
+    def __init__(self, memory, block_bytes: int = 512,
+                 offset: int = 0, num_blocks: int = None) -> None:
+        """``memory`` is an EnvySystem (or anything with read/write).
+
+        ``offset``/``num_blocks`` carve the device out of a region of
+        the address space, so a block device can coexist with memory-
+        mapped data structures in the same array.
+        """
+        if block_bytes <= 0:
+            raise ValueError("block size must be positive")
+        self.memory = memory
+        self.block_bytes = block_bytes
+        self.offset = offset
+        if num_blocks is None:
+            if not hasattr(memory, "size_bytes"):
+                raise ValueError("num_blocks required when the memory "
+                                 "does not report its size")
+            num_blocks = (memory.size_bytes - offset) // block_bytes
+        if num_blocks <= 0:
+            raise ValueError("device needs at least one block")
+        self.num_blocks = num_blocks
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_blocks * self.block_bytes
+
+    def _address(self, block: int) -> int:
+        if not 0 <= block < self.num_blocks:
+            raise BlockDeviceError(
+                f"block {block} out of range (device has "
+                f"{self.num_blocks} blocks)")
+        return self.offset + block * self.block_bytes
+
+    # ------------------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        """Read one whole sector."""
+        self.reads += 1
+        return self.memory.read(self._address(block), self.block_bytes)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        """Write one whole sector (must be exactly one block long)."""
+        if len(data) != self.block_bytes:
+            raise BlockDeviceError(
+                f"write must be exactly {self.block_bytes} bytes, "
+                f"got {len(data)}")
+        self.writes += 1
+        self.memory.write(self._address(block), data)
+
+    def update_bytes(self, block: int, offset: int, data: bytes) -> None:
+        """Partial-sector update via read-modify-write.
+
+        This is what a block interface forces on small updates — the
+        overhead the paper's memory-mapped interface exists to avoid.
+        """
+        if offset < 0 or offset + len(data) > self.block_bytes:
+            raise BlockDeviceError("update does not fit in the block")
+        sector = bytearray(self.read_block(block))
+        sector[offset:offset + len(data)] = data
+        self.write_block(block, bytes(sector))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BlockDevice({self.num_blocks} x {self.block_bytes} B "
+                f"at +{self.offset})")

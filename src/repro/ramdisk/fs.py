@@ -1,0 +1,273 @@
+"""A small FAT-style filesystem on the RAM-disk block device.
+
+Demonstrates the paper's backwards-compatibility path end to end: a
+"standard" block filesystem running unmodified on eNVy through the
+RAM-disk adapter, with persistence provided by the Flash array
+underneath.
+
+On-disk format (all little-endian):
+
+* Block 0 — superblock: magic, block size, total blocks, FAT start/len,
+  root directory block, data region start.
+* FAT — one 32-bit entry per data block: 0 = free, 0xFFFFFFFF = end of
+  chain, else the next block in the file's chain.
+* Root directory — a single block of fixed 64-byte entries: name (48),
+  size (4), first block (4), flags (1), padding.
+* Data region — file contents in FAT-chained blocks.
+
+Deliberately minimal (flat namespace, one directory block) but a real
+filesystem: files are created, extended block by block, truncated,
+deleted, and survive power cycles.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from .blockdev import BlockDevice
+
+__all__ = ["FileSystem", "FileSystemError", "DirEntry"]
+
+MAGIC = b"eNVyFS1\x00"
+FAT_FREE = 0
+FAT_END = 0xFFFFFFFF
+NAME_BYTES = 48
+DIRENT = struct.Struct(f"<{NAME_BYTES}sIIB7x")
+SUPER = struct.Struct("<8sIIIIII")
+
+
+class FileSystemError(Exception):
+    """Raised for filesystem-level failures (no space, missing file...)."""
+
+
+class DirEntry:
+    """One root-directory entry."""
+
+    __slots__ = ("name", "size", "first_block", "used")
+
+    def __init__(self, name: str, size: int, first_block: int,
+                 used: bool) -> None:
+        self.name = name
+        self.size = size
+        self.first_block = first_block
+        self.used = used
+
+    def pack(self) -> bytes:
+        raw_name = self.name.encode("utf-8")[:NAME_BYTES]
+        return DIRENT.pack(raw_name, self.size, self.first_block,
+                           1 if self.used else 0)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "DirEntry":
+        raw_name, size, first_block, flags = DIRENT.unpack(raw)
+        name = raw_name.rstrip(b"\x00").decode("utf-8", "replace")
+        return cls(name, size, first_block, bool(flags & 1))
+
+
+class FileSystem:
+    """Flat FAT filesystem over a :class:`BlockDevice`."""
+
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+        self.block_bytes = device.block_bytes
+        self._fat: List[int] = []
+        self._loaded = False
+        # Geometry (set by format/mount).
+        self.fat_start = 1
+        self.fat_blocks = 0
+        self.root_block = 0
+        self.data_start = 0
+
+    # ------------------------------------------------------------------
+    # Format / mount
+    # ------------------------------------------------------------------
+
+    def format(self) -> None:
+        """Create a fresh, empty filesystem on the device."""
+        total = self.device.num_blocks
+        if total < 8:
+            raise FileSystemError("device too small for a filesystem")
+        entries_per_block = self.block_bytes // 4
+        # Solve for a FAT that covers the data region.
+        fat_blocks = 1
+        while True:
+            data_start = 1 + fat_blocks + 1  # super + FAT + root dir
+            data_blocks = total - data_start
+            if data_blocks <= fat_blocks * entries_per_block:
+                break
+            fat_blocks += 1
+        self.fat_blocks = fat_blocks
+        self.root_block = 1 + fat_blocks
+        self.data_start = self.root_block + 1
+        super_block = SUPER.pack(MAGIC, self.block_bytes, total,
+                                 self.fat_start, fat_blocks,
+                                 self.root_block, self.data_start)
+        self.device.write_block(0, super_block.ljust(self.block_bytes,
+                                                     b"\x00"))
+        self._fat = [FAT_FREE] * (total - self.data_start)
+        self._write_fat()
+        self.device.write_block(self.root_block, b"\x00" * self.block_bytes)
+        self._loaded = True
+
+    def mount(self) -> None:
+        """Attach to an existing filesystem (e.g. after a power cycle)."""
+        raw = self.device.read_block(0)
+        magic, block_bytes, total, fat_start, fat_blocks, root, data = \
+            SUPER.unpack_from(raw)
+        if magic != MAGIC:
+            raise FileSystemError("no filesystem found (bad magic)")
+        if block_bytes != self.block_bytes:
+            raise FileSystemError("block size mismatch")
+        self.fat_start = fat_start
+        self.fat_blocks = fat_blocks
+        self.root_block = root
+        self.data_start = data
+        self._fat = []
+        for index in range(fat_blocks):
+            raw = self.device.read_block(fat_start + index)
+            self._fat.extend(struct.unpack(f"<{len(raw) // 4}I", raw))
+        self._fat = self._fat[: total - data]
+        self._loaded = True
+
+    def _write_fat(self) -> None:
+        entries_per_block = self.block_bytes // 4
+        padded = self._fat + [FAT_FREE] * (
+            self.fat_blocks * entries_per_block - len(self._fat))
+        for index in range(self.fat_blocks):
+            chunk = padded[index * entries_per_block:
+                           (index + 1) * entries_per_block]
+            self.device.write_block(
+                self.fat_start + index,
+                struct.pack(f"<{len(chunk)}I", *chunk))
+
+    def _require_mounted(self) -> None:
+        if not self._loaded:
+            raise FileSystemError("filesystem not formatted or mounted")
+
+    # ------------------------------------------------------------------
+    # Directory
+    # ------------------------------------------------------------------
+
+    @property
+    def _entries_per_dir(self) -> int:
+        return self.block_bytes // DIRENT.size
+
+    def _read_dir(self) -> List[DirEntry]:
+        raw = self.device.read_block(self.root_block)
+        return [DirEntry.unpack(raw[i * DIRENT.size:(i + 1) * DIRENT.size])
+                for i in range(self._entries_per_dir)]
+
+    def _write_dir(self, entries: List[DirEntry]) -> None:
+        raw = b"".join(entry.pack() for entry in entries)
+        self.device.write_block(self.root_block,
+                                raw.ljust(self.block_bytes, b"\x00"))
+
+    def _find(self, name: str) -> Optional[int]:
+        for index, entry in enumerate(self._read_dir()):
+            if entry.used and entry.name == name:
+                return index
+        return None
+
+    def list_files(self) -> List[str]:
+        self._require_mounted()
+        return [e.name for e in self._read_dir() if e.used]
+
+    def stat(self, name: str) -> DirEntry:
+        self._require_mounted()
+        index = self._find(name)
+        if index is None:
+            raise FileSystemError(f"no such file: {name!r}")
+        return self._read_dir()[index]
+
+    # ------------------------------------------------------------------
+    # Block allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_chain(self, count: int) -> List[int]:
+        free = [i for i, v in enumerate(self._fat) if v == FAT_FREE]
+        if len(free) < count:
+            raise FileSystemError(
+                f"out of space: need {count} blocks, {len(free)} free")
+        chain = free[:count]
+        # Store links as "next data-block index + 1" so 0 stays FREE.
+        for here, there in zip(chain, chain[1:]):
+            self._fat[here] = there + 1
+        if chain:
+            self._fat[chain[-1]] = FAT_END
+        return chain
+
+    def _chain_of(self, first_block: int) -> List[int]:
+        chain = []
+        here = first_block
+        seen = set()
+        while here != FAT_END:
+            if here in seen or not 0 <= here < len(self._fat):
+                raise FileSystemError("corrupt FAT chain")
+            seen.add(here)
+            chain.append(here)
+            nxt = self._fat[here]
+            if nxt == FAT_END:
+                break
+            if nxt == FAT_FREE:
+                raise FileSystemError("chain runs into a free block")
+            here = nxt - 1
+        return chain
+
+    def free_blocks(self) -> int:
+        self._require_mounted()
+        return sum(1 for v in self._fat if v == FAT_FREE)
+
+    # ------------------------------------------------------------------
+    # Files
+    # ------------------------------------------------------------------
+
+    def write_file(self, name: str, data: bytes) -> None:
+        """Create or replace a file with ``data``."""
+        self._require_mounted()
+        if not name or len(name.encode("utf-8")) > NAME_BYTES:
+            raise FileSystemError(f"bad file name: {name!r}")
+        if self._find(name) is not None:
+            self.delete(name)
+        blocks_needed = max(1, -(-len(data) // self.block_bytes))
+        chain = self._allocate_chain(blocks_needed)
+        for index, block in enumerate(chain):
+            chunk = data[index * self.block_bytes:
+                         (index + 1) * self.block_bytes]
+            self.device.write_block(self.data_start + block,
+                                    chunk.ljust(self.block_bytes, b"\x00"))
+        entries = self._read_dir()
+        for slot, entry in enumerate(entries):
+            if not entry.used:
+                entries[slot] = DirEntry(name, len(data), chain[0], True)
+                break
+        else:
+            for block in chain:
+                self._fat[block] = FAT_FREE
+            raise FileSystemError("root directory is full")
+        self._write_fat()
+        self._write_dir(entries)
+
+    def read_file(self, name: str) -> bytes:
+        self._require_mounted()
+        entry = self.stat(name)
+        pieces = []
+        for block in self._chain_of(entry.first_block):
+            pieces.append(self.device.read_block(self.data_start + block))
+        return b"".join(pieces)[: entry.size]
+
+    def delete(self, name: str) -> None:
+        self._require_mounted()
+        index = self._find(name)
+        if index is None:
+            raise FileSystemError(f"no such file: {name!r}")
+        entries = self._read_dir()
+        for block in self._chain_of(entries[index].first_block):
+            self._fat[block] = FAT_FREE
+        entries[index] = DirEntry("", 0, 0, False)
+        self._write_fat()
+        self._write_dir(entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "mounted" if self._loaded else "unmounted"
+        return f"FileSystem({state}, {self.device!r})"

@@ -1,0 +1,136 @@
+"""The logical-to-physical page table (Section 3.3).
+
+The table maps the linear logical address space presented to the host onto
+either a Flash location ``(segment, page)`` or an SRAM write-buffer slot.
+It lives in battery-backed SRAM because mappings change frequently and
+in place, and because losing it would orphan every page in the array.
+
+Updating a mapping is the commit point of the copy-on-write: "Since
+changes do not become visible until the page table is updated, the entire
+copy-on-write appears to be done as a single atomic operation."
+
+Entries are 6 bytes at paper scale, so a 2 GB array needs 48 MB of SRAM —
+a deliberate trade against page size analysed in Section 3.3 and exposed
+here through :meth:`PageTable.sram_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["Location", "PageTable"]
+
+#: Marker for the medium a logical page currently lives on.
+FLASH = "flash"
+SRAM = "sram"
+
+
+class Location(Tuple[str, int, int]):
+    """Where a logical page lives: ``(medium, a, b)``.
+
+    * ``("flash", segment, page)`` — the live copy is in the Flash array.
+    * ``("sram", slot_key, 0)``    — the live copy is in the write buffer.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, medium: str, a: int, b: int = 0) -> "Location":
+        return super().__new__(cls, (medium, a, b))
+
+    @property
+    def medium(self) -> str:
+        return self[0]
+
+    @property
+    def in_flash(self) -> bool:
+        return self[0] == FLASH
+
+    @property
+    def in_sram(self) -> bool:
+        return self[0] == SRAM
+
+    @property
+    def segment(self) -> int:
+        if self[0] != FLASH:
+            raise ValueError("location is not in flash")
+        return self[1]
+
+    @property
+    def page(self) -> int:
+        if self[0] != FLASH:
+            raise ValueError("location is not in flash")
+        return self[2]
+
+    @property
+    def slot(self) -> int:
+        if self[0] != SRAM:
+            raise ValueError("location is not in sram")
+        return self[1]
+
+    @classmethod
+    def flash(cls, segment: int, page: int) -> "Location":
+        return cls(FLASH, segment, page)
+
+    @classmethod
+    def sram(cls, slot: int) -> "Location":
+        return cls(SRAM, slot)
+
+
+class PageTable:
+    """Dense logical-to-physical map kept in battery-backed SRAM."""
+
+    def __init__(self, num_logical_pages: int,
+                 entry_bytes: int = 6, read_ns: int = 100,
+                 write_ns: int = 100) -> None:
+        if num_logical_pages <= 0:
+            raise ValueError("page table needs at least one page")
+        self.num_logical_pages = num_logical_pages
+        self.entry_bytes = entry_bytes
+        self.read_ns = read_ns
+        self.write_ns = write_ns
+        self._entries: List[Optional[Location]] = [None] * num_logical_pages
+        #: Lifetime counters for the metrics module.
+        self.lookups = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+
+    def _check(self, logical_page: int) -> None:
+        if not 0 <= logical_page < self.num_logical_pages:
+            raise IndexError(
+                f"logical page {logical_page} out of range "
+                f"(table covers {self.num_logical_pages} pages)")
+
+    def lookup(self, logical_page: int) -> Optional[Location]:
+        """Translate a logical page; None if it was never written."""
+        self._check(logical_page)
+        self.lookups += 1
+        return self._entries[logical_page]
+
+    def update(self, logical_page: int, location: Location) -> None:
+        """Atomically repoint a logical page at a new physical location."""
+        self._check(logical_page)
+        self.updates += 1
+        self._entries[logical_page] = location
+
+    def clear(self, logical_page: int) -> None:
+        """Unmap a logical page (used by the trim/deallocate extension)."""
+        self._check(logical_page)
+        self.updates += 1
+        self._entries[logical_page] = None
+
+    def is_mapped(self, logical_page: int) -> bool:
+        self._check(logical_page)
+        return self._entries[logical_page] is not None
+
+    def mapped_count(self) -> int:
+        return sum(1 for e in self._entries if e is not None)
+
+    @property
+    def sram_bytes(self) -> int:
+        """Battery-backed SRAM consumed by the table (6 B per entry)."""
+        return self.num_logical_pages * self.entry_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PageTable({self.num_logical_pages} pages, "
+                f"{self.sram_bytes} B of SRAM)")

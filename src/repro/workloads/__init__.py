@@ -1,0 +1,27 @@
+"""Workload generators: uniform, bimodal hot/cold, Zipf, TPC-A, traces."""
+
+from .base import WriteWorkload
+from .bimodal import BimodalWorkload, parse_locality
+from .mixture import MixtureWorkload
+from .sequential import SequentialWorkload, StridedWorkload
+from .timed import SyntheticTimedWorkload
+from .tpca import TpcaTransaction, TpcaWorkload
+from .trace import TraceRecorder, TraceWorkload
+from .uniform import UniformWorkload
+from .zipf import ZipfWorkload
+
+__all__ = [
+    "WriteWorkload",
+    "UniformWorkload",
+    "BimodalWorkload",
+    "SequentialWorkload",
+    "StridedWorkload",
+    "MixtureWorkload",
+    "ZipfWorkload",
+    "TraceWorkload",
+    "TraceRecorder",
+    "TpcaWorkload",
+    "TpcaTransaction",
+    "SyntheticTimedWorkload",
+    "parse_locality",
+]

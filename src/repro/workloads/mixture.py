@@ -1,0 +1,53 @@
+"""Composing workloads: weighted mixtures.
+
+Real write streams are blends — a mostly-random OLTP stream with a
+sequential logging component, say.  ``MixtureWorkload`` draws each
+reference from one of several component workloads with given weights,
+so any of the library's generators (uniform, bimodal, Zipf, sequential,
+traces) compose into richer patterns for policy studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from .base import WriteWorkload
+
+__all__ = ["MixtureWorkload"]
+
+
+class MixtureWorkload(WriteWorkload):
+    """Draws each reference from a weighted choice of components."""
+
+    def __init__(self,
+                 components: Sequence[Tuple[WriteWorkload, float]],
+                 seed: Optional[int] = None) -> None:
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        sizes = {workload.num_pages for workload, _ in components}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"components must cover the same page space, got {sizes}")
+        if any(weight <= 0 for _, weight in components):
+            raise ValueError("weights must be positive")
+        super().__init__(sizes.pop(), seed)
+        total = sum(weight for _, weight in components)
+        self.components: List[WriteWorkload] = [w for w, _ in components]
+        self._cumulative = list(itertools.accumulate(
+            weight / total for _, weight in components))
+        self.label = "mix(" + "+".join(
+            f"{weight / total:.0%} {workload.label}"
+            for workload, weight in components) + ")"
+
+    def next_page(self) -> int:
+        point = self.rng.random()
+        for index, bound in enumerate(self._cumulative):
+            if point <= bound:
+                return self.components[index].next_page()
+        return self.components[-1].next_page()
+
+    def reset(self) -> None:
+        super().reset()
+        for component in self.components:
+            component.reset()

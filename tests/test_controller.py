@@ -1,0 +1,228 @@
+"""Tests for the eNVy controller: the linear non-volatile memory API."""
+
+import random
+
+import pytest
+
+from repro.cleaning import make_policy
+from repro.core import EnvyConfig, EnvySystem
+
+
+def small_system(policy="hybrid", segments=8, pages=32, **overrides):
+    config = EnvyConfig.small(num_segments=segments,
+                              pages_per_segment=pages,
+                              cleaning_policy=policy, **overrides)
+    return EnvySystem(config)
+
+
+@pytest.fixture
+def system():
+    return small_system()
+
+
+class TestBasicReadWrite:
+    def test_fresh_memory_reads_zero(self, system):
+        assert system.read(0, 16) == bytes(16)
+        assert system.read(system.size_bytes - 4, 4) == bytes(4)
+
+    def test_write_then_read(self, system):
+        system.write(10, b"abcdef")
+        assert system.read(10, 6) == b"abcdef"
+
+    def test_write_spanning_pages(self, system):
+        page = system.config.page_bytes
+        data = bytes(range(256))[: page // 2] * 3
+        system.write(page - 100, data)
+        assert system.read(page - 100, len(data)) == data
+
+    def test_partial_page_write_preserves_rest(self, system):
+        system.write(0, bytes([0xAA]) * 64)
+        system.write(16, b"\x55\x55")
+        expected = bytearray([0xAA]) * 64
+        expected[16:18] = b"\x55\x55"
+        assert system.read(0, 64) == bytes(expected)
+
+    def test_out_of_range_rejected(self, system):
+        with pytest.raises(IndexError):
+            system.read(system.size_bytes, 1)
+        with pytest.raises(IndexError):
+            system.write(system.size_bytes - 2, b"abc")
+        with pytest.raises(IndexError):
+            system.read(-1, 1)
+
+    def test_zero_length_read(self, system):
+        assert system.read(5, 0) == b""
+
+
+class TestLatencyModel:
+    def test_flash_read_is_160ns(self, system):
+        # 60 ns bus overhead + 100 ns Flash access (Section 5.1); the
+        # first access pays an MMU miss on top.
+        system.read(0, 4)
+        _, ns = system.read_timed(0, 4)
+        assert ns == 160
+
+    def test_mmu_miss_adds_table_read(self, system):
+        _, ns = system.read_timed(4096, 4)
+        assert ns == 260  # 60 + 100 page table + 100 flash
+
+    def test_buffered_write_is_160ns(self, system):
+        system.write(0, b"x")  # copy-on-write brings the page to SRAM
+        ns = system.write(1, b"y")  # same page: plain SRAM update
+        assert ns == 160
+
+    def test_copy_on_write_is_260ns(self, system):
+        system.read(0, 1)  # warm the MMU entry
+        ns = system.write(0, b"x")
+        assert ns == 260  # 60 + 100 wide copy + 100 SRAM write
+
+    def test_buffered_read_costs_sram_latency(self, system):
+        system.write(0, b"x")
+        _, ns = system.read_timed(0, 1)
+        assert ns == 160
+
+
+class TestCopyOnWrite:
+    def test_write_moves_page_to_buffer(self, system):
+        page = 3
+        address = page * system.config.page_bytes
+        system.write(address, b"data")
+        assert page in system.buffer
+        location = system.page_table.lookup(page)
+        assert location.in_sram
+
+    def test_coalescing_no_second_cow(self, system):
+        system.write(0, b"a")
+        cows = system.metrics.copy_on_writes
+        system.write(1, b"b")
+        assert system.metrics.copy_on_writes == cows
+        assert system.metrics.buffer_hits == 1
+
+    def test_cow_preserves_unwritten_bytes(self, system):
+        system.write(0, bytes([1] * system.config.page_bytes))
+        system.drain()  # page back to flash
+        system.write(5, b"\x09")  # copy-on-write again
+        data = system.read(0, 10)
+        assert data == bytes([1, 1, 1, 1, 1, 9, 1, 1, 1, 1])
+
+    def test_flush_returns_page_to_flash(self, system):
+        system.write(0, b"hello")
+        system.drain()
+        assert 0 not in system.buffer
+        assert system.page_table.lookup(0).in_flash
+        assert system.read(0, 5) == b"hello"
+
+
+class TestBackgroundWork:
+    def test_background_work_respects_threshold(self, system):
+        threshold = system.buffer.threshold_pages
+        page_bytes = system.config.page_bytes
+        for page in range(threshold + 3):
+            system.write(page * page_bytes, b"x")
+        done = system.background_work(10 ** 12)
+        assert done > 0
+        assert not system.buffer.over_threshold
+
+    def test_background_work_budget_limits(self, system):
+        page_bytes = system.config.page_bytes
+        for page in range(system.buffer.threshold_pages + 5):
+            system.write(page * page_bytes, b"x")
+        done = system.background_work(1)  # lets exactly one flush through
+        assert done >= system.config.flash.program_ns
+
+    def test_drain_empties_buffer(self, system):
+        for page in range(5):
+            system.write(page * system.config.page_bytes, b"x")
+        system.drain()
+        assert len(system.buffer) == 0
+
+
+class TestDurability:
+    def test_data_survives_cleaning_pressure(self):
+        system = small_system(segments=8, pages=16)
+        rng = random.Random(1)
+        shadow = {}
+        for _ in range(4000):
+            address = rng.randrange(system.size_bytes - 8) & ~7
+            value = rng.randrange(2 ** 32).to_bytes(8, "little")
+            system.write(address, value)
+            shadow[address] = value
+        for address, value in shadow.items():
+            assert system.read(address, 8) == value, hex(address)
+        assert system.metrics.erases > 0  # cleaning actually happened
+        system.check_consistency()
+
+    def test_power_cycle_preserves_buffered_data(self, system):
+        system.write(40, b"buffered!")
+        system.power_cycle()
+        assert system.read(40, 9) == b"buffered!"
+        system.check_consistency()
+
+    def test_power_cycle_preserves_flash_data(self, system):
+        system.write(40, b"flushed!")
+        system.drain()
+        system.power_cycle()
+        assert system.read(40, 8) == b"flushed!"
+
+    def test_mmu_cache_lost_on_power_cycle(self, system):
+        system.read(0, 1)
+        system.power_cycle()
+        _, ns = system.read_timed(0, 1)
+        assert ns == 260  # cold MMU pays the page-table read again
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["greedy", "fifo", "locality",
+                                        "hybrid"])
+    def test_all_policies_preserve_data(self, policy):
+        system = small_system(policy=policy)
+        rng = random.Random(2)
+        shadow = {}
+        for _ in range(2500):
+            address = rng.randrange(system.size_bytes - 4) & ~3
+            value = rng.randrange(2 ** 16).to_bytes(4, "little")
+            system.write(address, value)
+            shadow[address] = value
+        for address, value in shadow.items():
+            assert system.read(address, 4) == value
+        system.check_consistency()
+
+    def test_explicit_policy_object(self):
+        config = EnvyConfig.small(num_segments=8, pages_per_segment=32)
+        system = EnvySystem(config, policy=make_policy("greedy"))
+        assert system.policy.name == "greedy"
+
+
+class TestMetrics:
+    def test_counts_accumulate(self, system):
+        system.write(0, b"ab")
+        system.read(0, 2)
+        assert system.metrics.writes == 1
+        assert system.metrics.reads == 1
+        assert system.metrics.copy_on_writes == 1
+
+    def test_time_breakdown_covers_activities(self):
+        system = small_system(segments=8, pages=16)
+        rng = random.Random(3)
+        for _ in range(3000):
+            system.write(rng.randrange(system.size_bytes - 4), b"abcd")
+        breakdown = system.metrics.time_breakdown()
+        assert {"flush", "clean", "erase"} <= set(breakdown)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_cleaning_cost_reported(self):
+        system = small_system(segments=8, pages=16)
+        rng = random.Random(4)
+        for _ in range(3000):
+            system.write(rng.randrange(system.size_bytes - 4), b"abcd")
+        assert system.metrics.cleaning_cost > 0
+
+
+class TestStatelessMode:
+    def test_stateless_controller_tracks_placement_only(self):
+        config = EnvyConfig.small(num_segments=8, pages_per_segment=32)
+        system = EnvySystem(config, store_data=False)
+        ns = system.write(0, b"data")
+        assert ns > 0
+        assert system.read(0, 4) == bytes(4)  # no payloads kept
+        system.check_consistency()

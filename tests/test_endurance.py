@@ -1,0 +1,110 @@
+"""Tests for the Section 2 endurance/degradation model."""
+
+import math
+
+import pytest
+
+from repro.core import EnvyConfig
+from repro.flash.endurance import (ERASE_SPEC_NS, PROGRAM_SPEC_NS,
+                                   ArrayAging, DegradationCurve,
+                                   paper_anecdote_check)
+
+
+@pytest.fixture
+def curve():
+    return DegradationCurve(4000, PROGRAM_SPEC_NS)
+
+
+class TestDegradationCurve:
+    def test_fresh_chip_is_nominal(self, curve):
+        assert curve.time_at(0) == 4000
+
+    def test_monotone_degradation(self, curve):
+        times = [curve.time_at(c) for c in (0, 10 ** 4, 10 ** 6, 10 ** 8)]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_anecdote_margin(self, curve):
+        # Section 2: ~4 us after 2 million cycles, limit 250 us.
+        at_2m = curve.time_at(2_000_000)
+        assert at_2m < 6000  # still within ~1.5x of nominal
+        assert at_2m < PROGRAM_SPEC_NS / 10
+
+    def test_spec_failure_far_beyond_rating(self, curve):
+        # The anecdote chip was rated 10,000 cycles and did 200x that.
+        assert curve.margin_over_rating(10_000) > 100
+
+    def test_spec_failure_inverts_time_at(self, curve):
+        cycles = curve.spec_failure_cycles()
+        assert curve.time_at(cycles) <= PROGRAM_SPEC_NS * 1.01
+        assert curve.time_at(int(cycles * 1.2)) > PROGRAM_SPEC_NS
+
+    def test_degenerate_spec_limit(self):
+        curve = DegradationCurve(4000, 4000)
+        assert curve.spec_failure_cycles() == 0
+
+    def test_rejects_negative_cycles(self, curve):
+        with pytest.raises(ValueError):
+            curve.time_at(-1)
+
+    def test_rejects_bad_rating(self, curve):
+        with pytest.raises(ValueError):
+            curve.margin_over_rating(0)
+
+    def test_anecdote_check_keys(self):
+        result = paper_anecdote_check()
+        assert result["spec_limit_ns"] == PROGRAM_SPEC_NS
+        assert result["modelled_at_2M_cycles_ns"] < 8000
+
+
+@pytest.fixture
+def aging():
+    return ArrayAging(EnvyConfig.paper(), page_flush_rate=10_376,
+                      cleaning_cost=1.97)
+
+
+class TestArrayAging:
+    def test_rated_life_matches_section_5_5(self, aging):
+        # The wear arithmetic must agree with the lifetime model.
+        assert aging.rated_life_years() == pytest.approx(8.63, rel=0.01)
+
+    def test_even_wear_assumption(self, aging):
+        # cycles/segment/year x segments x pages = total programs/year.
+        programs_per_year = (aging.page_flush_rate * (1 + 1.97)
+                             * 86_400 * 365.25)
+        implied = (aging.cycles_per_segment_per_year()
+                   * aging.config.flash.num_segments
+                   * aging.config.pages_per_segment)
+        assert implied == pytest.approx(programs_per_year, rel=0.01)
+
+    def test_program_time_grows_with_age(self, aging):
+        assert aging.program_time_after_years(20) > \
+            aging.program_time_after_years(1)
+
+    def test_spec_failure_long_after_rated_life(self, aging):
+        # Section 2's margins mean the "spec failure" horizon dwarfs the
+        # rated-cycle lifetime.
+        assert aging.spec_failure_years() > 10 * aging.rated_life_years()
+
+    def test_throughput_decays_mildly_within_rated_life(self, aging):
+        fresh = aging.throughput_decay(0, 30_000)
+        end_of_life = aging.throughput_decay(aging.rated_life_years(),
+                                             30_000)
+        assert fresh == pytest.approx(30_000)
+        assert 0.90 * fresh < end_of_life < fresh
+
+    def test_reads_never_degrade(self, aging):
+        # Only the flash-management share slows down: at a fixed light
+        # load the read path is constant, so even extreme age cannot
+        # push throughput below the read-bound share.
+        ancient = aging.throughput_decay(500, 30_000)
+        assert ancient > 5_000
+
+    def test_idle_array_lives_forever(self):
+        idle = ArrayAging(EnvyConfig.paper(), page_flush_rate=0,
+                          cleaning_cost=0)
+        assert math.isinf(idle.rated_life_years())
+        assert math.isinf(idle.spec_failure_years())
+
+    def test_erase_curve_has_its_own_spec(self, aging):
+        assert aging.erase_curve.spec_limit_ns == ERASE_SPEC_NS

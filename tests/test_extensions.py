@@ -1,0 +1,163 @@
+"""Tests for the Section 6 hardware extensions."""
+
+import random
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.ext import (ParallelFlushScheduler, TransactionError,
+                       TransactionManager)
+
+
+def small_system(**overrides):
+    return EnvySystem(EnvyConfig.small(num_segments=8, pages_per_segment=32,
+                                       **overrides))
+
+
+class TestTransactions:
+    def test_commit_keeps_writes(self):
+        system = small_system()
+        manager = TransactionManager(system)
+        with manager.transaction() as txn:
+            txn.write(0, b"new value")
+        assert system.read(0, 9) == b"new value"
+
+    def test_rollback_restores_flash_preimage(self):
+        system = small_system()
+        system.write(0, b"original")
+        system.drain()  # committed copy lives in Flash
+        manager = TransactionManager(system)
+        txn = manager.transaction()
+        txn.write(0, b"scratch!")
+        txn.rollback()
+        assert system.read(0, 8) == b"original"
+
+    def test_rollback_restores_buffered_preimage(self):
+        system = small_system()
+        system.write(0, b"buffered")  # committed copy still in SRAM
+        manager = TransactionManager(system)
+        txn = manager.transaction()
+        txn.write(0, b"scratch!")
+        txn.rollback()
+        assert system.read(0, 8) == b"buffered"
+
+    def test_exception_inside_context_rolls_back(self):
+        system = small_system()
+        system.write(16, b"keep me")
+        manager = TransactionManager(system)
+        with pytest.raises(RuntimeError):
+            with manager.transaction() as txn:
+                txn.write(16, b"discard")
+                raise RuntimeError("boom")
+        assert system.read(16, 7) == b"keep me"
+
+    def test_shadow_survives_cleaning(self):
+        # "the controller has to keep track of the location of the
+        # shadow copies and protect them from being cleaned."
+        system = small_system()
+        system.write(100, b"precious")
+        system.drain()
+        manager = TransactionManager(system)
+        txn = manager.transaction()
+        txn.write(100, b"scribble")
+        rng = random.Random(3)
+        for _ in range(6000):
+            system.write(rng.randrange(system.size_bytes - 8), b"x" * 8)
+        assert system.metrics.erases > 0
+        txn.rollback()
+        assert system.read(100, 8) == b"precious"
+
+    def test_multi_page_transaction(self):
+        system = small_system()
+        page = system.config.page_bytes
+        manager = TransactionManager(system)
+        txn = manager.transaction()
+        txn.write(page - 4, b"spans two pages")
+        assert txn.pages_shadowed == 2
+        txn.rollback()
+        assert system.read(page - 4, 15) == bytes(15)
+
+    def test_single_open_transaction(self):
+        manager = TransactionManager(small_system())
+        manager.transaction()
+        with pytest.raises(TransactionError):
+            manager.transaction()
+
+    def test_closed_transaction_rejects_operations(self):
+        manager = TransactionManager(small_system())
+        txn = manager.transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.write(0, b"late")
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_new_transaction_after_close(self):
+        manager = TransactionManager(small_system())
+        manager.transaction().commit()
+        txn = manager.transaction()
+        assert txn.state == "open"
+        txn.rollback()
+
+    def test_requires_data_bearing_controller(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32),
+                            store_data=False)
+        with pytest.raises(ValueError):
+            TransactionManager(system)
+
+
+class TestParallelFlush:
+    def pressured_system(self, partition_segments=4):
+        system = EnvySystem(EnvyConfig.small(
+            num_segments=32, pages_per_segment=64,
+            partition_segments=partition_segments))
+        rng = random.Random(1)
+        for _ in range(60):
+            system.write(rng.randrange(system.size_bytes - 8), b"y" * 8)
+        return system
+
+    def test_concurrency_divides_flush_time(self):
+        # Section 6: 4-8 concurrent programs -> flush drops 4us to <1us.
+        system = self.pressured_system()
+        scheduler = ParallelFlushScheduler(system, max_concurrency=8)
+        scheduler.drain(40)
+        assert scheduler.mean_flush_time_ns < 1000
+        assert scheduler.mean_batch_size > 4
+
+    def test_serial_baseline_is_program_time(self):
+        system = self.pressured_system()
+        scheduler = ParallelFlushScheduler(system, max_concurrency=1)
+        scheduler.drain(10)
+        assert scheduler.mean_flush_time_ns == \
+            system.config.flash.program_ns
+
+    def test_batches_use_distinct_banks(self):
+        system = self.pressured_system()
+        scheduler = ParallelFlushScheduler(system, max_concurrency=8)
+        batch = scheduler.flush_batch()
+        assert len(set(batch.banks)) == len(batch.banks)
+
+    def test_data_preserved_through_batched_flush(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=32,
+                                             pages_per_segment=64,
+                                             partition_segments=4))
+        page = system.config.page_bytes
+        for index in range(10):
+            system.write(index * 7 * page, bytes([index]) * 8)
+        scheduler = ParallelFlushScheduler(system, max_concurrency=8)
+        scheduler.drain(10)
+        for index in range(10):
+            assert system.read(index * 7 * page, 8) == bytes([index]) * 8
+        system.check_consistency()
+
+    def test_empty_buffer_rejected(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32))
+        scheduler = ParallelFlushScheduler(system)
+        with pytest.raises(RuntimeError):
+            scheduler.flush_batch()
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ValueError):
+            ParallelFlushScheduler(small_system(), max_concurrency=0)

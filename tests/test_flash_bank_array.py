@@ -1,0 +1,182 @@
+"""Tests for the bank (wide data path) and the full array."""
+
+import pytest
+
+from repro.core.config import FlashParams
+from repro.flash import AddressError, FlashArray, FlashBank, ProgramError
+
+
+@pytest.fixture
+def bank():
+    # 8 chips of 64 bytes with 4 blocks -> 4 segments of 16 pages, 8 B pages.
+    return FlashBank(num_chips=8, chip_bytes=64, erase_blocks_per_chip=4)
+
+
+class TestBank:
+    def test_geometry(self, bank):
+        assert bank.page_bytes == 8
+        assert bank.num_segments == 4
+        assert bank.pages_per_segment == 16
+
+    def test_page_round_trip(self, bank):
+        bank.program_page(0, 0, b"12345678")
+        assert bank.read_page(0, 0) == b"12345678"
+
+    def test_byte_i_lives_in_chip_i(self, bank):
+        bank.program_page(1, 2, bytes(range(8)))
+        for i in range(8):
+            assert bank.read_byte(1, 2, i) == i
+            assert bank.chips[i].read(1 * 16 + 2) == i
+
+    def test_parallel_program_takes_one_program_time(self, bank):
+        # Section 3.3: an entire page transfers in one memory cycle, and
+        # programs happen simultaneously across the bank's chips.
+        time_ns = bank.program_page(0, 0, b"abcdefgh")
+        assert time_ns == bank.chips[0].nominal_program_ns
+
+    def test_wrong_page_size_rejected(self, bank):
+        with pytest.raises(ValueError):
+            bank.program_page(0, 0, b"short")
+
+    def test_write_once_enforced_through_bank(self, bank):
+        bank.program_page(0, 0, bytes(8))
+        with pytest.raises(ProgramError):
+            bank.program_page(0, 0, b"\xff" * 8)
+
+    def test_erase_segment_erases_lockstep(self, bank):
+        bank.program_page(2, 0, bytes(8))
+        bank.erase_segment(2)
+        assert bank.read_page(2, 0) == b"\xff" * 8
+        assert bank.segment_erase_count(2) == 1
+        assert bank.segment_erase_count(0) == 0
+
+    def test_erase_is_parallel(self, bank):
+        assert bank.erase_segment(0) == bank.chips[0].nominal_erase_ns
+
+    def test_bad_addresses(self, bank):
+        with pytest.raises(AddressError):
+            bank.read_page(4, 0)
+        with pytest.raises(AddressError):
+            bank.read_page(0, 16)
+        with pytest.raises(AddressError):
+            bank.read_byte(0, 0, 8)
+        with pytest.raises(AddressError):
+            bank.erase_segment(5)
+
+
+@pytest.fixture
+def array():
+    params = FlashParams(chip_bytes=4096, chips_per_bank=4, num_banks=2,
+                         erase_blocks_per_chip=4)
+    return FlashArray(params, page_bytes=256)
+
+
+class TestArray:
+    def test_geometry(self, array):
+        # 4 KB chips x 4 chips = 16 KB/bank, 4 blocks -> 4 KB segments.
+        assert array.num_segments == 8
+        assert array.pages_per_segment == 16
+        assert array.total_pages == 128
+
+    def test_physical_address_round_trip(self, array):
+        for phys in (0, 17, 127):
+            seg, page = array.split_physical(phys)
+            assert array.join_physical(seg, page) == phys
+
+    def test_split_out_of_range(self, array):
+        with pytest.raises(AddressError):
+            array.split_physical(128)
+
+    def test_bank_of(self, array):
+        assert array.bank_of(0) == 0
+        assert array.bank_of(3) == 0
+        assert array.bank_of(4) == 1
+        with pytest.raises(AddressError):
+            array.bank_of(8)
+
+    def test_program_returns_page_and_time(self, array):
+        page, time_ns = array.program_page(0, bytes(256))
+        assert page == 0
+        assert time_ns == array.params.program_ns
+
+    def test_read_back_through_array(self, array):
+        data = bytes(range(256))
+        array.program_page(3, data)
+        assert array.read_page(3, 0) == data
+
+    def test_erase_segment_timing(self, array):
+        assert array.erase_segment(0) == array.params.erase_ns
+
+    def test_utilization_and_live_pages(self, array):
+        assert array.utilization() == 0.0
+        array.program_page(0, bytes(256))
+        array.program_page(0, bytes(256))
+        array.invalidate_page(0, 0)
+        assert array.live_pages() == 1
+        assert array.utilization() == pytest.approx(1 / 128)
+
+    def test_erased_segments(self, array):
+        assert array.erased_segments() == list(range(8))
+        array.program_page(2, bytes(256))
+        assert 2 not in array.erased_segments()
+
+    def test_wear_stats(self, array):
+        array.erase_segment(0)
+        array.erase_segment(0)
+        array.erase_segment(1)
+        stats = array.wear_stats()
+        assert stats.max_erases == 2
+        assert stats.min_erases == 0
+        assert stats.spread == 2
+        assert stats.total_erases == 3
+
+    def test_wear_remaining_fraction(self, array):
+        stats = array.wear_stats()
+        assert stats.remaining_fraction == 1.0
+        array.erase_segment(0)
+        stats = array.wear_stats()
+        assert 0.0 < stats.remaining_fraction < 1.0
+
+    def test_page_size_must_divide_segment(self):
+        params = FlashParams(chip_bytes=4096, chips_per_bank=4, num_banks=1,
+                             erase_blocks_per_chip=4)
+        with pytest.raises(ValueError):
+            FlashArray(params, page_bytes=3000)
+
+    def test_stateless_array_stores_no_data(self):
+        params = FlashParams(chip_bytes=4096, chips_per_bank=4, num_banks=1,
+                             erase_blocks_per_chip=4)
+        array = FlashArray(params, page_bytes=256, store_data=False)
+        array.program_page(0)
+        assert array.read_page(0, 0) is None
+
+
+class TestBankArrayAgreement:
+    """The fast segment model must agree with the chip-accurate bank."""
+
+    def test_same_operations_same_state(self):
+        bank = FlashBank(num_chips=4, chip_bytes=64, erase_blocks_per_chip=4)
+        params = FlashParams(chip_bytes=64, chips_per_bank=4, num_banks=1,
+                             erase_blocks_per_chip=4)
+        array = FlashArray(params, page_bytes=4)
+        rng = __import__("random").Random(7)
+        pointers = [0] * 4
+        for _ in range(40):
+            seg = rng.randrange(4)
+            if pointers[seg] < 16:
+                data = bytes(rng.randrange(256) for _ in range(4))
+                bank.program_page(seg, pointers[seg], data)
+                array.program_page(seg, data)
+                pointers[seg] += 1
+            else:
+                for page in range(16):
+                    if array.segments[seg].states[page].name == "VALID":
+                        array.invalidate_page(seg, page)
+                bank.erase_segment(seg)
+                array.erase_segment(seg)
+                pointers[seg] = 0
+        for seg in range(4):
+            for page in range(pointers[seg]):
+                assert bank.read_page(seg, page) == array.read_page(seg, page)
+            assert (bank.segment_erase_count(seg)
+                    == array.segments[seg].erase_count)

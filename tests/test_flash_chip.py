@@ -1,0 +1,182 @@
+"""Tests for the byte-accurate Flash chip model (Section 2 semantics)."""
+
+import pytest
+
+from repro.flash import (AddressError, ChipMode, Command, EraseError,
+                         FlashChip, ProgramError)
+
+
+@pytest.fixture
+def chip():
+    return FlashChip(chip_bytes=4096, erase_blocks=4)
+
+
+class TestGeometry:
+    def test_block_size(self, chip):
+        assert chip.block_bytes == 1024
+
+    def test_block_of(self, chip):
+        assert chip.block_of(0) == 0
+        assert chip.block_of(1023) == 0
+        assert chip.block_of(1024) == 1
+        assert chip.block_of(4095) == 3
+
+    def test_block_of_out_of_range(self, chip):
+        with pytest.raises(AddressError):
+            chip.block_of(4096)
+
+    def test_rejects_nondividing_blocks(self):
+        with pytest.raises(ValueError):
+            FlashChip(chip_bytes=1000, erase_blocks=3)
+
+
+class TestReadProgram:
+    def test_fresh_chip_reads_erased(self, chip):
+        assert chip.read(0) == 0xFF
+        assert chip.read(4095) == 0xFF
+
+    def test_program_then_read(self, chip):
+        chip.program(10, 0xAB)
+        assert chip.read(10) == 0xAB
+
+    def test_program_returns_time(self, chip):
+        assert chip.program(0, 0x00) == chip.nominal_program_ns
+
+    def test_write_once_cannot_set_bits(self, chip):
+        chip.program(5, 0x0F)
+        with pytest.raises(ProgramError):
+            chip.program(5, 0xF0)  # would set bits 4-7
+
+    def test_programming_can_clear_more_bits(self, chip):
+        # Real flash allows repeated programs that only clear bits.
+        chip.program(5, 0x0F)
+        chip.program(5, 0x03)
+        assert chip.read(5) == 0x03
+
+    def test_program_rejects_non_byte(self, chip):
+        with pytest.raises(ValueError):
+            chip.program(0, 256)
+
+    def test_program_out_of_range(self, chip):
+        with pytest.raises(AddressError):
+            chip.program(4096, 0)
+
+
+class TestErase:
+    def test_erase_restores_ff(self, chip):
+        chip.program(0, 0x00)
+        chip.erase_block(0)
+        assert chip.read(0) == 0xFF
+
+    def test_erase_only_affects_its_block(self, chip):
+        chip.program(0, 0x11)
+        chip.program(1024, 0x22)
+        chip.erase_block(0)
+        assert chip.read(0) == 0xFF
+        assert chip.read(1024) == 0x22
+
+    def test_reprogram_after_erase(self, chip):
+        chip.program(0, 0x00)
+        chip.erase_block(0)
+        chip.program(0, 0xFF)  # no-op program is legal
+        chip.program(0, 0x55)
+        assert chip.read(0) == 0x55
+
+    def test_erase_returns_time(self, chip):
+        assert chip.erase_block(0) == chip.nominal_erase_ns
+
+    def test_erase_bad_block(self, chip):
+        with pytest.raises(AddressError):
+            chip.erase_block(4)
+
+
+class TestSuspend:
+    def test_read_during_erase_requires_suspend(self, chip):
+        chip.begin_erase(0)
+        with pytest.raises(EraseError):
+            chip.read(2000)
+        chip.suspend_erase()
+        assert chip.read(2000) == 0xFF  # other blocks readable
+
+    def test_suspended_erase_block_unreadable(self, chip):
+        chip.begin_erase(1)
+        chip.suspend_erase()
+        with pytest.raises(EraseError):
+            chip.read(1024)
+
+    def test_resume_and_finish(self, chip):
+        chip.program(0, 0x00)
+        chip.begin_erase(0)
+        chip.suspend_erase()
+        chip.resume_erase()
+        chip.finish_erase()
+        assert chip.read(0) == 0xFF
+
+    def test_cannot_double_begin(self, chip):
+        chip.begin_erase(0)
+        with pytest.raises(EraseError):
+            chip.begin_erase(1)
+
+    def test_suspend_without_erase(self, chip):
+        with pytest.raises(EraseError):
+            chip.suspend_erase()
+
+    def test_finish_without_erase(self, chip):
+        with pytest.raises(EraseError):
+            chip.finish_erase()
+
+
+class TestWear:
+    def test_erase_count_tracks_per_block(self, chip):
+        chip.erase_block(0)
+        chip.erase_block(0)
+        chip.erase_block(1)
+        assert chip.erase_count(0) == 2
+        assert chip.erase_count(1) == 1
+        assert chip.erase_count(2) == 0
+
+    def test_program_count(self, chip):
+        chip.program(0, 0x00)
+        chip.program(1, 0x00)
+        assert chip.program_count(0) == 2
+
+    def test_within_endurance(self):
+        chip = FlashChip(chip_bytes=1024, erase_blocks=1, endurance_cycles=2)
+        chip.erase_block(0)
+        chip.erase_block(0)
+        assert chip.within_endurance(0)
+        chip.erase_block(0)
+        assert not chip.within_endurance(0)
+
+    def test_degradation_slows_program_and_erase(self):
+        # Section 2: program and erase times degrade slightly per cycle.
+        chip = FlashChip(chip_bytes=1024, erase_blocks=1,
+                         program_ns=4000, erase_ns=1000,
+                         degradation_per_cycle=0.001)
+        for _ in range(100):
+            chip.erase_block(0)
+        assert chip.program_time_ns(0) == int(4000 * 1.1)
+        assert chip.erase_time_ns(0) == 1100
+
+    def test_no_degradation_by_default(self, chip):
+        chip.erase_block(0)
+        assert chip.program_time_ns(0) == chip.nominal_program_ns
+
+
+class TestCommandInterface:
+    def test_mode_transitions(self, chip):
+        assert chip.mode is ChipMode.READ_ARRAY
+        chip.command(Command.PROGRAM_SETUP.value)
+        assert chip.mode is ChipMode.PROGRAM
+        chip.command(Command.READ_ARRAY.value)
+        assert chip.mode is ChipMode.READ_ARRAY
+
+    def test_status_mode(self, chip):
+        chip.command(Command.READ_STATUS.value)
+        assert chip.mode is ChipMode.STATUS
+        chip.command(Command.CLEAR_STATUS.value)
+        assert chip.mode is ChipMode.READ_ARRAY
+
+    def test_unknown_command_raises(self, chip):
+        with pytest.raises(ProgramError):
+            chip.command(0x99)

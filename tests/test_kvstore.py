@@ -1,0 +1,163 @@
+"""Tests for the persistent key-value store."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.db.kvstore import KVError, KVStore, hash64
+
+
+def make_store(segments=16, pages=128):
+    system = EnvySystem(EnvyConfig.small(num_segments=segments,
+                                         pages_per_segment=pages))
+    return system, KVStore(system)
+
+
+@pytest.fixture
+def store():
+    return make_store()[1]
+
+
+class TestBasics:
+    def test_put_get(self, store):
+        store.put(b"name", b"eNVy")
+        assert store.get(b"name") == b"eNVy"
+
+    def test_missing_key(self, store):
+        assert store.get(b"ghost") is None
+        assert b"ghost" not in store
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"a much longer second value")
+        assert store.get(b"k") == b"a much longer second value"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert store.get(b"k") is None
+        assert not store.delete(b"k")
+        assert len(store) == 0
+
+    def test_empty_value(self, store):
+        store.put(b"k", b"")
+        assert store.get(b"k") == b""
+
+    def test_binary_keys_and_values(self, store):
+        key = bytes(range(256))[:40]
+        value = bytes(255 - b for b in range(200))
+        store.put(key, value)
+        assert store.get(key) == value
+
+    def test_len_and_contains(self, store):
+        for index in range(10):
+            store.put(f"key{index}".encode(), b"v")
+        assert len(store) == 10
+        assert b"key3" in store
+
+    def test_items(self, store):
+        expected = {}
+        for index in range(20):
+            key = f"item{index}".encode()
+            store.put(key, bytes([index]))
+            expected[key] = bytes([index])
+        assert dict(store.items()) == expected
+
+    def test_bad_keys(self, store):
+        with pytest.raises(KVError):
+            store.put(b"", b"v")
+        with pytest.raises(KVError):
+            store.put("string", b"v")
+        with pytest.raises(KVError):
+            store.put(b"x" * 20_000, b"v")
+
+
+class TestCollisions:
+    def test_forced_hash_collision(self, store, monkeypatch):
+        """Distinct keys with the same bucket resolve via the chain."""
+        import repro.db.kvstore as module
+        monkeypatch.setattr(module, "hash64", lambda key: 42)
+        store.put(b"alpha", b"1")
+        store.put(b"beta", b"2")
+        store.put(b"gamma", b"3")
+        assert store.get(b"alpha") == b"1"
+        assert store.get(b"beta") == b"2"
+        assert store.get(b"gamma") == b"3"
+        assert store.delete(b"beta")
+        assert store.get(b"alpha") == b"1"
+        assert store.get(b"gamma") == b"3"
+        assert store.get(b"beta") is None
+        store.put(b"alpha", b"1b")  # replace mid-chain
+        assert store.get(b"alpha") == b"1b"
+
+    def test_hash64_is_stable(self):
+        assert hash64(b"envy") == hash64(b"envy")
+        assert hash64(b"envy") != hash64(b"Envy")
+        assert 0 <= hash64(b"anything") < 2 ** 63
+
+
+class TestPersistence:
+    def test_values_survive_power_cycle(self):
+        system, store = make_store()
+        store.put(b"durable", b"across outages")
+        system.power_cycle()
+        assert store.get(b"durable") == b"across outages"
+
+    def test_space_reclaimed_on_delete(self, store):
+        used_before = store.arena.used_bytes
+        store.put(b"big", b"x" * 4096)
+        store.delete(b"big")
+        assert store.arena.used_bytes == used_before
+
+    def test_survives_cleaning_pressure(self):
+        # A small array and chunky values so the updates churn real
+        # Flash segments, not just the SRAM buffer.
+        system, store = make_store(segments=8, pages=64)
+        expected = {}
+        rng = random.Random(12)
+        for round_number in range(2500):
+            key = f"k{rng.randrange(120)}".encode()
+            value = rng.randbytes(rng.randrange(100, 400))
+            store.put(key, value)
+            expected[key] = value
+        assert system.metrics.erases > 0
+        for key, value in expected.items():
+            assert store.get(key) == value
+        system.check_consistency()
+
+    def test_out_of_space(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32))
+        store = KVStore(system, size=4096)
+        with pytest.raises(KVError):
+            store.put(b"huge", b"x" * 8192)
+
+
+class TestModelEquivalence:
+    @given(script=st.lists(
+        st.tuples(st.sampled_from(["put", "delete", "get"]),
+                  st.integers(0, 25),
+                  st.binary(max_size=60)),
+        min_size=1, max_size=80))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_agrees_with_dict(self, script):
+        _, store = make_store(segments=8, pages=128)
+        model = {}
+        for action, key_index, value in script:
+            key = f"key-{key_index}".encode()
+            if action == "put":
+                store.put(key, value)
+                model[key] = value
+            elif action == "delete":
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert store.get(key) == model.get(key)
+        assert len(store) == len(model)
+        assert dict(store.items()) == model
+        store.arena.check_invariants()

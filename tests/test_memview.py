@@ -1,0 +1,110 @@
+"""Tests for the memory-mapped (slice-syntax) view."""
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+
+
+@pytest.fixture
+def system():
+    return EnvySystem(EnvyConfig.small(num_segments=8,
+                                       pages_per_segment=32))
+
+
+@pytest.fixture
+def view(system):
+    return system.view()
+
+
+class TestSliceAccess:
+    def test_slice_round_trip(self, view):
+        view[10:15] = b"hello"
+        assert view[10:15] == b"hello"
+
+    def test_single_byte(self, view):
+        view[7] = 0x42
+        assert view[7] == 0x42
+
+    def test_negative_index(self, view):
+        view[len(view) - 1] = 0x99
+        assert view[-1] == 0x99
+
+    def test_slice_must_match_length(self, view):
+        with pytest.raises(ValueError):
+            view[0:4] = b"too long"
+
+    def test_extended_slice_rejected(self, view):
+        with pytest.raises(ValueError):
+            _ = view[0:10:2]
+
+    def test_index_out_of_range(self, view):
+        with pytest.raises(IndexError):
+            _ = view[len(view)]
+
+    def test_byte_value_validated(self, view):
+        with pytest.raises(ValueError):
+            view[0] = 300
+        with pytest.raises(ValueError):
+            view[0] = "x"
+
+    def test_len(self, system, view):
+        assert len(view) == system.size_bytes
+
+
+class TestTypedAccessors:
+    def test_u64_round_trip(self, view):
+        view.write_u64(64, 2 ** 53 + 7)
+        assert view.read_u64(64) == 2 ** 53 + 7
+
+    def test_i64_negative(self, view):
+        view.write_i64(128, -12345)
+        assert view.read_i64(128) == -12345
+
+
+class TestWindows:
+    def test_offset_window(self, system):
+        window = system.view(offset=1000, length=100)
+        window[0:3] = b"abc"
+        assert system.read(1000, 3) == b"abc"
+        assert len(window) == 100
+
+    def test_window_bounds_enforced(self, system):
+        window = system.view(offset=1000, length=100)
+        with pytest.raises(IndexError):
+            _ = window[100]
+
+    def test_subview(self, view):
+        sub = view.subview(200, 50)
+        sub[0:2] = b"zz"
+        assert view[200:202] == b"zz"
+
+    def test_subview_bounds(self, view):
+        with pytest.raises(ValueError):
+            view.subview(0, len(view) + 1)
+
+    def test_bad_window_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.view(offset=system.size_bytes, length=10)
+
+
+class TestSemantics:
+    def test_aliasing_views_agree(self, system):
+        a = system.view()
+        b = system.view()
+        a[0:4] = b"sync"
+        assert b[0:4] == b"sync"
+
+    def test_fill(self, view):
+        sub = view.subview(0, 1000)
+        sub.fill(0x5A)
+        assert view[0:1000] == b"\x5a" * 1000
+
+    def test_fill_validates_byte(self, view):
+        with pytest.raises(ValueError):
+            view.subview(0, 8).fill(256)
+
+    def test_views_are_persistent(self, system):
+        view = system.view()
+        view[0:6] = b"endure"
+        system.power_cycle()
+        assert system.view()[0:6] == b"endure"

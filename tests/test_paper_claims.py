@@ -1,0 +1,38 @@
+"""Runs the paper-claims checklist as part of the test suite."""
+
+import pytest
+
+from repro.paper import CLAIMS, verify_claims
+
+FAST_CLAIMS = [claim for claim in CLAIMS if claim.fast]
+SLOW_CLAIMS = [claim for claim in CLAIMS if not claim.fast]
+
+
+@pytest.mark.parametrize("claim", FAST_CLAIMS,
+                         ids=[c.section for c in FAST_CLAIMS])
+def test_fast_claim_holds(claim):
+    assert claim.run() is True, claim.statement
+
+
+def test_slow_claims_point_at_existing_benchmarks():
+    import os
+    bench_dir = os.path.join(os.path.dirname(__file__), "..",
+                             "benchmarks")
+    for claim in SLOW_CLAIMS:
+        assert claim.bench, claim.statement
+        assert os.path.exists(os.path.join(bench_dir, claim.bench)), \
+            claim.bench
+
+
+def test_verify_claims_reports_everything():
+    results = verify_claims()
+    assert len(results) == len(CLAIMS)
+    fast_results = [passed for claim, passed in results if claim.fast]
+    assert all(passed is True for passed in fast_results)
+
+
+def test_checklist_covers_every_figure():
+    sections = " ".join(claim.section for claim in CLAIMS)
+    for figure in ("Fig 1", "Fig 6", "Fig 8", "Fig 9", "Fig 10",
+                   "Fig 12", "Fig 13", "Fig 14", "Fig 15"):
+        assert figure in sections, f"{figure} missing from the checklist"

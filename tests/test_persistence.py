@@ -1,0 +1,110 @@
+"""Tests for whole-system snapshots (save/load)."""
+
+import io
+import random
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem, load_system, save_system
+from repro.core.persistence import SnapshotError, roundtrip
+
+
+def worked_system(policy="hybrid", writes=4000, seed=1):
+    system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                         pages_per_segment=32,
+                                         cleaning_policy=policy))
+    rng = random.Random(seed)
+    shadow = {}
+    for _ in range(writes):
+        address = rng.randrange(system.size_bytes - 8) & ~7
+        value = rng.randbytes(8)
+        system.write(address, value)
+        shadow[address] = value
+    return system, shadow
+
+
+class TestRoundTrip:
+    def test_data_identical_after_restore(self):
+        system, shadow = worked_system()
+        copy = roundtrip(system)
+        for address, value in shadow.items():
+            assert copy.read(address, 8) == value
+        copy.check_consistency()
+
+    def test_wear_and_counters_survive(self):
+        system, _ = worked_system()
+        copy = roundtrip(system)
+        assert copy.store.flush_count == system.store.flush_count
+        assert copy.store.erase_count == system.store.erase_count
+        assert copy.array.wear_stats().erase_counts == \
+            system.array.wear_stats().erase_counts
+
+    def test_buffer_contents_survive(self):
+        system, _ = worked_system(writes=10)
+        assert len(system.buffer) > 0
+        copy = roundtrip(system)
+        assert len(copy.buffer) == len(system.buffer)
+        assert [e.logical_page for e in copy.buffer.entries()] == \
+            [e.logical_page for e in system.buffer.entries()]
+
+    @pytest.mark.parametrize("policy", ["greedy", "fifo", "locality",
+                                        "hybrid"])
+    def test_operation_continues_identically(self, policy):
+        """Original and restored systems stay in lock-step forever."""
+        system, shadow = worked_system(policy=policy, writes=2000)
+        copy = roundtrip(system)
+        rng = random.Random(99)
+        for _ in range(1500):
+            address = rng.randrange(system.size_bytes - 8) & ~7
+            value = rng.randbytes(8)
+            system.write(address, value)
+            copy.write(address, value)
+            shadow[address] = value
+        assert copy.store.flush_count == system.store.flush_count
+        assert copy.store.clean_copy_count == system.store.clean_copy_count
+        for address, value in shadow.items():
+            assert copy.read(address, 8) == system.read(address, 8) == value
+        copy.check_consistency()
+        system.check_consistency()
+
+    def test_file_round_trip(self, tmp_path):
+        system, shadow = worked_system(writes=500)
+        path = str(tmp_path / "system.envy")
+        save_system(system, path)
+        copy = load_system(path)
+        address, value = next(iter(shadow.items()))
+        assert copy.read(address, 8) == value
+
+    def test_stateless_system_snapshots(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32),
+                            store_data=False)
+        rng = random.Random(2)
+        for _ in range(1000):
+            system.write(rng.randrange(system.size_bytes - 4), b"abcd")
+        copy = roundtrip(system)
+        assert copy.store.flush_count == system.store.flush_count
+        copy.check_consistency()
+
+
+class TestSnapshotErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotError):
+            load_system(io.BytesIO(b"garbage data here" * 4))
+
+    def test_truncated_payload(self):
+        system, _ = worked_system(writes=50)
+        buffer = io.BytesIO()
+        save_system(system, buffer)
+        clipped = io.BytesIO(buffer.getvalue()[:-20])
+        with pytest.raises(SnapshotError):
+            load_system(clipped)
+
+    def test_unsupported_version(self):
+        system, _ = worked_system(writes=10)
+        buffer = io.BytesIO()
+        save_system(system, buffer)
+        raw = bytearray(buffer.getvalue())
+        raw[8] = 99  # bump the version field
+        with pytest.raises(SnapshotError):
+            load_system(io.BytesIO(bytes(raw)))

@@ -1,0 +1,280 @@
+"""Behavioural tests for the four cleaning policies (Section 4)."""
+
+import pytest
+
+from repro.cleaning import (FifoPolicy, GreedyPolicy, HybridPolicy,
+                            LocalityGatheringPolicy, PolicySimulator,
+                            SegmentStore, make_policy, measure_cleaning_cost)
+from repro.workloads import BimodalWorkload, UniformWorkload
+
+
+def simulate(policy, label="50/50", segs=16, pages=64, writes_factor=4,
+             buffer_pages=0, seed=7):
+    sim = PolicySimulator(policy, num_segments=segs, pages_per_segment=pages,
+                          utilization=0.8, buffer_pages=buffer_pages,
+                          layout_seed=seed)
+    workload = BimodalWorkload.from_label(sim.store.num_logical_pages,
+                                          label, seed=seed)
+    live = sim.store.num_logical_pages
+    sim.run(workload, live * writes_factor, warmup_writes=live * 2)
+    return sim
+
+
+class TestMakePolicy:
+    def test_all_registered_names(self):
+        for name, cls in (("greedy", GreedyPolicy), ("fifo", FifoPolicy),
+                          ("locality", LocalityGatheringPolicy),
+                          ("hybrid", HybridPolicy)):
+            assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("lru")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("hybrid", partition_segments=4)
+        assert policy.partition_segments == 4
+
+
+class TestGreedy:
+    def test_flush_goes_to_active_segment(self):
+        store = SegmentStore(4, 8, 8)
+        store.populate_sequential()
+        policy = GreedyPolicy()
+        policy.attach(store)
+        store.buffer_page(0)
+        written = policy.flush(0, origin=0)
+        assert written == 1  # position 1 had free space and is active
+
+    def test_victim_is_most_invalidated(self):
+        store = SegmentStore(3, 4, 8)
+        store.populate_sequential()
+        policy = GreedyPolicy()
+        policy.attach(store)
+        # Kill 3 pages of position 0 and 1 page of position 1.
+        for page in (0, 1, 2):
+            store.buffer_page(page)
+        store.buffer_page(4)
+        # Fill the active position (2) so the next flush must clean.
+        for page in (0, 1, 2, 4):
+            policy.flush(page, origin=0)
+        # Position 2 now full; cleaning picks position 0 (3 dead slots).
+        store.buffer_page(0)
+        written = policy.flush(0, origin=0)
+        assert written == 0
+        assert store.positions[0].clean_count == 1
+
+    def test_unattached_flush_raises(self):
+        with pytest.raises(RuntimeError):
+            GreedyPolicy().flush(0, 0)
+
+    def test_long_run_keeps_invariants(self):
+        sim = simulate(GreedyPolicy())
+        sim.store.check_invariants()
+
+    def test_cost_rises_with_locality(self):
+        uniform = measure_cleaning_cost(GreedyPolicy(), "50/50",
+                                        num_segments=32,
+                                        pages_per_segment=64,
+                                        turnovers=3, warmup_turnovers=4)
+        skewed = measure_cleaning_cost(GreedyPolicy(), "5/95",
+                                       num_segments=32,
+                                       pages_per_segment=64,
+                                       turnovers=3, warmup_turnovers=4)
+        # Section 4.2: "performance suffers as the locality of reference
+        # is increased".
+        assert skewed.cleaning_cost > uniform.cleaning_cost
+
+
+class TestFifo:
+    def test_cleans_in_cyclic_order(self):
+        sim = simulate(FifoPolicy(), segs=8, pages=32)
+        cleans = [p.clean_count for p in sim.store.positions]
+        # Round-robin: no segment cleaned wildly more than another.
+        assert max(cleans) - min(cleans) <= 2
+
+    def test_cost_close_to_greedy(self):
+        # Section 4.4: FIFO "produces the same cleaning cost" as greedy.
+        fifo = measure_cleaning_cost(FifoPolicy(), "50/50", num_segments=32,
+                                     pages_per_segment=64, turnovers=3,
+                                     warmup_turnovers=4)
+        greedy = measure_cleaning_cost(GreedyPolicy(), "50/50",
+                                       num_segments=32, pages_per_segment=64,
+                                       turnovers=3, warmup_turnovers=4)
+        assert fifo.cleaning_cost == pytest.approx(greedy.cleaning_cost,
+                                                   rel=0.15)
+
+    def test_long_run_keeps_invariants(self):
+        sim = simulate(FifoPolicy())
+        sim.store.check_invariants()
+
+
+class TestLocalityGathering:
+    def test_uniform_cost_pinned_near_4(self):
+        # Section 4.3: under uniform access "all segments always stay at
+        # 80% utilization, leading to a fixed cleaning cost of 4".
+        result = measure_cleaning_cost(LocalityGatheringPolicy(), "50/50",
+                                       num_segments=32, pages_per_segment=128,
+                                       turnovers=3, warmup_turnovers=5)
+        assert result.cleaning_cost == pytest.approx(4.0, abs=0.6)
+
+    def test_exploits_locality(self):
+        uniform = measure_cleaning_cost(LocalityGatheringPolicy(), "50/50",
+                                        num_segments=32,
+                                        pages_per_segment=128,
+                                        turnovers=3, warmup_turnovers=5)
+        skewed = measure_cleaning_cost(LocalityGatheringPolicy(), "5/95",
+                                       num_segments=32, pages_per_segment=128,
+                                       turnovers=3, warmup_turnovers=8)
+        assert skewed.cleaning_cost < uniform.cleaning_cost - 1.0
+
+    def test_hot_data_gathers_in_low_segments(self):
+        policy = LocalityGatheringPolicy()
+        sim = PolicySimulator(policy, num_segments=16, pages_per_segment=128,
+                              utilization=0.8, buffer_pages=0)
+        live = sim.store.num_logical_pages
+        workload = BimodalWorkload(live, 0.1, 0.9, seed=3)
+        sim.run(workload, live * 2, warmup_writes=live * 10)
+        store = sim.store
+        positions = []
+        for page in range(workload.hot_pages):
+            loc = store.page_location[page]
+            if loc is not None and loc[0] >= 0:
+                positions.append(loc[0])
+        mean_hot = sum(positions) / len(positions)
+        # Hot data's centre of mass sits in the low-numbered half.
+        assert mean_hot < 16 / 2 - 1
+
+    def test_flush_returns_to_origin(self):
+        store = SegmentStore(4, 8, 16)
+        store.populate_contiguous()
+        policy = LocalityGatheringPolicy()
+        policy.attach(store)
+        origin = store.buffer_page(9)
+        written = policy.flush(9, origin)
+        assert written == origin
+
+    def test_long_run_keeps_invariants(self):
+        sim = simulate(LocalityGatheringPolicy(), label="10/90")
+        sim.store.check_invariants()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LocalityGatheringPolicy(gather_pages=-1)
+        with pytest.raises(ValueError):
+            LocalityGatheringPolicy(deadband=1.5)
+
+
+class TestHybrid:
+    def test_partition_assignment(self):
+        store = SegmentStore(8, 16, 64)
+        store.populate_contiguous()
+        policy = HybridPolicy(partition_segments=4)
+        policy.attach(store)
+        assert len(policy.partitions) == 2
+        assert policy.partition_of(0).index == 0
+        assert policy.partition_of(5).index == 1
+
+    def test_partition_must_divide_segments(self):
+        store = SegmentStore(10, 16, 64)
+        store.populate_contiguous()
+        with pytest.raises(ValueError):
+            HybridPolicy(partition_segments=4).attach(store)
+
+    def test_flush_back_to_origin_partition(self):
+        store = SegmentStore(8, 16, 64)
+        store.populate_contiguous()
+        policy = HybridPolicy(partition_segments=4)
+        policy.attach(store)
+        origin = store.buffer_page(60)  # lives in partition 1
+        written = policy.flush(60, origin)
+        assert policy.partition_of(written).index == 1
+
+    def test_fifo_rotation_within_partition(self):
+        sim = simulate(HybridPolicy(partition_segments=4), segs=8, pages=32)
+        for part in sim.policy.partitions:
+            cleans = [sim.store.positions[m].clean_count
+                      for m in part.members]
+            assert max(cleans) - min(cleans) <= 3
+
+    def test_beats_locality_gathering_at_uniform(self):
+        # Figure 8: hybrid "comes close to the performance of the greedy
+        # algorithm for uniform access distributions while consistently
+        # beating pure locality gathering".
+        hybrid = measure_cleaning_cost(HybridPolicy(8), "50/50",
+                                       num_segments=32, pages_per_segment=64,
+                                       turnovers=3, warmup_turnovers=4)
+        locality = measure_cleaning_cost(LocalityGatheringPolicy(), "50/50",
+                                         num_segments=32,
+                                         pages_per_segment=64,
+                                         turnovers=3, warmup_turnovers=4)
+        assert hybrid.cleaning_cost < locality.cleaning_cost
+
+    def test_partition_of_one_behaves_like_locality(self):
+        single = measure_cleaning_cost(HybridPolicy(1), "50/50",
+                                       num_segments=16, pages_per_segment=64,
+                                       turnovers=3, warmup_turnovers=4)
+        assert single.cleaning_cost == pytest.approx(4.0, abs=0.9)
+
+    def test_whole_array_partition_behaves_like_fifo(self):
+        hybrid = measure_cleaning_cost(HybridPolicy(16), "50/50",
+                                       num_segments=16, pages_per_segment=64,
+                                       turnovers=3, warmup_turnovers=4)
+        fifo = measure_cleaning_cost(FifoPolicy(), "50/50", num_segments=16,
+                                     pages_per_segment=64, turnovers=3,
+                                     warmup_turnovers=4)
+        assert hybrid.cleaning_cost == pytest.approx(fifo.cleaning_cost,
+                                                     rel=0.25)
+
+    def test_long_run_keeps_invariants(self):
+        sim = simulate(HybridPolicy(partition_segments=4), label="10/90")
+        sim.store.check_invariants()
+
+
+class TestSimulatorBuffer:
+    def test_buffer_coalesces_repeated_writes(self):
+        sim = PolicySimulator(GreedyPolicy(), num_segments=8,
+                              pages_per_segment=32, buffer_pages=16)
+        for _ in range(10):
+            sim.write(0)
+        assert sim.buffer_hits == 9
+        assert sim.store.flush_count == 0
+
+    def test_buffer_flushes_fifo_tail(self):
+        sim = PolicySimulator(GreedyPolicy(), num_segments=8,
+                              pages_per_segment=32, buffer_pages=2)
+        sim.write(0)
+        sim.write(1)
+        sim.write(2)  # evicts page 0
+        assert sim.store.page_location[0] != (-1, -1)
+        assert sim.store.position_of(0) is not None
+
+    def test_drain_empties_buffer(self):
+        sim = PolicySimulator(GreedyPolicy(), num_segments=8,
+                              pages_per_segment=32, buffer_pages=8)
+        for page in range(5):
+            sim.write(page)
+        sim.drain()
+        assert all(sim.store.position_of(p) is not None for p in range(5))
+
+    def test_zero_buffer_flushes_immediately(self):
+        sim = PolicySimulator(GreedyPolicy(), num_segments=8,
+                              pages_per_segment=32, buffer_pages=0)
+        sim.write(0)
+        assert sim.store.flush_count == 1
+
+    def test_workload_size_mismatch_rejected(self):
+        sim = PolicySimulator(GreedyPolicy(), num_segments=8,
+                              pages_per_segment=32)
+        with pytest.raises(ValueError):
+            sim.run(UniformWorkload(10), 5)
+
+    def test_result_fields(self):
+        result = measure_cleaning_cost(GreedyPolicy(), "50/50",
+                                       num_segments=8, pages_per_segment=32,
+                                       turnovers=2, warmup_turnovers=1)
+        assert result.policy == "greedy"
+        assert result.workload == "50/50"
+        assert result.flushes > 0
+        assert result.write_amplification == pytest.approx(
+            1 + result.cleaning_cost)

@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property pits a component against a simple reference model or a
+structural invariant under randomly generated operation sequences —
+exactly the class of bug (placement drift, lost pages, stale mappings)
+that plagues real flash-management code.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import (GreedyPolicy, HybridPolicy,
+                            LocalityGatheringPolicy, PolicySimulator,
+                            cleaning_cost, utilization_for_cost)
+from repro.core import EnvyConfig, EnvySystem
+from repro.db import BTree
+from repro.flash import FlashChip, ProgramError
+from repro.ramdisk import BlockDevice, FileSystem
+from repro.sram import WriteBuffer
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCostModelProperties:
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    @settings(**COMMON)
+    def test_cost_round_trip(self, utilization):
+        assert utilization_for_cost(cleaning_cost(utilization)) == \
+            pytest.approx(utilization, abs=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=0.999),
+           st.floats(min_value=0.0, max_value=0.999))
+    @settings(**COMMON)
+    def test_cost_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert cleaning_cost(low) <= cleaning_cost(high)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(**COMMON)
+    def test_cost_non_negative(self, utilization):
+        value = cleaning_cost(utilization)
+        assert value >= 0.0 or math.isinf(value)
+
+
+class TestFlashChipProperties:
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                    min_size=1, max_size=30))
+    @settings(**COMMON)
+    def test_programming_only_clears_bits(self, operations):
+        chip = FlashChip(chip_bytes=256, erase_blocks=1)
+        for address, value in operations:
+            before = chip.read(address)
+            try:
+                chip.program(address, value)
+            except ProgramError:
+                # Must only fail when the write would set a bit.
+                assert value & ~before
+            else:
+                after = chip.read(address)
+                assert after == value
+                assert after & ~before == 0  # no bit went 0 -> 1
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=20),
+           st.integers(0, 3))
+    @settings(**COMMON)
+    def test_erase_restores_full_block(self, addresses, block):
+        chip = FlashChip(chip_bytes=1024, erase_blocks=4)
+        base = block * 256
+        for address in addresses:
+            chip.program(base + address, 0x00)
+        chip.erase_block(block)
+        for address in addresses:
+            assert chip.read(base + address) == 0xFF
+
+
+class TestWriteBufferProperties:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    @settings(**COMMON)
+    def test_fifo_eviction_order(self, pages):
+        """Evictions happen in first-insertion order, regardless of
+        coalesced rewrites in between."""
+        buffer = WriteBuffer(capacity_pages=8)
+        inserted = []
+        evicted = []
+        for page in pages:
+            if page in buffer:
+                buffer.get(page)
+                continue
+            if buffer.is_full:
+                evicted.append(buffer.pop_tail().logical_page)
+            buffer.insert(page, None, origin=0)
+            inserted.append(page)
+        while len(buffer):
+            evicted.append(buffer.pop_tail().logical_page)
+        assert evicted == inserted
+
+
+class TestStoreProperties:
+    @given(policy_index=st.integers(0, 2),
+           writes=st.lists(st.integers(0, 10 ** 6), min_size=1,
+                           max_size=300),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=30, **COMMON)
+    def test_policies_never_corrupt_placement(self, policy_index, writes,
+                                              seed):
+        """After any write sequence, every live page is findable, counts
+        agree, and the physical mapping is a bijection."""
+        policy = (GreedyPolicy(), LocalityGatheringPolicy(),
+                  HybridPolicy(partition_segments=4))[policy_index]
+        simulator = PolicySimulator(policy, num_segments=8,
+                                    pages_per_segment=16,
+                                    buffer_pages=4, layout_seed=seed)
+        live = simulator.store.num_logical_pages
+        for value in writes:
+            simulator.write(value % live)
+        simulator.store.check_invariants()
+        simulator.drain()
+        simulator.store.check_invariants()
+        # Every logical page is resident in flash after a drain.
+        for page in range(live):
+            assert simulator.store.position_of(page) is not None
+
+    @given(writes=st.lists(st.integers(0, 10 ** 6), min_size=50,
+                           max_size=300))
+    @settings(max_examples=20, **COMMON)
+    def test_live_page_count_is_conserved(self, writes):
+        simulator = PolicySimulator(GreedyPolicy(), num_segments=8,
+                                    pages_per_segment=16, buffer_pages=4)
+        live = simulator.store.num_logical_pages
+        for value in writes:
+            simulator.write(value % live)
+        buffered = len(simulator._buffer)
+        assert simulator.store.live_pages() + buffered == live
+
+
+class TestControllerProperties:
+    @given(operations=st.lists(
+        st.tuples(st.integers(0, 2000), st.binary(min_size=1, max_size=24)),
+        min_size=1, max_size=120),
+        power_cycles=st.booleans())
+    @settings(max_examples=25, **COMMON)
+    def test_read_your_writes(self, operations, power_cycles):
+        """The controller agrees with a plain bytearray shadow model."""
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=16))
+        shadow = bytearray(system.size_bytes)
+        for address, data in operations:
+            address = address % (system.size_bytes - len(data))
+            system.write(address, data)
+            shadow[address:address + len(data)] = data
+        if power_cycles:
+            system.power_cycle()
+        for address, data in operations:
+            address = address % (system.size_bytes - len(data))
+            assert system.read(address, len(data)) == \
+                bytes(shadow[address:address + len(data)])
+        system.check_consistency()
+
+
+class TestCrashRecoveryProperties:
+    @given(operations=st.lists(
+        st.tuples(st.integers(0, 2000), st.binary(min_size=1, max_size=8)),
+        min_size=20, max_size=150),
+        crash_schedule=st.lists(st.integers(1, 25), min_size=1,
+                                max_size=5),
+        policy_index=st.integers(0, 1))
+    @settings(max_examples=20, **COMMON)
+    def test_no_committed_byte_lost_at_any_crash_point(
+            self, operations, crash_schedule, policy_index):
+        """Crash at arbitrary Flash operations; recovery keeps every
+        committed write readable."""
+        from repro.core.recovery import (CrashInjector,
+                                         SimulatedPowerFailure,
+                                         attach_journal, recover)
+
+        policy = ("greedy", "hybrid")[policy_index]
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=16,
+                                             cleaning_policy=policy))
+        journal = attach_journal(system)
+        injector = CrashInjector(system, journal)
+        # Align writes to 8-byte slots so each is single-page atomic;
+        # a crashed multi-page write may legitimately half-commit, which
+        # is the application's problem (transactions), not recovery's.
+        slots = (system.size_bytes - 8) // 8
+        shadow = {}
+        committed = []
+        schedule = list(crash_schedule)
+        injector.arm(schedule.pop(0))
+        for slot, data in operations:
+            address = (slot % slots) * 8
+            try:
+                system.write(address, data)
+                shadow[address] = True
+                committed.append((address, data))
+            except SimulatedPowerFailure:
+                recover(system, journal)
+                if schedule:
+                    injector.arm(schedule.pop(0))
+        injector.disarm()
+        recover(system, journal)
+        system.check_consistency()
+        # Replay the committed log for the exact expected final state.
+        expected = bytearray(system.size_bytes)
+        for address, data in committed:
+            expected[address:address + len(data)] = data
+        for address in shadow:
+            assert system.read(address, 8) == \
+                bytes(expected[address:address + 8])
+
+
+class TestBTreeProperties:
+    @given(entries=st.dictionaries(st.integers(0, 10 ** 6),
+                                   st.integers(-2 ** 40, 2 ** 40),
+                                   min_size=1, max_size=120),
+           probes=st.lists(st.integers(0, 10 ** 6), max_size=30))
+    @settings(max_examples=25, **COMMON)
+    def test_tree_agrees_with_dict(self, entries, probes):
+        class Ram:
+            def __init__(self):
+                self.data = bytearray(1 << 20)
+
+            def read(self, address, length):
+                return bytes(self.data[address:address + length])
+
+            def write(self, address, data):
+                self.data[address:address + len(data)] = data
+
+        memory = Ram()
+        next_free = [1024]
+
+        def allocate(size):
+            address = next_free[0]
+            next_free[0] += size
+            return address
+
+        tree = BTree.create(memory, 0, fanout=8, allocate=allocate)
+        for key, value in entries.items():
+            tree.insert(key, value)
+        for key, value in entries.items():
+            assert tree.search(key) == value
+        for probe in probes:
+            if probe not in entries:
+                assert tree.search(probe) is None
+        assert sorted(entries) == [k for k, _ in tree.items()]
+        tree.check_invariants()
+
+
+class TestFileSystemProperties:
+    @given(script=st.lists(
+        st.tuples(st.sampled_from(["write", "delete", "overwrite"]),
+                  st.integers(0, 4),
+                  st.binary(max_size=1500)),
+        min_size=1, max_size=15))
+    @settings(max_examples=15, **COMMON)
+    def test_filesystem_agrees_with_dict(self, script):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=64))
+        filesystem = FileSystem(BlockDevice(system, block_bytes=512))
+        filesystem.format()
+        model = {}
+        for action, file_index, payload in script:
+            name = f"file{file_index}"
+            if action in ("write", "overwrite"):
+                filesystem.write_file(name, payload)
+                model[name] = payload
+            elif action == "delete" and name in model:
+                filesystem.delete(name)
+                del model[name]
+        assert sorted(filesystem.list_files()) == sorted(model)
+        for name, payload in model.items():
+            assert filesystem.read_file(name) == payload

@@ -1,0 +1,34 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.core", "repro.flash", "repro.sram", "repro.cleaning",
+               "repro.sim", "repro.workloads", "repro.db", "repro.ext",
+               "repro.ramdisk", "repro.analysis"]
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("package", SUBPACKAGES)
+def test_subpackage_all_resolves(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} needs a docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name}"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_key_entry_points_are_top_level():
+    for name in ("EnvySystem", "EnvyConfig", "simulate_tpca",
+                 "measure_cleaning_cost", "TpcaDatabase", "FileSystem"):
+        assert name in repro.__all__, name

@@ -1,0 +1,155 @@
+"""Tests for the RAM-disk block device and the FAT filesystem on eNVy."""
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.ramdisk import (BlockDevice, BlockDeviceError, FileSystem,
+                           FileSystemError)
+
+
+def make_system():
+    return EnvySystem(EnvyConfig.small(num_segments=8,
+                                       pages_per_segment=64))
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(make_system(), block_bytes=512)
+
+
+class TestBlockDevice:
+    def test_geometry_from_memory_size(self, device):
+        assert device.num_blocks == device.memory.size_bytes // 512
+        assert device.size_bytes <= device.memory.size_bytes
+
+    def test_block_round_trip(self, device):
+        payload = bytes(range(256)) * 2
+        device.write_block(3, payload)
+        assert device.read_block(3) == payload
+
+    def test_blocks_are_independent(self, device):
+        device.write_block(0, b"\x11" * 512)
+        device.write_block(1, b"\x22" * 512)
+        assert device.read_block(0) == b"\x11" * 512
+
+    def test_wrong_size_write_rejected(self, device):
+        with pytest.raises(BlockDeviceError):
+            device.write_block(0, b"short")
+
+    def test_out_of_range_block(self, device):
+        with pytest.raises(BlockDeviceError):
+            device.read_block(device.num_blocks)
+
+    def test_partial_update_read_modify_write(self, device):
+        device.write_block(2, b"\xAA" * 512)
+        reads_before = device.reads
+        device.update_bytes(2, 100, b"\x55\x55")
+        assert device.reads == reads_before + 1  # the forced read
+        sector = device.read_block(2)
+        assert sector[99:103] == b"\xAA\x55\x55\xAA"
+
+    def test_update_overflow_rejected(self, device):
+        with pytest.raises(BlockDeviceError):
+            device.update_bytes(0, 510, b"abc")
+
+    def test_offset_carves_region(self):
+        system = make_system()
+        device = BlockDevice(system, block_bytes=512, offset=4096,
+                             num_blocks=4)
+        device.write_block(0, b"\x7F" * 512)
+        assert system.read(4096, 4) == b"\x7F" * 4
+        assert system.read(0, 4) == bytes(4)
+
+
+class TestFileSystem:
+    @pytest.fixture
+    def fs(self, device):
+        filesystem = FileSystem(device)
+        filesystem.format()
+        return filesystem
+
+    def test_empty_after_format(self, fs):
+        assert fs.list_files() == []
+        assert fs.free_blocks() > 0
+
+    def test_write_read_round_trip(self, fs):
+        fs.write_file("a.txt", b"contents")
+        assert fs.read_file("a.txt") == b"contents"
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 17  # spans several 512 B blocks
+        fs.write_file("big.bin", data)
+        assert fs.read_file("big.bin") == data
+
+    def test_empty_file(self, fs):
+        fs.write_file("empty", b"")
+        assert fs.read_file("empty") == b""
+
+    def test_overwrite_replaces_contents(self, fs):
+        fs.write_file("f", b"old" * 400)
+        free_between = fs.free_blocks()
+        fs.write_file("f", b"new")
+        assert fs.read_file("f") == b"new"
+        assert fs.free_blocks() > free_between  # old chain reclaimed
+
+    def test_delete_frees_space(self, fs):
+        before = fs.free_blocks()
+        fs.write_file("f", b"x" * 2048)
+        fs.delete("f")
+        assert fs.free_blocks() == before
+        with pytest.raises(FileSystemError):
+            fs.read_file("f")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("ghost")
+        with pytest.raises(FileSystemError):
+            fs.delete("ghost")
+
+    def test_stat(self, fs):
+        fs.write_file("s", b"12345")
+        entry = fs.stat("s")
+        assert entry.size == 5
+        assert entry.used
+
+    def test_bad_names_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write_file("", b"x")
+        with pytest.raises(FileSystemError):
+            fs.write_file("n" * 100, b"x")
+
+    def test_out_of_space(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write_file("huge", b"x" * (fs.free_blocks() + 10) * 512)
+
+    def test_directory_full(self, fs):
+        limit = fs._entries_per_dir
+        for index in range(limit):
+            fs.write_file(f"f{index}", b"x")
+        with pytest.raises(FileSystemError):
+            fs.write_file("overflow", b"x")
+
+    def test_many_files_independent(self, fs):
+        for index in range(6):
+            fs.write_file(f"file{index}", bytes([index]) * (100 * index + 1))
+        for index in range(6):
+            assert fs.read_file(f"file{index}") == \
+                bytes([index]) * (100 * index + 1)
+
+    def test_mount_after_power_cycle(self, device):
+        fs = FileSystem(device)
+        fs.format()
+        fs.write_file("persist.me", b"through the outage")
+        device.memory.power_cycle()
+        remounted = FileSystem(BlockDevice(device.memory, block_bytes=512))
+        remounted.mount()
+        assert remounted.read_file("persist.me") == b"through the outage"
+
+    def test_mount_unformatted_fails(self, device):
+        with pytest.raises(FileSystemError):
+            FileSystem(device).mount()
+
+    def test_operations_require_mount(self, device):
+        fs = FileSystem(device)
+        with pytest.raises(FileSystemError):
+            fs.list_files()

@@ -1,0 +1,64 @@
+"""Tests for the replication-statistics helper."""
+
+import pytest
+
+from repro.analysis import ReplicationSummary, replicate
+from repro.cleaning import GreedyPolicy, measure_cleaning_cost
+
+
+class TestSummary:
+    def test_mean_and_std(self):
+        summary = ReplicationSummary((2.0, 4.0, 6.0))
+        assert summary.mean == 4.0
+        assert summary.std == pytest.approx(2.0)
+
+    def test_single_sample(self):
+        summary = ReplicationSummary((3.0,))
+        assert summary.std == 0.0
+        assert summary.ci95 == 0.0
+        assert "n=1" in str(summary)
+
+    def test_ci_uses_t_distribution(self):
+        # Two samples -> dof 1 -> t = 12.706.
+        summary = ReplicationSummary((0.0, 2.0))
+        assert summary.ci95 == pytest.approx(12.706 * summary.sem)
+
+    def test_large_sample_uses_normal(self):
+        samples = tuple(float(i % 5) for i in range(100))
+        summary = ReplicationSummary(samples)
+        assert summary.ci95 == pytest.approx(1.96 * summary.sem)
+
+    def test_overlap_screen(self):
+        a = ReplicationSummary((1.0, 1.1, 0.9, 1.05))
+        b = ReplicationSummary((1.02, 1.12, 0.92, 1.0))
+        c = ReplicationSummary((9.0, 9.1, 8.9, 9.05))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str_format(self):
+        text = str(ReplicationSummary((1.0, 2.0, 3.0)))
+        assert "±" in text and "n=3" in text
+
+
+class TestReplicate:
+    def test_runs_every_seed(self):
+        seen = []
+        replicate(lambda seed: seen.append(seed) or float(seed),
+                  [1, 2, 3])
+        assert seen == [1, 2, 3]
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 0.0, [])
+
+    def test_cleaning_cost_replication_is_tight(self):
+        """Seed-to-seed spread of the cost metric is small — the
+        benchmarks' single-seed numbers are representative."""
+        summary = replicate(
+            lambda seed: measure_cleaning_cost(
+                GreedyPolicy(), "50/50", num_segments=16,
+                pages_per_segment=64, turnovers=2, warmup_turnovers=3,
+                seed=seed).cleaning_cost,
+            seeds=[1, 2, 3, 4])
+        assert summary.ci95 < 0.35
+        assert 1.0 < summary.mean < 3.0

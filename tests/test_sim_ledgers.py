@@ -1,0 +1,100 @@
+"""Unit tests for the timed simulator's time-accounting ledgers.
+
+The engine keeps two small ledgers so background work never outruns the
+clock: the *overdraft* (a flush chain started near the end of an idle
+gap finishes on later time) and the *erase debt* (erases triggered
+during host stalls are deferred, but must be paid before the next
+clean).  These tests poke them directly.
+"""
+
+import pytest
+
+from repro.sim import build_tpca_system
+
+
+@pytest.fixture
+def simulator():
+    return build_tpca_system(num_segments=32, pages_per_segment=256,
+                             rate_tps=10_000)
+
+
+class TestBackgroundBudget:
+    def test_no_work_when_under_threshold(self, simulator):
+        # Fresh system: buffer empty, nothing to do.
+        assert simulator._background(10 ** 9) == 0
+
+    def test_budget_is_respected(self, simulator):
+        simulator.prewarm(1)
+        controller = simulator.controller
+        # Force the buffer over its threshold.
+        page_bytes = controller.config.page_bytes
+        page = 0
+        while not controller.buffer.over_threshold:
+            controller.write(page * page_bytes, b"x")
+            page += 7
+        done = simulator._background(1_000)
+        # One flush (4 us+) cannot fit in 1 us: the budget is consumed
+        # and the remainder becomes overdraft.
+        assert done == 1_000
+        assert simulator._overdraft_ns > 0
+
+    def test_overdraft_paid_first(self, simulator):
+        simulator._overdraft_ns = 5_000
+        done = simulator._background(2_000)
+        assert done == 2_000
+        assert simulator._overdraft_ns == 3_000
+
+    def test_debt_paid_after_overdraft(self, simulator):
+        simulator._overdraft_ns = 1_000
+        simulator._debt_ns = 1_000
+        done = simulator._background(1_500)
+        assert done == 1_500
+        assert simulator._overdraft_ns == 0
+        assert simulator._debt_ns == 500
+
+    def test_large_budget_drains_to_threshold(self, simulator):
+        simulator.prewarm(1)
+        controller = simulator.controller
+        page_bytes = controller.config.page_bytes
+        page = 1
+        while not controller.buffer.over_threshold:
+            controller.write(page * page_bytes, b"x")
+            page += 11
+        simulator._background(10 ** 12)
+        assert not controller.buffer.over_threshold
+
+
+class TestPrewarm:
+    def test_prewarm_is_idempotent_on_ledgers(self, simulator):
+        simulator._debt_ns = 123
+        simulator._overdraft_ns = 456
+        simulator.prewarm(0.5)
+        assert simulator._debt_ns == 0
+        assert simulator._overdraft_ns == 0
+
+    def test_prewarm_resets_metrics(self, simulator):
+        simulator.prewarm(0.5)
+        metrics = simulator.controller.metrics
+        assert metrics.flushes == 0
+        assert metrics.busy_ns == {}
+
+    def test_prewarm_consumes_free_space(self, simulator):
+        store = simulator.controller.store
+        before = sum(p.free_slots for p in store.positions)
+        simulator.prewarm(1)
+        after = sum(p.free_slots for p in store.positions)
+        assert after < before
+
+
+class TestRunWindowAccounting:
+    def test_measurement_excludes_warmup(self, simulator):
+        simulator.prewarm(1)
+        stats = simulator.run(0.02, warmup_s=0.01)
+        # ~10k TPS for 0.02 s ~ 200 transactions measured, not 300.
+        assert stats.transactions_completed < 280
+
+    def test_simulated_time_positive(self, simulator):
+        simulator.prewarm(1)
+        stats = simulator.run(0.01)
+        assert stats.simulated_ns > 0
+        assert stats.transactions_completed > 0

@@ -1,0 +1,111 @@
+"""Tests for the access-tracing proxy."""
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.core.tracing import TracingController
+from repro.db import TpcaDatabase
+from repro.core import TpcParams
+from repro.workloads import TraceWorkload
+
+
+@pytest.fixture
+def traced():
+    system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                         pages_per_segment=32))
+    return TracingController(system)
+
+
+class TestRecording:
+    def test_records_reads_and_writes(self, traced):
+        traced.write(0, b"abc")
+        traced.read(0, 3)
+        assert len(traced.trace) == 2
+        assert traced.trace.records[0].op == "w"
+        assert traced.trace.records[1].op == "r"
+        assert traced.trace.records[0].address == 0
+
+    def test_latency_recorded(self, traced):
+        traced.read(0, 1)
+        assert traced.trace.records[0].ns >= 160
+
+    def test_passthrough_data(self, traced):
+        traced.write(10, b"payload")
+        assert traced.read(10, 7) == b"payload"
+
+    def test_pause_resume(self, traced):
+        traced.write(0, b"x")
+        traced.pause()
+        traced.write(1, b"y")
+        traced.resume()
+        traced.write(2, b"z")
+        assert len(traced.trace) == 2
+        # Paused accesses still took effect.
+        assert traced.read(1, 1) == b"y"
+
+    def test_reset(self, traced):
+        traced.write(0, b"x")
+        traced.reset()
+        assert len(traced.trace) == 0
+
+    def test_callback(self):
+        seen = []
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32))
+        traced = TracingController(system,
+                                   on_access=lambda *a: seen.append(a))
+        traced.write(0, b"x")
+        assert seen and seen[0][0] == "w"
+
+    def test_attribute_passthrough(self, traced):
+        assert traced.size_bytes > 0
+        traced.write(0, b"x")
+        traced.drain()
+        assert len(traced.buffer) == 0
+
+
+class TestDerivedViews:
+    def test_pages_touched_spanning(self, traced):
+        page = traced.config.page_bytes
+        traced.write(page - 2, b"abcd")  # spans two pages
+        assert traced.trace.pages_touched() == {0, 1}
+
+    def test_page_writes_stream(self, traced):
+        page = traced.config.page_bytes
+        traced.write(0, b"a")
+        traced.read(3 * page, 4)
+        traced.write(2 * page, b"b")
+        assert traced.trace.page_writes() == [0, 2]
+
+    def test_summary(self, traced):
+        traced.write(0, b"x")
+        traced.read(0, 1)
+        text = traced.trace.summary()
+        assert "1 reads + 1 writes" in text
+
+
+class TestTraceToSimulatorLoop:
+    def test_real_app_trace_replays_in_policy_simulator(self):
+        """Close the loop: run the real database, capture its write
+        trace, replay it through the untimed policy simulator."""
+        from repro.cleaning import GreedyPolicy, PolicySimulator
+
+        system = EnvySystem(EnvyConfig.small(num_segments=16,
+                                             pages_per_segment=256))
+        traced = TracingController(system)
+        database = TpcaDatabase(traced,
+                                TpcParams().scaled_to_accounts(1000))
+        database.load()
+        traced.reset()  # trace only the transactions, not the load
+        database.run(300, seed=14)
+        page_writes = traced.trace.page_writes()
+        assert len(page_writes) >= 300  # >= one record page per txn
+
+        simulator = PolicySimulator(GreedyPolicy(), num_segments=16,
+                                    pages_per_segment=64, buffer_pages=32)
+        live = simulator.store.num_logical_pages
+        workload = TraceWorkload(live,
+                                 [page % live for page in page_writes])
+        result = simulator.run(workload, len(page_writes))
+        assert result.host_writes == len(page_writes)
+        simulator.store.check_invariants()
