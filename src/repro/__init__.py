@@ -27,6 +27,8 @@ from .core import (EnvyConfig, EnvyController, EnvySystem, FlashParams,
                    SramParams, TpcParams, estimate_lifetime, system_cost)
 from .db import BTree, TpcaDatabase, TpcaLayout
 from .ext import ParallelFlushScheduler, TransactionManager
+from .faults import (BadBlockTable, FaultEvent, FaultInjector, FaultPlan,
+                     FaultStats, SecDed)
 from .flash import FlashArray, FlashBank, FlashChip, FlashSegment
 from .ramdisk import BlockDevice, FileSystem
 from .sim import SimStats, TimedSimulator, build_tpca_system, simulate_tpca
@@ -71,6 +73,12 @@ __all__ = [
     "build_tpca_system",
     "TransactionManager",
     "ParallelFlushScheduler",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "FaultEvent",
+    "SecDed",
+    "BadBlockTable",
     "BlockDevice",
     "FileSystem",
     "system_cost",

@@ -115,6 +115,12 @@ class SegmentStore:
         #: Physical erase-cycle counters; index num_positions is the spare.
         self.phys_erase_counts = [0] * (num_positions + 1)
         self.spare_phys = num_positions
+        #: Physical segments retired as bad blocks (see repro.faults) —
+        #: out of the cleaning rotation, excluded from wear accounting.
+        self.retired_phys: set = set()
+        #: Fresh physical segments held in reserve as replacements; they
+        #: join the rotation only when a retirement swaps them in.
+        self.reserve_phys: List[int] = []
         #: Where each logical page's live copy is: (position, slot),
         #: IN_BUFFER, or None if never written.
         self.page_location: List[Optional[Tuple[int, int]]] = (
@@ -403,13 +409,26 @@ class SegmentStore:
     def live_pages(self) -> int:
         return sum(p.live_count for p in self.positions)
 
+    def active_phys(self) -> List[int]:
+        """Physical segments in the cleaning rotation, in id order.
+
+        Excludes retired bad blocks and unprovisioned reserves, so the
+        utilization and wear accounting track the array's *usable*
+        capacity as it degrades.
+        """
+        return [phys for phys in range(len(self.phys_erase_counts))
+                if phys not in self.retired_phys
+                and phys not in self.reserve_phys]
+
     def utilization(self) -> float:
-        """Live fraction of the whole array (spare included, like §4.1)."""
-        total = (self.num_positions + 1) * self.pages_per_segment
+        """Live fraction of the usable array (spare included, like §4.1)."""
+        total = len(self.active_phys()) * self.pages_per_segment
         return self.live_pages() / total
 
     def wear_spread(self) -> int:
-        return max(self.phys_erase_counts) - min(self.phys_erase_counts)
+        counts = [self.phys_erase_counts[phys]
+                  for phys in self.active_phys()]
+        return max(counts) - min(counts)
 
     def check_invariants(self) -> None:
         """Expensive consistency check used by the property tests."""
@@ -430,5 +449,6 @@ class SegmentStore:
             if len(pos.slots) > pos.capacity:
                 raise StoreError(f"position {pos.index} over capacity")
         phys_in_use = [p.phys for p in self.positions] + [self.spare_phys]
-        if sorted(phys_in_use) != list(range(self.num_positions + 1)):
-            raise StoreError("physical segment mapping is not a bijection")
+        if sorted(phys_in_use) != self.active_phys():
+            raise StoreError("physical segment mapping is not a bijection "
+                             "onto the active segments")

@@ -52,10 +52,15 @@ class WearLeveler:
     # ------------------------------------------------------------------
 
     def _extremes(self, store: SegmentStore) -> Tuple[int, int]:
-        """Physical ids of the most- and least-cycled segments."""
+        """Physical ids of the most- and least-cycled *active* segments.
+
+        Retired bad blocks and unprovisioned reserves are outside the
+        erase rotation, so leveling must not try to swap data onto them.
+        """
         counts = store.phys_erase_counts
-        oldest = max(range(len(counts)), key=counts.__getitem__)
-        youngest = min(range(len(counts)), key=counts.__getitem__)
+        active = store.active_phys()
+        oldest = max(active, key=counts.__getitem__)
+        youngest = min(active, key=counts.__getitem__)
         return oldest, youngest
 
     def _position_on(self, store: SegmentStore, phys: int) -> Optional[int]:

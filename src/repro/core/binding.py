@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..cleaning.store import SegmentStore, StoreError
 from ..flash.array import FlashArray
+from ..flash.errors import BadBlockError
 
 __all__ = ["BoundStore"]
 
@@ -32,16 +33,29 @@ class BoundStore(SegmentStore):
 
     def __init__(self, num_positions: int, pages_per_segment: int,
                  num_logical_pages: int, array: FlashArray,
-                 observer=None) -> None:
-        if array.num_segments != num_positions + 1:
+                 observer=None, bad_blocks=None) -> None:
+        if array.num_segments < num_positions + 1:
             raise ValueError(
-                f"array must provide {num_positions + 1} segments "
-                f"(positions + the spare); it has {array.num_segments}")
+                f"array must provide at least {num_positions + 1} "
+                f"segments (positions + the spare); it has "
+                f"{array.num_segments}")
         if array.pages_per_segment != pages_per_segment:
             raise ValueError("array/store pages-per-segment mismatch")
         super().__init__(num_positions, pages_per_segment,
                          num_logical_pages, observer=observer)
         self.array = array
+        # Segments beyond positions + 1 spare are the bad-block reserve
+        # pool; they sit outside the rotation until a retirement swaps
+        # one in (see erase_phys).
+        self.phys_erase_counts = [0] * array.num_segments
+        self.reserve_phys = list(range(num_positions + 1,
+                                       array.num_segments))
+        #: Battery-backed :class:`~repro.faults.badblocks.BadBlockTable`
+        #: recording retirements; None disables retirement (a permanent
+        #: erase failure then propagates to the caller).
+        self.bad_blocks = bad_blocks
+        if bad_blocks is not None:
+            bad_blocks.provision(self.reserve_phys)
         #: Data for pages detached by pop_live, awaiting re-programming.
         self._pending_data: Dict[int, Optional[bytes]] = {}
         #: Callbacks invoked with (position, physical_segment) just
@@ -170,10 +184,48 @@ class BoundStore(SegmentStore):
             self.journal.commit()
         for hook in self.pre_erase_hooks:
             hook(pos_index, old_phys)
-        self.array.erase_segment(old_phys)
+        self.erase_phys(old_phys)
         if self.journal is not None:
             self.journal.clear()
         return copies
+
+    # ------------------------------------------------------------------
+    # Bad-block retirement
+    # ------------------------------------------------------------------
+
+    def erase_phys(self, phys: int) -> int:
+        """Erase ``phys``, retiring it if the erase fails permanently.
+
+        Every caller erases the segment that is (or is about to become)
+        the spare, so retirement never moves data: the failing segment
+        drops out of the rotation and a reserve segment — factory-erased,
+        so immediately usable — takes its place as the spare.  Returns
+        the physical id that ended up as the erased spare.
+
+        Raises :class:`~repro.cleaning.store.StoreError` when the
+        reserve pool is exhausted (capacity can no longer be maintained)
+        and re-raises :class:`~repro.flash.errors.BadBlockError` when no
+        bad-block table was provided.
+        """
+        try:
+            self.array.erase_segment(phys)
+            return phys
+        except BadBlockError as exc:
+            if self.bad_blocks is None:
+                raise
+            replacement = self.bad_blocks.retire(phys, exc.reason)
+            if replacement is None:
+                raise StoreError(
+                    f"segment {phys} failed ({exc.reason}) and the "
+                    f"reserve pool is exhausted") from exc
+            self.retired_phys.add(phys)
+            self.reserve_phys.remove(replacement)
+            if self.spare_phys == phys:
+                self.spare_phys = replacement
+            self.array.fault_stats.bad_blocks_retired += 1
+            self.array.emit_fault("bad_block_retired", phys,
+                                  f"replacement={replacement}")
+            return replacement
 
     def verify_against_array(self) -> None:
         """Cross-check placement bookkeeping against the Flash array.

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional
+
+from ..faults.plan import FaultPlan
 
 __all__ = [
     "FlashParams",
@@ -205,6 +208,28 @@ class EnvyConfig:
     #: Delay before resuming a suspended long operation (Section 3.4:
     #: "waits a few microseconds before resuming").
     resume_delay_ns: int = 2 * US
+    # --- fault tolerance (repro.faults) -------------------------------
+    #: Device-fault injection schedule; None (or an all-zero plan) runs
+    #: the array fault-free with zero overhead.
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-page SEC-DED ECC.  None means automatic: on exactly when a
+    #: nonzero fault plan is active, so the fault-free path stays
+    #: bit-identical in timing to a system without the ECC layer.
+    ecc_enabled: Optional[bool] = None
+    #: Controller time charged per Flash page read for the ECC check
+    #: (syndrome computation happens in the wide datapath; 0 models it
+    #: as fully overlapped, like the page-table update of Section 5.1).
+    ecc_check_ns: int = 0
+    #: Bounded retries for transient program / erase failures before the
+    #: operation is escalated (program: raised; erase: block retired).
+    program_retries: int = 3
+    erase_retries: int = 3
+    #: Spare segments provisioned beyond the cleaner's one erased spare,
+    #: forming the bad-block reserve pool.
+    reserve_segments: int = 0
+    #: Raise :class:`~repro.flash.errors.EnduranceExceeded` on erases
+    #: past the rated cycle count instead of recording the overshoot.
+    strict_endurance: bool = False
 
     @property
     def pages_per_segment(self) -> int:
@@ -255,6 +280,16 @@ class EnvyConfig:
             raise ValueError("segments must divide evenly into partitions")
         if self.buffer_pages < 1:
             raise ValueError("write buffer must hold at least one page")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+        if self.ecc_check_ns < 0:
+            raise ValueError("ecc_check_ns cannot be negative")
+        if self.program_retries < 0 or self.erase_retries < 0:
+            raise ValueError("retry budgets cannot be negative")
+        if self.reserve_segments < 0:
+            raise ValueError("reserve_segments cannot be negative")
+        if self.reserve_segments >= self.flash.num_segments:
+            raise ValueError("reserve pool cannot exceed the array")
 
     # ------------------------------------------------------------------
     # Canonical configurations

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..cleaning import CleaningPolicy, WearLeveler, make_policy
+from ..faults import BadBlockTable, FaultInjector, secded_for
 from ..flash.array import FlashArray
 from ..sram.buffer import WriteBuffer
 from ..sram.mmu import Mmu
@@ -52,11 +53,34 @@ class EnvyController:
         cfg = self.config
         self.store_data = store_data
         self.array = FlashArray(cfg.flash, cfg.page_bytes,
-                                store_data=store_data, spare_segments=1)
+                                store_data=store_data,
+                                spare_segments=1 + cfg.reserve_segments)
+        # --- fault-tolerance layer (repro.faults) ---------------------
+        plan = cfg.fault_plan
+        self.fault_injector = None
+        if plan is not None and not plan.is_zero():
+            self.fault_injector = FaultInjector(plan)
+        ecc_on = (cfg.ecc_enabled if cfg.ecc_enabled is not None
+                  else self.fault_injector is not None)
+        self._ecc = secded_for(cfg.page_bytes) if ecc_on else None
+        self._ecc_check_ns = cfg.ecc_check_ns if ecc_on else 0
+        self.array.strict_endurance = cfg.strict_endurance
+        self.bad_blocks = None
+        if self.fault_injector is not None or cfg.reserve_segments:
+            self.bad_blocks = BadBlockTable()
+        if (self.fault_injector is not None or self._ecc is not None
+                or cfg.strict_endurance):
+            self.array.attach_faults(
+                injector=self.fault_injector, ecc=self._ecc,
+                program_retries=cfg.program_retries,
+                erase_retries=cfg.erase_retries,
+                op_observer=self._on_fault_op)
+            self.array.fault_listeners.append(self._on_fault_event)
         self.store = BoundStore(cfg.flash.num_segments,
                                 cfg.pages_per_segment,
                                 cfg.logical_pages, self.array,
-                                observer=self._on_store_event)
+                                observer=self._on_store_event,
+                                bad_blocks=self.bad_blocks)
         self.policy = policy or make_policy(
             cfg.cleaning_policy,
             **({"partition_segments": cfg.partition_segments}
@@ -97,6 +121,7 @@ class EnvyController:
             self.page_table.update(page, Location.flash(position, slot))
         # Formatting is not measured work.
         self.metrics.reset()
+        self.array.fault_stats.reset()
         self._pending_work_ns = 0
 
     # ------------------------------------------------------------------
@@ -122,6 +147,57 @@ class EnvyController:
         else:  # pragma: no cover - future event kinds
             return
         self._pending_work_ns += ns
+
+    # ------------------------------------------------------------------
+    # Fault hooks: retries cost time, fault events update the counters
+    # ------------------------------------------------------------------
+
+    def _on_fault_op(self, kind: str, segment: int, count: int) -> None:
+        """Charge repeated program/erase attempts to the time model.
+
+        Called by the array once per retried operation; a retry costs a
+        full extra program or erase cycle on the affected segment.
+        """
+        if kind == "retry_program":
+            ns = count * self.array.program_time_ns(segment)
+            self.metrics.program_retries += count
+        elif kind == "retry_erase":
+            ns = count * self.array.erase_time_ns(segment)
+            self.metrics.erase_retries += count
+        else:  # pragma: no cover - future retry kinds
+            return
+        self.metrics.charge("retry", ns)
+        self._pending_work_ns += ns
+
+    def _on_fault_event(self, event) -> None:
+        if event.kind == "ecc_corrected":
+            self.metrics.ecc_corrected += 1
+        elif event.kind == "ecc_uncorrectable":
+            self.metrics.ecc_uncorrectable += 1
+        elif event.kind == "bad_block_retired":
+            self.metrics.bad_blocks_retired += 1
+
+    def health_report(self) -> dict:
+        """Device-health snapshot: fault, ECC and retirement counters.
+
+        The dict is flat and JSON-serialisable; with the same config
+        (including the fault plan's seed) and workload, two runs produce
+        identical reports — the injector is deterministic.
+        """
+        stats = self.array.fault_stats
+        report = {
+            "fault_injection_active": self.fault_injector is not None,
+            "ecc_enabled": self._ecc is not None,
+            "strict_endurance": self.config.strict_endurance,
+        }
+        report.update(stats.as_dict())
+        report.update({
+            "active_segments": len(self.store.active_phys()),
+            "retired_segments": sorted(self.store.retired_phys),
+            "reserves_remaining": len(self.store.reserve_phys),
+            "wear_overshoot_cycles": self.array.wear_stats().overshoot_cycles,
+        })
+        return report
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -173,7 +249,7 @@ class EnvyController:
             else:
                 payload = (self.store.read_page_data(page)
                            if self.store_data else None)
-                access_ns += cfg.flash.read_ns
+                access_ns += cfg.flash.read_ns + self._ecc_check_ns
             if payload is None:
                 pieces.append(bytes(chunk))
             else:

@@ -63,6 +63,12 @@ class ControllerMetrics:
     clean_copies: int = 0
     erases: int = 0
     wear_swaps: int = 0
+    # --- fault-tolerance counters (repro.faults) ----------------------
+    ecc_corrected: int = 0
+    ecc_uncorrectable: int = 0
+    program_retries: int = 0
+    erase_retries: int = 0
+    bad_blocks_retired: int = 0
     read_latency: LatencyStat = field(default_factory=LatencyStat)
     write_latency: LatencyStat = field(default_factory=LatencyStat)
     #: Controller time by activity, nanoseconds (Section 5.3 breakdown).
@@ -99,6 +105,11 @@ class ControllerMetrics:
         self.clean_copies = 0
         self.erases = 0
         self.wear_swaps = 0
+        self.ecc_corrected = 0
+        self.ecc_uncorrectable = 0
+        self.program_retries = 0
+        self.erase_retries = 0
+        self.bad_blocks_retired = 0
         self.read_latency = LatencyStat()
         self.write_latency = LatencyStat()
         self.busy_ns = {}
@@ -112,6 +123,15 @@ class ControllerMetrics:
             f"flushes: {self.flushes}, cleaning cost "
             f"{self.cleaning_cost:.2f}, erases: {self.erases}",
         ]
+        faults = (self.ecc_corrected + self.ecc_uncorrectable +
+                  self.program_retries + self.erase_retries +
+                  self.bad_blocks_retired)
+        if faults:
+            lines.append(
+                f"faults: {self.ecc_corrected} corrected, "
+                f"{self.ecc_uncorrectable} uncorrectable, "
+                f"{self.program_retries}+{self.erase_retries} retries, "
+                f"{self.bad_blocks_retired} blocks retired")
         breakdown = self.time_breakdown()
         if breakdown:
             parts = ", ".join(f"{k} {v:.0%}" for k, v in breakdown.items())

@@ -163,7 +163,7 @@ def recover(system: EnvyController,
             if spare.states[slot] is PageState.VALID:
                 spare.invalidate_page(slot)
         if not spare.is_erased:
-            array.erase_segment(journal.new_phys)
+            store.erase_phys(journal.new_phys)
             store.phys_erase_counts[journal.new_phys] += 1
             store.erase_count += 1
     elif interrupted is CleanPhase.COMMITTED:
@@ -175,7 +175,7 @@ def recover(system: EnvyController,
             for slot in range(old.write_pointer):
                 if old.states[slot] is PageState.VALID:
                     old.invalidate_page(slot)
-            array.erase_segment(journal.old_phys)
+            store.erase_phys(journal.old_phys)
     journal.clear()
     _requeue_orphans(system, journal)
     return interrupted

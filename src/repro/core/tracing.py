@@ -39,6 +39,10 @@ class AccessTrace:
     def __init__(self, page_bytes: int) -> None:
         self.page_bytes = page_bytes
         self.records: List[AccessRecord] = []
+        #: Device fault events (:class:`~repro.faults.plan.FaultEvent`)
+        #: observed while tracing — ECC corrections, retries, retirements
+        #: — interleaved with the host accesses that triggered them.
+        self.faults: List = []
 
     def append(self, op: str, address: int, length: int,
                ns: int) -> None:
@@ -87,12 +91,24 @@ class AccessTrace:
     def total_ns(self) -> int:
         return sum(record.ns for record in self.records)
 
+    def fault_counts(self) -> dict:
+        """Fault events by kind (empty when no faults were observed)."""
+        counts: dict = {}
+        for event in self.faults:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
     def summary(self) -> str:
         reads = self.reads()
         writes = self.writes()
-        return (f"{len(reads)} reads + {len(writes)} writes over "
+        text = (f"{len(reads)} reads + {len(writes)} writes over "
                 f"{len(self.pages_touched())} pages, "
                 f"{self.total_ns():,} ns of access time")
+        if self.faults:
+            parts = ", ".join(f"{kind} x{n}" for kind, n
+                              in sorted(self.fault_counts().items()))
+            text += f"; faults: {parts}"
+        return text
 
 
 class TracingController:
@@ -104,6 +120,15 @@ class TracingController:
         self.trace = AccessTrace(controller.config.page_bytes)
         self._on_access = on_access
         self.enabled = True
+        # Record device fault events (ECC corrections, retries, bad
+        # blocks) alongside the accesses that triggered them.
+        array = getattr(controller, "array", None)
+        if array is not None and hasattr(array, "fault_listeners"):
+            array.fault_listeners.append(self._record_fault)
+
+    def _record_fault(self, event) -> None:
+        if self.enabled:
+            self.trace.faults.append(event)
 
     # ------------------------------------------------------------------
 

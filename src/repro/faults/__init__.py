@@ -1,0 +1,24 @@
+"""Device fault injection and fault-tolerance building blocks.
+
+Everything the paper's benign failure model leaves out: a deterministic
+seed-driven :class:`FaultInjector` (transient program/erase failures,
+read bit flips, wear-correlated grown bad blocks), per-page SEC-DED
+:class:`SecDed` error correction, and the battery-backed
+:class:`BadBlockTable` that retires failing segments.  The flash layer
+consults the injector; the controller wires up the defences and exposes
+:meth:`~repro.core.controller.EnvyController.health_report`.
+"""
+
+from .badblocks import BadBlockTable
+from .ecc import SecDed, secded_for
+from .plan import FaultEvent, FaultInjector, FaultPlan, FaultStats
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "FaultEvent",
+    "SecDed",
+    "secded_for",
+    "BadBlockTable",
+]

@@ -1,0 +1,73 @@
+"""Battery-backed bad-block table with a reserve segment pool.
+
+Grown bad blocks are the one Flash fault no retry can absorb: an erase
+block that stops erasing is gone for good.  Real controllers keep a
+small pool of spare erase blocks and a persistent table mapping retired
+blocks to their replacements; eNVy's battery-backed SRAM (which already
+holds the page table and cleaning journal, Sections 3.3-3.4) is the
+natural home for that table.
+
+The model keeps the mechanism minimal: physical segments beyond the
+``positions + 1 spare`` geometry are provisioned as reserves, and
+:meth:`retire` swaps one in when a segment fails.  Retirement always
+happens at erase time — the failing segment has just been cleaned, so
+its live data already moved through the existing copy-on-write
+machinery and *no data motion is needed*; only the physical identity of
+the cleaner's spare changes.  Like the rest of the battery-backed
+state, the table survives :meth:`~repro.core.controller.EnvyController.
+power_cycle`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["BadBlockTable"]
+
+
+class BadBlockTable:
+    """Maps retired physical segments to reasons; pools the reserves."""
+
+    def __init__(self) -> None:
+        #: Retired physical segment -> reason ("grown_bad", "permanent",
+        #: "retry_exhausted", ...).
+        self.retired: Dict[int, str] = {}
+        #: Fresh physical segments available as replacements, FIFO.
+        self.reserve: List[int] = []
+        #: Retirement order, for tracing/replay comparisons.
+        self.history: List[tuple] = []
+
+    # ------------------------------------------------------------------
+
+    def provision(self, phys_ids) -> None:
+        """Add erased physical segments to the reserve pool."""
+        for phys in phys_ids:
+            if phys in self.retired:
+                raise ValueError(f"segment {phys} is already retired")
+            self.reserve.append(phys)
+
+    def retire(self, phys: int, reason: str) -> Optional[int]:
+        """Retire ``phys``; returns a replacement or None if none left."""
+        if phys in self.retired:
+            raise ValueError(f"segment {phys} is already retired")
+        self.retired[phys] = reason
+        replacement = self.reserve.pop(0) if self.reserve else None
+        self.history.append((phys, reason, replacement))
+        return replacement
+
+    def is_bad(self, phys: int) -> bool:
+        return phys in self.retired
+
+    # ------------------------------------------------------------------
+
+    @property
+    def retired_count(self) -> int:
+        return len(self.retired)
+
+    @property
+    def reserves_remaining(self) -> int:
+        return len(self.reserve)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BadBlockTable({self.retired_count} retired, "
+                f"{self.reserves_remaining} reserves)")

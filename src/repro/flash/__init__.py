@@ -7,8 +7,10 @@ bank/segment organisation of Sections 3.3-3.4 (Figure 4).
 from .array import FlashArray, WearStats
 from .bank import FlashBank
 from .chip import ChipMode, Command, FlashChip
-from .errors import (AddressError, EnduranceExceeded, EraseError, FlashError,
-                     ProgramError)
+from .errors import (AddressError, BadBlockError, EnduranceExceeded,
+                     EraseError, FlashError, ProgramError,
+                     TransientEraseError, TransientProgramError,
+                     UncorrectableDataError)
 from .segment import FlashSegment, PageState
 
 __all__ = [
@@ -25,4 +27,8 @@ __all__ = [
     "EraseError",
     "AddressError",
     "EnduranceExceeded",
+    "TransientProgramError",
+    "TransientEraseError",
+    "BadBlockError",
+    "UncorrectableDataError",
 ]

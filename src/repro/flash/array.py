@@ -20,7 +20,9 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from ..core.config import FlashParams
-from .errors import AddressError
+from ..faults.plan import FaultEvent, FaultStats
+from .errors import (AddressError, BadBlockError, EnduranceExceeded,
+                     TransientProgramError)
 from .segment import FlashSegment, PageState
 
 __all__ = ["FlashArray", "WearStats"]
@@ -69,6 +71,13 @@ class WearStats:
         used = self.max_erases / self.endurance_cycles
         return max(0.0, 1.0 - used)
 
+    @property
+    def overshoot_cycles(self) -> int:
+        """Erase cycles consumed beyond the rated endurance (Section 2:
+        recorded, not fatal, unless ``strict_endurance`` is set)."""
+        return sum(max(0, count - self.endurance_cycles)
+                   for count in self.erase_counts)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"WearStats(erases {self.min_erases}..{self.max_erases}, "
                 f"spread={self.spread})")
@@ -102,6 +111,26 @@ class FlashArray:
                          store_data=store_data)
             for i in range(self.num_segments)
         ]
+        # --- fault-tolerance state (inert until attach_faults) --------
+        #: Counters for injected faults and the defences that fired.
+        self.fault_stats = FaultStats()
+        #: Callbacks receiving every :class:`FaultEvent` (tracing).
+        self.fault_listeners: List = []
+        #: Raise :class:`EnduranceExceeded` past rated cycles instead of
+        #: recording the overshoot.
+        self.strict_endurance = False
+        self._fault_injector = None
+        self._ecc = None
+        #: Stored check words, segment -> {page: code} (the model of the
+        #: out-of-band spare area real parts reserve for ECC).
+        self._ecc_codes: dict = {}
+        self._program_retries = 3
+        self._erase_retries = 3
+        #: Observer for fault-driven extra work: (kind, segment, count)
+        #: with kind "retry_program" / "retry_erase"; the controller
+        #: charges the repeated operation times through its cost model.
+        self._op_observer = None
+        self._fault_event_count = 0
 
     # ------------------------------------------------------------------
     # Addressing
@@ -144,27 +173,169 @@ class FlashArray:
         return segment // self.params.segments_per_bank
 
     # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, injector=None, ecc=None,
+                      program_retries: int = 3, erase_retries: int = 3,
+                      op_observer=None) -> None:
+        """Arm fault injection and/or the controller-side defences.
+
+        ``injector`` is a :class:`~repro.faults.plan.FaultInjector` (or
+        None for a fault-free device with ECC still active); ``ecc`` a
+        :class:`~repro.faults.ecc.SecDed` codec matching the page size.
+        Retry budgets bound the program-verify and erase-retry loops;
+        ``op_observer(kind, segment, count)`` hears about every repeated
+        operation so its time can be charged to the cost model.  The
+        fault-free fast paths are untouched when nothing is attached.
+        """
+        if program_retries < 0 or erase_retries < 0:
+            raise ValueError("retry budgets cannot be negative")
+        self._fault_injector = injector if (injector is not None
+                                            and injector.active) else None
+        self._ecc = ecc
+        self._program_retries = program_retries
+        self._erase_retries = erase_retries
+        self._op_observer = op_observer
+
+    @property
+    def fault_injector(self):
+        return self._fault_injector
+
+    def emit_fault(self, kind: str, segment: int, detail: str = "") -> None:
+        """Publish a :class:`FaultEvent` to every registered listener."""
+        self._fault_event_count += 1
+        if not self.fault_listeners:
+            return
+        event = FaultEvent(kind, segment, self._fault_event_count, detail)
+        for listener in self.fault_listeners:
+            listener(event)
+
+    def bad_segments(self) -> List[int]:
+        """Physical segments retired after permanent failures."""
+        return [s.segment_id for s in self.segments if s.is_bad]
+
+    # ------------------------------------------------------------------
     # Operations (delegate to segments, return timing)
     # ------------------------------------------------------------------
 
     def program_page(self, segment: int, data: Optional[bytes] = None
                      ) -> Tuple[int, int]:
-        """Program the next page of ``segment``; return (page, time_ns)."""
+        """Program the next page of ``segment``; return (page, time_ns).
+
+        With a fault injector attached this is program-*verify*: a
+        transiently failed attempt leaves the cells untouched and is
+        retried (each retry re-consuming a program time via the op
+        observer) up to the bounded retry budget, after which
+        :class:`TransientProgramError` escapes to the caller.
+        """
         seg = self.segment(segment)
+        injector = self._fault_injector
+        if injector is not None:
+            failures = 0
+            while injector.program_fails(segment):
+                failures += 1
+                self.fault_stats.program_retries += 1
+                self.emit_fault("transient_program_failure", segment)
+                if self._op_observer is not None:
+                    self._op_observer("retry_program", segment, 1)
+                if failures > self._program_retries:
+                    self.fault_stats.program_retry_exhausted += 1
+                    raise TransientProgramError(
+                        f"segment {segment}: program failed verify "
+                        f"{failures} times (budget "
+                        f"{self._program_retries})")
         page = seg.program_page(data)
+        if self._ecc is not None and data is not None:
+            self._ecc_codes.setdefault(segment, {})[page] = \
+                self._ecc.encode(bytes(data))
         return page, self.program_time_ns(segment)
 
     def read_page(self, segment: int, page: int) -> Optional[bytes]:
-        return self.segment(segment).read_page(page)
+        """Read one page, through the fault and ECC paths when armed.
+
+        Injected read disturbs corrupt only the returned copy (the
+        cells are unharmed, matching transient flips on a real read
+        path).  With ECC attached, a single flipped bit is corrected
+        and counted; multi-bit corruption is detected, counted as
+        uncorrectable, and returned as-is — the caller sees exactly
+        what degraded hardware would deliver.
+        """
+        data = self.segment(segment).read_page(page)
+        if data is None:
+            return data
+        injector = self._fault_injector
+        flips = 0
+        if injector is not None:
+            data, flips = injector.corrupt_read(data, segment)
+            if flips:
+                self.fault_stats.read_bit_flips += flips
+                self.emit_fault("read_bit_flip", segment,
+                                f"page={page} bits={flips}")
+        if self._ecc is not None:
+            code = self._ecc_codes.get(segment, {}).get(page)
+            if code is not None:
+                status, data, fixed = self._ecc.check(data, code)
+                if status == "corrected":
+                    self.fault_stats.ecc_corrected_reads += 1
+                    self.fault_stats.ecc_corrected_bits += fixed
+                    self.emit_fault("ecc_corrected", segment,
+                                    f"page={page}")
+                elif status == "uncorrectable":
+                    self.fault_stats.ecc_uncorrectable_reads += 1
+                    self.emit_fault("ecc_uncorrectable", segment,
+                                    f"page={page}")
+        elif flips:
+            self.fault_stats.silent_corrupt_reads += 1
+        return data
 
     def invalidate_page(self, segment: int, page: int) -> None:
         self.segment(segment).invalidate_page(page)
 
     def erase_segment(self, segment: int) -> int:
-        """Erase ``segment``; returns the erase time in nanoseconds."""
+        """Erase ``segment``; returns the erase time in nanoseconds.
+
+        Past the rated endurance the overshoot is recorded (or, under
+        ``strict_endurance``, :class:`EnduranceExceeded` is raised).
+        With a fault injector attached, transient erase failures are
+        retried within the budget; a permanent or wear-correlated
+        grown-bad verdict marks the segment bad and raises
+        :class:`BadBlockError` so the caller can retire it.
+        """
         seg = self.segment(segment)
+        if seg.erase_count >= self.params.endurance_cycles:
+            if self.strict_endurance:
+                raise EnduranceExceeded(
+                    f"segment {segment} is past its rated "
+                    f"{self.params.endurance_cycles} cycles")
+            self.fault_stats.endurance_overshoots += 1
+        injector = self._fault_injector
+        if injector is not None:
+            failures = 0
+            while True:
+                wear = seg.erase_count / self.params.endurance_cycles
+                verdict = injector.erase_verdict(segment, wear)
+                if verdict == "ok":
+                    break
+                if verdict == "transient":
+                    failures += 1
+                    self.fault_stats.erase_retries += 1
+                    self.emit_fault("transient_erase_failure", segment)
+                    if self._op_observer is not None:
+                        self._op_observer("retry_erase", segment, 1)
+                    if failures <= self._erase_retries:
+                        continue
+                    verdict = "retry_exhausted"
+                seg.mark_bad()
+                if verdict == "grown_bad":
+                    self.fault_stats.grown_bad_blocks += 1
+                else:
+                    self.fault_stats.permanent_erase_failures += 1
+                self.emit_fault("bad_block", segment, verdict)
+                raise BadBlockError(segment, verdict)
         time_ns = self.erase_time_ns(segment)
         seg.erase()
+        self._ecc_codes.pop(segment, None)
         return time_ns
 
     # ------------------------------------------------------------------

@@ -20,7 +20,9 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
-from .errors import AddressError, EraseError, ProgramError
+from .errors import (AddressError, BadBlockError, EnduranceExceeded,
+                     EraseError, ProgramError, TransientEraseError,
+                     TransientProgramError)
 
 __all__ = ["FlashChip", "ChipMode", "Command"]
 
@@ -90,6 +92,20 @@ class FlashChip:
         self._mode = ChipMode.READ_ARRAY
         self._pending_erase_block: Optional[int] = None
         self._status_ready = True
+        #: Optional :class:`~repro.faults.plan.FaultInjector`; when set,
+        #: program/erase/read consult it (signatures are unchanged —
+        #: faults surface as the Transient*/BadBlock exceptions real
+        #: firmware sees in the status register).
+        self.fault_injector = None
+        #: Raise :class:`EnduranceExceeded` past the rated cycles instead
+        #: of silently recording the overshoot (Section 2's lenient
+        #: reading is the default).
+        self.strict_endurance = False
+        #: Blocks retired after a permanent failure; data stays readable
+        #: (Section 2) but program/erase are refused.
+        self.bad_blocks: set = set()
+        #: Erase operations performed past the rated cycle count.
+        self.endurance_overshoots = 0
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -132,7 +148,13 @@ class FlashChip:
             block = self._pending_erase_block
             if block is not None and self.block_of(address) == block:
                 raise EraseError("cannot read from the block being erased")
-        return self._cells[address]
+        value = self._cells[address]
+        if self.fault_injector is not None:
+            corrupted, flips = self.fault_injector.corrupt_read(
+                bytes([value]), self.block_of(address))
+            if flips:
+                value = corrupted[0]
+        return value
 
     def command(self, value: int) -> None:
         """Write a command byte to the Command User Interface."""
@@ -172,14 +194,39 @@ class FlashChip:
             raise ProgramError(
                 f"cannot program byte at {address}: 0x{current:02x} -> "
                 f"0x{value:02x} would set bits; erase the block first")
-        self._cells[address] = value
         block = address // self.block_bytes
+        if block in self.bad_blocks:
+            raise BadBlockError(block, "retired")
+        if self.fault_injector is not None and \
+                self.fault_injector.program_fails(block):
+            # The attempt consumed time but verified bad; the cells are
+            # left untouched so the caller can simply retry.
+            raise TransientProgramError(
+                f"program at {address} failed verify; retry")
+        self._cells[address] = value
         self._program_counts[block] += 1
         return self.program_time_ns(block)
 
     def erase_block(self, block: int) -> int:
         """Erase a block to all 0xFF; returns the time in nanoseconds."""
         self._check_block(block)
+        if block in self.bad_blocks:
+            raise BadBlockError(block, "retired")
+        if self._erase_counts[block] >= self.endurance_cycles:
+            if self.strict_endurance:
+                raise EnduranceExceeded(
+                    f"block {block} is past its rated "
+                    f"{self.endurance_cycles} cycles")
+            self.endurance_overshoots += 1
+        if self.fault_injector is not None:
+            wear = self._erase_counts[block] / self.endurance_cycles
+            verdict = self.fault_injector.erase_verdict(block, wear)
+            if verdict == "transient":
+                raise TransientEraseError(
+                    f"erase of block {block} failed; retry")
+            if verdict in ("permanent", "grown_bad"):
+                self.bad_blocks.add(block)
+                raise BadBlockError(block, verdict)
         start = block * self.block_bytes
         self._cells[start:start + self.block_bytes] = (
             bytes([ERASED_BYTE]) * self.block_bytes)

@@ -6,6 +6,10 @@ __all__ = [
     "EraseError",
     "AddressError",
     "EnduranceExceeded",
+    "TransientProgramError",
+    "TransientEraseError",
+    "BadBlockError",
+    "UncorrectableDataError",
 ]
 
 
@@ -35,5 +39,39 @@ class EnduranceExceeded(FlashError):
     The paper notes (Section 2) that real parts usually keep working far
     past the rated cycle count — the "failure" is only that operations may
     exceed their specified time — so raising is optional; by default the
-    model records the overshoot and keeps going.
+    model records the overshoot and keeps going.  Set
+    ``EnvyConfig.strict_endurance`` (or ``strict_endurance`` on a chip or
+    array) to turn the overshoot into this exception.
     """
+
+
+class TransientProgramError(ProgramError):
+    """An injected program failure; an independent retry may succeed.
+
+    Raised by the device models when a :class:`~repro.faults.plan.
+    FaultInjector` fails a program attempt (and, at array level, only
+    after the bounded retry budget is exhausted).
+    """
+
+
+class TransientEraseError(EraseError):
+    """An injected erase failure; an independent retry may succeed."""
+
+
+class BadBlockError(FlashError):
+    """A block failed permanently and must be retired.
+
+    Covers both outright permanent erase failures and wear-correlated
+    *grown* bad blocks.  ``segment`` (or ``block``) identifies the
+    failed unit; ``reason`` is the injector's verdict.
+    """
+
+    def __init__(self, unit: int, reason: str = "permanent") -> None:
+        super().__init__(f"block {unit} failed permanently ({reason}); "
+                         f"retire it")
+        self.unit = unit
+        self.reason = reason
+
+
+class UncorrectableDataError(FlashError):
+    """A read returned data whose corruption exceeds ECC's reach."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import List, Optional
 
-from .errors import AddressError, EraseError, ProgramError
+from .errors import AddressError, BadBlockError, EraseError, ProgramError
 
 __all__ = ["PageState", "FlashSegment"]
 
@@ -52,7 +52,7 @@ class FlashSegment:
 
     __slots__ = ("segment_id", "num_pages", "page_bytes", "store_data",
                  "states", "data", "erase_count", "program_count",
-                 "write_pointer", "live_count", "_erasing")
+                 "write_pointer", "live_count", "_erasing", "is_bad")
 
     def __init__(self, segment_id: int, num_pages: int, page_bytes: int = 256,
                  store_data: bool = True) -> None:
@@ -74,6 +74,10 @@ class FlashSegment:
         self.write_pointer = 0
         self.live_count = 0
         self._erasing = False
+        #: Retired after a permanent erase failure (grown bad block).
+        #: Existing data stays readable (Section 2) but the segment
+        #: accepts no further program or erase operations.
+        self.is_bad = False
 
     # ------------------------------------------------------------------
 
@@ -118,6 +122,8 @@ class FlashSegment:
         per segment, and the cleaner relies on this order being preserved
         (Section 4.3: "the order of the pages is maintained").
         """
+        if self.is_bad:
+            raise BadBlockError(self.segment_id, "retired")
         if self._erasing:
             raise EraseError(f"segment {self.segment_id} is being erased")
         if self.write_pointer >= self.num_pages:
@@ -174,8 +180,15 @@ class FlashSegment:
         self.begin_erase()
         self.finish_erase()
 
+    def mark_bad(self) -> None:
+        """Retire the segment after a permanent failure."""
+        self.is_bad = True
+        self._erasing = False
+
     def begin_erase(self) -> None:
         """Start a (suspendable) erase; data becomes inaccessible."""
+        if self.is_bad:
+            raise BadBlockError(self.segment_id, "retired")
         if self._erasing:
             raise EraseError(f"segment {self.segment_id} already erasing")
         if self.live_count:

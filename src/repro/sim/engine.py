@@ -248,7 +248,9 @@ def build_tpca_system(num_segments: int = 128,
                       rate_tps: float = 10_000.0,
                       policy: str = "hybrid",
                       seed: int = 7,
-                      program_speedup: float = 1.0) -> TimedSimulator:
+                      program_speedup: float = 1.0,
+                      fault_plan=None,
+                      reserve_segments: int = 0) -> TimedSimulator:
     """Assemble the Figure 13-15 experiment at a reduced scale.
 
     The default array is 32 MiB (128 segments of 256 KiB) — 1/64 of
@@ -256,11 +258,17 @@ def build_tpca_system(num_segments: int = 128,
     erase-per-program ratio, and a database sized to fill the live
     space like the paper's 15.5 million accounts fill 2 GB.  Saturation
     behaviour depends on these ratios, not on absolute capacity.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) runs the
+    experiment under injected device faults, with ``reserve_segments``
+    spare segments available for bad-block retirement.
     """
     config = EnvyConfig.scaled(num_segments=num_segments,
                                pages_per_segment=pages_per_segment,
                                max_utilization=utilization,
-                               cleaning_policy=policy)
+                               cleaning_policy=policy,
+                               fault_plan=fault_plan,
+                               reserve_segments=reserve_segments)
     if program_speedup != 1.0:
         # The Section 6 extension: the cleaner runs several program and
         # erase operations concurrently on different banks, dividing the
