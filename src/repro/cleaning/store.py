@@ -121,6 +121,10 @@ class SegmentStore:
         #: Fresh physical segments held in reserve as replacements; they
         #: join the rotation only when a retirement swaps them in.
         self.reserve_phys: List[int] = []
+        #: Physical segments dedicated to flash-resident metadata (page
+        #: table checkpoints).  They never hold logical pages, so they
+        #: are outside the cleaning rotation and its wear accounting.
+        self.metadata_phys: set = set()
         #: Where each logical page's live copy is: (position, slot),
         #: IN_BUFFER, or None if never written.
         self.page_location: List[Optional[Tuple[int, int]]] = (
@@ -418,7 +422,8 @@ class SegmentStore:
         """
         return [phys for phys in range(len(self.phys_erase_counts))
                 if phys not in self.retired_phys
-                and phys not in self.reserve_phys]
+                and phys not in self.reserve_phys
+                and phys not in self.metadata_phys]
 
     def utilization(self) -> float:
         """Live fraction of the usable array (spare included, like §4.1)."""
@@ -429,6 +434,37 @@ class SegmentStore:
         counts = [self.phys_erase_counts[phys]
                   for phys in self.active_phys()]
         return max(counts) - min(counts)
+
+    def restore_layout(self, position_slots: List[List[int]],
+                       position_phys: List[int],
+                       page_location: List[Optional[Tuple[int, int]]],
+                       spare_phys: int) -> None:
+        """Install a layout reconstructed by a recovery scan.
+
+        Replaces the slot runs, position ↔ physical mapping, and page
+        locations wholesale; live counts are recomputed from the page
+        locations (liveness is lazy, so they are the single source of
+        truth).  Counters, cleaning statistics, and the retirement /
+        reserve / metadata sets are left for the caller to set — a scan
+        recovers layout, not history.
+        """
+        if len(position_slots) != self.num_positions or \
+                len(position_phys) != self.num_positions:
+            raise StoreError("layout does not match the position count")
+        if len(page_location) != self.num_logical_pages:
+            raise StoreError("layout does not match the logical page count")
+        self.page_location = list(page_location)
+        for pos, slots, phys in zip(self.positions, position_slots,
+                                    position_phys):
+            if len(slots) > pos.capacity:
+                raise StoreError(f"position {pos.index} over capacity")
+            pos.slots = list(slots)
+            pos.phys = phys
+            pos.demoted = set()
+            pos.live_count = sum(
+                1 for slot, page in enumerate(pos.slots)
+                if self.page_location[page] == (pos.index, slot))
+        self.spare_phys = spare_phys
 
     def check_invariants(self) -> None:
         """Expensive consistency check used by the property tests."""

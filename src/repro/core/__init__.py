@@ -17,7 +17,12 @@ from .prototype import (PrototypeController, PrototypeTimings,
                         narrow_path_timings, prototype_config)
 from .tracing import AccessRecord, AccessTrace, TracingController
 from .recovery import (CleaningJournal, CleanPhase, CrashInjector,
-                       SimulatedPowerFailure, attach_journal, recover)
+                       RecoveryError, RecoveryMismatch, RecoveryReport,
+                       SimulatedPowerFailure, attach_journal, recover,
+                       recover_from_flash, verify_against_scan)
+from .checkpoint import (CheckpointError, CheckpointManager,
+                         read_latest_checkpoint)
+from .chaos import ChaosResult, KillSwitch, chaos_sweep, run_chaos
 
 __all__ = [
     "EnvyConfig",
@@ -47,6 +52,18 @@ __all__ = [
     "SimulatedPowerFailure",
     "attach_journal",
     "recover",
+    "RecoveryReport",
+    "RecoveryError",
+    "RecoveryMismatch",
+    "recover_from_flash",
+    "verify_against_scan",
+    "CheckpointManager",
+    "CheckpointError",
+    "read_latest_checkpoint",
+    "ChaosResult",
+    "KillSwitch",
+    "run_chaos",
+    "chaos_sweep",
     "EnvyMemoryView",
     "TracingController",
     "AccessTrace",

@@ -19,37 +19,84 @@ silently — the array acts as a runtime checker for the cleaner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from ..cleaning.store import SegmentStore, StoreError
+from ..cleaning.store import IN_BUFFER, SegmentStore, StoreError
 from ..flash.array import FlashArray
 from ..flash.errors import BadBlockError
+from ..flash.oob import DATA, OobRecord, pack_oob, payload_crc
 
 __all__ = ["BoundStore"]
 
 
 class BoundStore(SegmentStore):
-    """A SegmentStore whose operations carry page data through Flash."""
+    """A SegmentStore whose operations carry page data through Flash.
+
+    Every program is additionally stamped with an out-of-band record
+    (:mod:`repro.flash.oob`): host flushes get a fresh *epoch* from
+    ``epoch_source``, cleaner copies and transfers re-stamp the page's
+    existing epoch (the copy is the same version), and every program —
+    whoever issued it — consumes one global sequence number.  Together
+    these make the array reconstructible by scan alone.
+    """
 
     def __init__(self, num_positions: int, pages_per_segment: int,
                  num_logical_pages: int, array: FlashArray,
-                 observer=None, bad_blocks=None) -> None:
-        if array.num_segments < num_positions + 1:
+                 observer=None, bad_blocks=None,
+                 checkpoint_segments: int = 0,
+                 epoch_source: Optional[Callable[[], int]] = None) -> None:
+        if checkpoint_segments < 0:
+            raise ValueError("checkpoint_segments cannot be negative")
+        if array.num_segments < num_positions + 1 + checkpoint_segments:
             raise ValueError(
-                f"array must provide at least {num_positions + 1} "
-                f"segments (positions + the spare); it has "
+                f"array must provide at least "
+                f"{num_positions + 1 + checkpoint_segments} segments "
+                f"(positions + the spare + checkpoint segments); it has "
                 f"{array.num_segments}")
         if array.pages_per_segment != pages_per_segment:
             raise ValueError("array/store pages-per-segment mismatch")
         super().__init__(num_positions, pages_per_segment,
                          num_logical_pages, observer=observer)
         self.array = array
-        # Segments beyond positions + 1 spare are the bad-block reserve
-        # pool; they sit outside the rotation until a retirement swaps
-        # one in (see erase_phys).
+        # The highest-numbered segments are dedicated to page-table
+        # checkpoints; segments between positions + 1 spare and the
+        # checkpoint region are the bad-block reserve pool.  Both sit
+        # outside the cleaning rotation (see erase_phys).
         self.phys_erase_counts = [0] * array.num_segments
-        self.reserve_phys = list(range(num_positions + 1,
-                                       array.num_segments))
+        self.metadata_phys = set(
+            range(array.num_segments - checkpoint_segments,
+                  array.num_segments))
+        self.reserve_phys = list(range(
+            num_positions + 1,
+            array.num_segments - checkpoint_segments))
+        #: Where host flushes get their epochs; None falls back to a
+        #: private counter so a standalone store still stamps correctly.
+        self.epoch_source = epoch_source
+        self._epoch_counter = 1
+        #: Write epoch of each logical page's current flash copy.
+        self.page_epochs: List[int] = [0] * num_logical_pages
+        #: Global program sequence counter (every OOB stamp takes one).
+        self.seq_counter = 0
+        #: Stamping switch; on by default (stamps are free in the timing
+        #: model — the OOB shares the program cycle).
+        self.stamp_oob = True
+        #: Optional callback ``(logical_page, position, slot, epoch)``
+        #: fired after a host flush lands in flash; the controller uses
+        #: it to mirror epochs into the SRAM page table.
+        self.program_listener = None
+        #: Crash-consistent mode: keep the last *flushed* copy of a
+        #: buffered page alive in flash until its successor flushes.
+        #: Without this, cleaning a segment can destroy the only durable
+        #: version of a page whose newer contents sit in SRAM — fatal
+        #: under full SRAM loss, invisible under the paper's
+        #: battery-backed model.  Off by default so the paper-faithful
+        #: configurations behave (and time) exactly as before.
+        self.preserve_flushed_copies = False
+        #: logical page -> (position, slot) of its last flushed copy,
+        #: tracked only while the page is buffered (SRAM-resident).
+        self.flush_shadows: Dict[int, Tuple[int, int]] = {}
+        #: Dead-copy preservation programs performed by clean().
+        self.rescue_count = 0
         #: Battery-backed :class:`~repro.faults.badblocks.BadBlockTable`
         #: recording retirements; None disables retirement (a permanent
         #: erase failure then propagates to the caller).
@@ -83,6 +130,27 @@ class BoundStore(SegmentStore):
         return self.array.read_page(phys, slot)
 
     # ------------------------------------------------------------------
+    # OOB stamping
+    # ------------------------------------------------------------------
+
+    def _new_epoch(self) -> int:
+        if self.epoch_source is not None:
+            return self.epoch_source()
+        epoch = self._epoch_counter
+        self._epoch_counter += 1
+        return epoch
+
+    def _data_oob(self, logical_page: int, pos_index: int,
+                  data: Optional[bytes], epoch: int) -> Optional[bytes]:
+        """Build the spare-area stamp for one data program."""
+        if not self.stamp_oob:
+            return None
+        seq = self.seq_counter
+        self.seq_counter += 1
+        return pack_oob(OobRecord(DATA, logical_page, epoch, seq,
+                                  pos_index, payload_crc(data)))
+
+    # ------------------------------------------------------------------
     # Mirrored operations
     # ------------------------------------------------------------------
 
@@ -101,17 +169,36 @@ class BoundStore(SegmentStore):
         if data is None:
             data = self._pending_data.get(logical_page)
         phys = self.positions[pos_index].phys
-        self.array.program_page(phys, data)
+        epoch = self._new_epoch() if self.stamp_oob else 0
+        self.array.program_page(
+            phys, data,
+            oob=self._data_oob(logical_page, pos_index, data, epoch))
         # Consume the staged bytes only after the program committed, so
         # a power failure mid-program still finds them for recovery.
         self._pending_data.pop(logical_page, None)
         super().append(pos_index, logical_page, count_as_flush)
+        self.flush_shadows.pop(logical_page, None)
+        if self.stamp_oob:
+            self.page_epochs[logical_page] = epoch
+            if self.program_listener is not None:
+                slot = len(self.positions[pos_index].slots) - 1
+                self.program_listener(logical_page, pos_index, slot, epoch)
 
     def _kill(self, loc) -> None:
         position, slot = loc
         phys = self.positions[position].phys
         self.array.invalidate_page(phys, slot)
         super()._kill(loc)
+
+    def buffer_page(self, logical_page: int):
+        if self.preserve_flushed_copies:
+            loc = self.page_location[logical_page]
+            if loc is not None and loc != IN_BUFFER:
+                # The flash copy being superseded is the page's newest
+                # durable version; remember it so clean() keeps it alive
+                # until the buffered successor flushes.
+                self.flush_shadows[logical_page] = loc
+        return super().buffer_page(logical_page)
 
     def pop_live(self, pos_index: int, from_end: bool) -> Optional[int]:
         pos = self.positions[pos_index]
@@ -134,7 +221,11 @@ class BoundStore(SegmentStore):
                 demote: bool = False) -> None:
         data = self._pending_data.get(logical_page)
         phys = self.positions[pos_index].phys
-        self.array.program_page(phys, data)
+        # A transfer is a copy, not a new version: same epoch, new seq.
+        self.array.program_page(
+            phys, data,
+            oob=self._data_oob(logical_page, pos_index, data,
+                               self.page_epochs[logical_page]))
         self._pending_data.pop(logical_page, None)
         super().receive(pos_index, logical_page, demote)
 
@@ -170,15 +261,57 @@ class BoundStore(SegmentStore):
                                      if p not in pos.demoted]
         data_by_page = {page: self.array.read_page(old_phys, slot)
                         for slot, page in survivor_pairs}
+        # Cleaner copies preserve each page's epoch: the shadow copy is
+        # the same version, so if the clean never commits (power loss
+        # before the old segment is invalidated) recovery's tie-break —
+        # equal epoch, lowest seq wins — resolves to the originals and
+        # the uncommitted clean simply never happened.
         for page in (prepend or ()):
-            self.array.program_page(new_phys,
-                                    self._pending_data.get(page))
+            pdata = self._pending_data.get(page)
+            self.array.program_page(
+                new_phys, pdata,
+                oob=self._data_oob(page, pos_index, pdata,
+                                   self.page_epochs[page]))
             self._pending_data.pop(page, None)
         for page in ordered:
-            self.array.program_page(new_phys, data_by_page[page])
+            self.array.program_page(
+                new_phys, data_by_page[page],
+                oob=self._data_oob(page, pos_index, data_by_page[page],
+                                   self.page_epochs[page]))
+        # Crash-consistent mode: dead slots holding the newest *flushed*
+        # copy of a currently-buffered page are copied too — dead in the
+        # bookkeeping, but the only durable version of their page.  They
+        # ride at the tail of the fresh segment, immediately marked
+        # superseded, and win the recovery scan only if the buffered
+        # successor never makes it to flash.
+        rescues = []
+        if self.preserve_flushed_copies and self.flush_shadows:
+            for slot, page in enumerate(pos.slots):
+                if self.flush_shadows.get(page) == (pos_index, slot):
+                    rescues.append((page, self.array.read_page(old_phys,
+                                                               slot)))
+            total = len(prepend or ()) + len(ordered) + len(rescues)
+            if total > pos.capacity:
+                raise StoreError(
+                    f"position {pos_index} cannot preserve {len(rescues)} "
+                    f"flushed copies: segment capacity exceeded")
+            for page, rdata in rescues:
+                self.array.program_page(
+                    new_phys, rdata,
+                    oob=self._data_oob(page, pos_index, rdata,
+                                       self.page_epochs[page]))
+                tail = self.array.segment(new_phys).write_pointer - 1
+                self.array.invalidate_page(new_phys, tail)
+            if rescues:
+                self.rescue_count += len(rescues)
+                if self.observer is not None:
+                    self.observer("rescue", pos_index, len(rescues))
         for slot, _ in survivor_pairs:
             self.array.invalidate_page(old_phys, slot)
         copies = super().clean(pos_index, prepend)
+        for page, _ in rescues:
+            pos.slots.append(page)
+            self.flush_shadows[page] = (pos_index, len(pos.slots) - 1)
         if self.journal is not None:
             # The remap is now the truth; only the bulk erase remains.
             self.journal.commit()

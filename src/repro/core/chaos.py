@@ -1,0 +1,220 @@
+"""Chaos harness: cut the power at arbitrary Flash operations.
+
+The recovery scan (:func:`repro.core.recovery.recover_from_flash`)
+claims that whatever instant the power dies, the array alone
+reconstructs a consistent store holding, for every logical page, its
+newest *committed* copy.  This module makes that claim executable: it
+runs a TPC-A workload against a controller whose Flash operations are
+counted, kills the run at a chosen operation (optionally *tearing* the
+in-flight program — the page is half-written with a payload that no
+longer matches its stamped CRC), recovers from the surviving array, and
+compares every logical page against an oracle of committed flushes.
+
+``chaos_sweep`` drives the property test: a dry run counts the total
+operations of a seeded workload, then the same workload is replayed
+once per kill point.  Everything is deterministic — same seed, same
+fault plan, same kill point gives byte-identical outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import EnvyConfig
+from .controller import EnvyController
+from .recovery import (RecoveryReport, SimulatedPowerFailure,
+                       recover_from_flash)
+
+__all__ = ["ChaosResult", "KillSwitch", "run_chaos", "chaos_sweep"]
+
+#: Bytes written per TPC-A balance update in the replay.
+_WORD = 8
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run (workload + kill + recovery + verify)."""
+
+    kill_at: Optional[int]
+    tear: bool
+    #: Flash operations counted before the run ended (the total for an
+    #: uninterrupted run — use this to choose kill points).
+    ops_seen: int = 0
+    #: Whether the kill actually fired (False = workload outran it).
+    interrupted: bool = False
+    #: Pages with at least one committed flush when the power died.
+    committed_pages: int = 0
+    report: Optional[RecoveryReport] = None
+    #: Logical pages whose recovered bytes differ from the oracle.
+    mismatches: List[int] = field(default_factory=list)
+    verified: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.verified and not self.mismatches
+
+
+class KillSwitch:
+    """Counts Flash programs/erases and cuts the power at one of them.
+
+    ``kill_at`` is 1-based over the operations issued after arming.  A
+    plain kill raises :class:`SimulatedPowerFailure` *before* the
+    operation touches the array (a clean cut between cycles); with
+    ``tear=True`` a killed program first writes a corrupted payload
+    under the original OOB stamp — the torn page a mid-cycle power loss
+    leaves behind, detected at recovery by the payload-CRC mismatch.
+    """
+
+    def __init__(self, array, kill_at: Optional[int] = None,
+                 tear: bool = False) -> None:
+        self.array = array
+        self.kill_at = kill_at
+        self.tear = tear
+        self.ops = 0
+        self._program = array.program_page
+        self._erase = array.erase_segment
+        array.program_page = self._wrap_program
+        array.erase_segment = self._wrap_erase
+
+    def _fire(self) -> bool:
+        self.ops += 1
+        return self.kill_at is not None and self.ops == self.kill_at
+
+    def _wrap_program(self, segment, data=None, oob=None):
+        if self._fire():
+            if self.tear and data is not None:
+                torn = bytes([data[0] ^ 0xFF]) + bytes(data[1:])
+                self._program(segment, torn, oob=oob)
+            raise SimulatedPowerFailure(
+                f"power lost at flash op {self.ops} (program)")
+        return self._program(segment, data, oob=oob)
+
+    def _wrap_erase(self, segment):
+        if self._fire():
+            raise SimulatedPowerFailure(
+                f"power lost at flash op {self.ops} (erase)")
+        return self._erase(segment)
+
+    def detach(self) -> None:
+        self.array.__dict__.pop("program_page", None)
+        self.array.__dict__.pop("erase_segment", None)
+
+
+def _attach_oracle(ctrl: EnvyController) -> Dict[int, Optional[bytes]]:
+    """Record every committed flush's payload, keyed by logical page.
+
+    Wraps ``store.append`` so the payload is logged only after the
+    program (and the bookkeeping behind it) completed — a killed or
+    torn program never commits.
+    """
+    store = ctrl.store
+    committed: Dict[int, Optional[bytes]] = {}
+    original = store.append
+
+    def logged(pos_index, logical_page, count_as_flush=True, data=None):
+        payload = data if data is not None \
+            else store._pending_data.get(logical_page)
+        original(pos_index, logical_page, count_as_flush, data)
+        committed[logical_page] = (bytes(payload) if payload is not None
+                                   else None)
+
+    store.append = logged
+    return committed
+
+
+def _page_bytes(ctrl: EnvyController, page: int) -> bytes:
+    """A page's recovered bytes, read without the fault path."""
+    zeros = bytes(ctrl.config.page_bytes)
+    loc = ctrl.store.page_location[page]
+    if loc is None or loc == (-1, -1):
+        return zeros
+    position, slot = loc
+    phys = ctrl.store.positions[position].phys
+    data = ctrl.array.segment(phys).read_page(slot)
+    return bytes(data) if data is not None else zeros
+
+
+def _replay(ctrl: EnvyController, layout,
+            transactions: int, seed: int) -> None:
+    """Replay a seeded TPC-A access trace against the controller."""
+    # Imported here: workloads imports core.config, so a module-level
+    # import would close a cycle through core/__init__.
+    from ..workloads.tpca import TpcaWorkload
+
+    workload = TpcaWorkload(layout, rate_tps=100.0, seed=seed)
+    stamp = 0
+    for txn in workload.transactions(transactions):
+        for is_write, address in workload.accesses(txn):
+            address = min(address, ctrl.size_bytes - _WORD)
+            if is_write:
+                stamp += 1
+                ctrl.write(address,
+                           stamp.to_bytes(_WORD, "little"))
+            else:
+                ctrl.read(address, _WORD)
+
+
+def run_chaos(config: EnvyConfig, transactions: int = 20,
+              kill_at: Optional[int] = None, tear: bool = False,
+              seed: int = 0, policy=None,
+              recover: bool = True) -> ChaosResult:
+    """One chaos run: workload, optional kill, recovery, verification.
+
+    ``kill_at=None`` runs to completion (a dry run when ``recover`` is
+    False — its ``ops_seen`` is the kill-point space).  Requires a
+    data-bearing controller; when checkpointing is off, the store's
+    flushed-copy preservation is enabled anyway, since the committed-
+    prefix guarantee depends on it once SRAM is assumed lossy.
+    """
+    from ..db.layout import TpcaLayout
+
+    ctrl = EnvyController(config, policy)
+    if not ctrl.store_data:
+        raise ValueError("chaos runs need a data-bearing controller")
+    ctrl.store.preserve_flushed_copies = True
+    layout = TpcaLayout.sized_for(config.logical_bytes)
+    committed = _attach_oracle(ctrl)
+    switch = KillSwitch(ctrl.array, kill_at=kill_at, tear=tear)
+    result = ChaosResult(kill_at=kill_at, tear=tear)
+    try:
+        _replay(ctrl, layout, transactions, seed)
+        ctrl.drain()
+    except SimulatedPowerFailure:
+        result.interrupted = True
+    switch.detach()
+    result.ops_seen = switch.ops
+    result.committed_pages = len(committed)
+    if not recover:
+        return result
+    recovered, report = recover_from_flash(ctrl.array, config,
+                                           policy=policy)
+    recovered.check_consistency()
+    result.report = report
+    zeros = bytes(config.page_bytes)
+    for page in range(config.logical_pages):
+        want = committed.get(page)
+        if want is None:
+            want = zeros
+        if _page_bytes(recovered, page) != want:
+            result.mismatches.append(page)
+    result.verified = True
+    return result
+
+
+def chaos_sweep(config: EnvyConfig, transactions: int = 20,
+                stride: int = 1, tear: bool = False, seed: int = 0,
+                policy=None) -> List[ChaosResult]:
+    """Kill the same seeded run at every ``stride``-th Flash operation.
+
+    Returns one :class:`ChaosResult` per kill point (all of which
+    should satisfy ``result.ok``); the dry run that sized the sweep is
+    not included.
+    """
+    dry = run_chaos(config, transactions, kill_at=None, tear=False,
+                    seed=seed, policy=policy, recover=False)
+    results = []
+    for kill_at in range(1, dry.ops_seen + 1, max(1, stride)):
+        results.append(run_chaos(config, transactions, kill_at=kill_at,
+                                 tear=tear, seed=seed, policy=policy))
+    return results

@@ -1,0 +1,299 @@
+"""Flash-resident page-table checkpoints (crash-consistent metadata).
+
+The paper keeps every piece of mapping state in battery-backed SRAM and
+never writes it to Flash.  That makes recovery instant while the battery
+holds — and total when it does not.  This module adds the production
+counterpart: a periodic *checkpoint* of the controller's SRAM metadata,
+written to dedicated metadata segments through the normal program path,
+so that :func:`repro.core.recovery.recover_from_flash` can rebuild the
+system from Flash alone and only roll forward the small tail of
+programs issued after the last checkpoint.
+
+Contents and format
+-------------------
+
+A checkpoint is a zlib-compressed pickle of a plain dict capturing
+
+* the write-epoch and program-sequence counters,
+* per-physical-segment slot records ``(kind, page, epoch, seq,
+  position)`` — exactly the information stamped in each page's OOB
+  region, cached so recovery does not have to re-read pages programmed
+  before the checkpoint,
+* each segment's erase count and write pointer at capture time (the
+  roll-forward bounds: a segment whose erase count changed is rescanned
+  in full, otherwise only slots past the recorded write pointer are
+  read),
+* the cleaning-position statistics, policy registers, wear-leveler
+  state and store counters, which a bare scan could not reconstruct.
+
+The blob is chunked into pages and programmed into one metadata segment;
+each chunk's OOB carries ``kind=CHECKPOINT``, the chunk index as its
+logical page, the checkpoint id as its epoch, the total chunk count in
+the position field, the chunk's true byte length in ``aux``, and a CRC
+of the (padded) chunk payload.  A checkpoint is usable only if *every*
+chunk of its id is present and CRC-clean, so a torn checkpoint is
+simply ignored in favour of the previous one.
+
+Ping-pong placement
+-------------------
+
+With ``checkpoint_segments >= 2`` metadata segments, a new checkpoint is
+always programmed into an erased segment *before* the stale one is
+erased.  A power failure at any point therefore leaves at least one
+complete checkpoint intact — the write is atomic at the granularity of
+"latest complete id wins".
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Dict, Optional, Tuple
+
+from ..flash.array import FlashArray
+from ..flash.errors import FlashError
+from ..flash.oob import CHECKPOINT, OobRecord, pack_oob, payload_crc, unpack_oob
+
+__all__ = ["CheckpointManager", "CheckpointError", "read_latest_checkpoint"]
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint cannot be captured or placed."""
+
+
+def _capture_positions(store) -> list:
+    from .persistence import _position_state
+
+    return [_position_state(p) for p in store.positions]
+
+
+def _capture_policy(policy) -> dict:
+    from .persistence import _policy_state
+
+    return _policy_state(policy)
+
+
+class CheckpointManager:
+    """Writes periodic metadata checkpoints through the program path."""
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+        self.segments = sorted(controller.store.metadata_phys)
+        if len(self.segments) < 2:
+            raise CheckpointError(
+                "checkpointing needs at least two metadata segments")
+        #: Id of the newest complete checkpoint (0 = none yet).
+        self.checkpoint_id = 0
+        #: Metadata segment holding the newest complete checkpoint.
+        self.holder: Optional[int] = None
+        self.enabled = True
+        #: Why checkpointing shut itself off (None while healthy).
+        self.failure_reason: Optional[str] = None
+        self.checkpoints_written = 0
+        self.last_write_ns = 0
+        self.last_chunk_count = 0
+        self.total_ns = 0
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Snapshot the SRAM metadata as a plain, pickle-friendly dict.
+
+        The slot records are parsed from the array's stored OOB images —
+        information the controller equivalently holds in SRAM, so the
+        capture itself is a memory dump and costs no Flash reads.
+        """
+        ctrl = self.controller
+        store = ctrl.store
+        segments = []
+        for seg in ctrl.array.segments:
+            records = []
+            for slot in range(seg.write_pointer):
+                rec = unpack_oob(seg.oob[slot])
+                records.append(None if rec is None else
+                               (rec.kind, rec.logical_page, rec.epoch,
+                                rec.seq, rec.position))
+            segments.append({
+                "erase_count": seg.erase_count,
+                "write_pointer": seg.write_pointer,
+                "slots": records,
+            })
+        return {
+            "checkpoint_id": self.checkpoint_id + 1,
+            "write_epoch": ctrl.page_table.write_epoch,
+            "seq_counter": store.seq_counter,
+            "segments": segments,
+            "spare_phys": store.spare_phys,
+            "retired_phys": sorted(store.retired_phys),
+            "reserve_phys": list(store.reserve_phys),
+            "metadata_phys": sorted(store.metadata_phys),
+            "phys_erase_counts": list(store.phys_erase_counts),
+            "counters": {
+                "flush_count": store.flush_count,
+                "clean_copy_count": store.clean_copy_count,
+                "transfer_count": store.transfer_count,
+                "erase_count": store.erase_count,
+                "host_write_count": store.host_write_count,
+                "rescue_count": store.rescue_count,
+            },
+            "positions": _capture_positions(store),
+            "policy": _capture_policy(ctrl.policy),
+            "leveler": {
+                "swap_count": ctrl.leveler.swap_count,
+                "last_swap": ctrl.leveler._last_swap_erase_count,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _disable(self, reason: str) -> None:
+        self.enabled = False
+        self.failure_reason = reason
+        self.controller.array.emit_fault("checkpoint_disabled", -1, reason)
+
+    def _erase_metadata(self, phys: int) -> int:
+        """Erase a metadata segment (its chunks are always disposable)."""
+        from ..flash.segment import PageState
+
+        array = self.controller.array
+        seg = array.segment(phys)
+        for slot in range(seg.write_pointer):
+            if seg.states[slot] is PageState.VALID:
+                seg.invalidate_page(slot)
+        return array.erase_segment(phys)
+
+    def _pick_target(self) -> Optional[Tuple[int, int]]:
+        """An erased metadata segment to write into; returns
+        ``(phys, erase_ns)`` where erase_ns is time spent making room."""
+        array = self.controller.array
+        for phys in self.segments:
+            if phys == self.holder:
+                continue
+            seg = array.segment(phys)
+            if seg.is_bad:
+                continue
+            if seg.is_erased:
+                return phys, 0
+        # No erased segment free (e.g. a torn checkpoint left a partial
+        # one behind): reclaim the first healthy non-holder.
+        for phys in self.segments:
+            if phys == self.holder or array.segment(phys).is_bad:
+                continue
+            try:
+                return phys, self._erase_metadata(phys)
+            except FlashError as exc:
+                self._disable(f"metadata segment {phys} failed: {exc}")
+                return None
+        self._disable("no healthy metadata segment available")
+        return None
+
+    def write_checkpoint(self) -> int:
+        """Capture and program one checkpoint; returns nanoseconds spent.
+
+        On any failure (oversized state, exhausted program retries, bad
+        metadata block) checkpointing disables itself and records the
+        reason — the system keeps running, recovery just falls back to a
+        full scan.
+        """
+        if not self.enabled:
+            return 0
+        ctrl = self.controller
+        array = ctrl.array
+        page_bytes = array.page_bytes
+        state = self.capture()
+        blob = zlib.compress(
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+        chunk_count = max(1, -(-len(blob) // page_bytes))
+        if chunk_count > array.pages_per_segment:
+            self._disable(
+                f"checkpoint needs {chunk_count} pages but a metadata "
+                f"segment holds {array.pages_per_segment}")
+            return 0
+        picked = self._pick_target()
+        if picked is None:
+            return 0
+        target, ns = picked
+        cid = state["checkpoint_id"]
+        try:
+            for index in range(chunk_count):
+                chunk = blob[index * page_bytes:(index + 1) * page_bytes]
+                data = chunk.ljust(page_bytes, b"\0")
+                oob = pack_oob(OobRecord(CHECKPOINT, index, cid, index,
+                                         chunk_count, payload_crc(data),
+                                         len(chunk)))
+                _, program_ns = array.program_page(target, data, oob=oob)
+                ns += program_ns
+        except FlashError as exc:
+            self._disable(f"checkpoint program failed: {exc}")
+            return ns
+        stale, self.holder = self.holder, target
+        self.checkpoint_id = cid
+        self.checkpoints_written += 1
+        self.last_chunk_count = chunk_count
+        if stale is not None:
+            try:
+                ns += self._erase_metadata(stale)
+            except FlashError as exc:
+                # The new checkpoint is safe; we just lost the ping-pong
+                # partner.  _pick_target will route around it next time.
+                ctrl.array.emit_fault("checkpoint_erase_failed", stale,
+                                      str(exc))
+        self.last_write_ns = ns
+        self.total_ns += ns
+        return ns
+
+
+# ----------------------------------------------------------------------
+# Read path (used by recovery, which has no CheckpointManager yet)
+# ----------------------------------------------------------------------
+
+def read_latest_checkpoint(array: FlashArray,
+                           metadata_phys) -> Tuple[Optional[dict], int, int]:
+    """Find and decode the newest complete checkpoint.
+
+    Scans every metadata segment's OOB records, groups CHECKPOINT chunks
+    by id, and — newest id first — reassembles any id whose chunks are
+    all present with clean payload CRCs.  Returns ``(state, chunks_read,
+    holder)``; ``(None, chunks_read, -1)`` when no complete checkpoint
+    survives.  Reads go through the array's fault path, so a bit flip in
+    a chunk simply demotes that checkpoint like a torn write would.
+    """
+    candidates: Dict[int, Dict[int, bytes]] = {}
+    totals: Dict[int, int] = {}
+    holders: Dict[int, int] = {}
+    chunks_read = 0
+    for phys in sorted(metadata_phys):
+        seg = array.segment(phys)
+        if seg.is_bad:
+            continue
+        for slot in range(seg.write_pointer):
+            chunks_read += 1
+            rec = unpack_oob(array.read_oob(phys, slot))
+            if rec is None or not rec.is_checkpoint:
+                continue
+            data = array.read_page(phys, slot)
+            if data is None or payload_crc(data) != rec.payload_crc:
+                continue
+            cid = rec.epoch
+            totals[cid] = rec.position
+            holders[cid] = phys
+            chunk = bytes(data[:rec.aux])
+            candidates.setdefault(cid, {})[rec.logical_page] = chunk
+    for cid in sorted(candidates, reverse=True):
+        total = totals[cid]
+        chunks = candidates[cid]
+        if len(chunks) != total or set(chunks) != set(range(total)):
+            continue
+        blob = b"".join(chunks[i] for i in range(total))
+        try:
+            state = pickle.loads(zlib.decompress(blob))
+        except Exception:
+            continue
+        if state.get("checkpoint_id") != cid:
+            continue
+        return state, chunks_read, holders[cid]
+    return None, chunks_read, -1

@@ -230,6 +230,23 @@ class EnvyConfig:
     #: Raise :class:`~repro.flash.errors.EnduranceExceeded` on erases
     #: past the rated cycle count instead of recording the overshoot.
     strict_endurance: bool = False
+    # --- crash consistency (repro.core.checkpoint / recovery) ---------
+    #: Write a flash-resident page-table checkpoint every N buffer
+    #: flushes; None disables checkpointing entirely (no metadata
+    #: segments are carved out, so the fault-free timing is
+    #: bit-identical to a system without the checkpoint machinery).
+    checkpoint_interval_flushes: Optional[int] = None
+    #: Flash segments dedicated to checkpoints when enabled (ping-pong:
+    #: the newest checkpoint is written to an erased metadata segment
+    #: before the stale one is erased, so a crash mid-checkpoint always
+    #: leaves one complete older checkpoint intact).
+    checkpoint_segments: int = 2
+
+    @property
+    def effective_checkpoint_segments(self) -> int:
+        """Metadata segments actually carved out of the array."""
+        return (self.checkpoint_segments
+                if self.checkpoint_interval_flushes is not None else 0)
 
     @property
     def pages_per_segment(self) -> int:
@@ -290,6 +307,19 @@ class EnvyConfig:
             raise ValueError("reserve_segments cannot be negative")
         if self.reserve_segments >= self.flash.num_segments:
             raise ValueError("reserve pool cannot exceed the array")
+        if self.checkpoint_interval_flushes is not None:
+            if self.checkpoint_interval_flushes <= 0:
+                raise ValueError(
+                    "checkpoint_interval_flushes must be positive")
+            if self.checkpoint_segments < 2:
+                raise ValueError(
+                    "checkpointing needs at least two metadata segments "
+                    "(ping-pong: write the new one before erasing the old)")
+            overhead = (1 + self.reserve_segments
+                        + self.checkpoint_segments)
+            if overhead >= self.flash.num_segments:
+                raise ValueError(
+                    "spare + reserve + checkpoint segments exceed the array")
 
     # ------------------------------------------------------------------
     # Canonical configurations

@@ -47,14 +47,26 @@ class EnvyController:
 
     def __init__(self, config: Optional[EnvyConfig] = None,
                  policy: Optional[CleaningPolicy] = None,
-                 store_data: bool = True) -> None:
+                 store_data: bool = True,
+                 _array: Optional[FlashArray] = None,
+                 _skip_format: bool = False) -> None:
         self.config = config or EnvyConfig.small()
         self.config.validate()
         cfg = self.config
         self.store_data = store_data
-        self.array = FlashArray(cfg.flash, cfg.page_bytes,
-                                store_data=store_data,
-                                spare_segments=1 + cfg.reserve_segments)
+        if cfg.checkpoint_interval_flushes is not None and not store_data:
+            raise ValueError(
+                "checkpointing stores state in page payloads and needs "
+                "store_data=True")
+        if _array is not None:
+            # Recovery path: rebuild the controller over a surviving
+            # array instead of fabricating a fresh one.
+            self.array = _array
+        else:
+            self.array = FlashArray(
+                cfg.flash, cfg.page_bytes, store_data=store_data,
+                spare_segments=(1 + cfg.reserve_segments
+                                + cfg.effective_checkpoint_segments))
         # --- fault-tolerance layer (repro.faults) ---------------------
         plan = cfg.fault_plan
         self.fault_injector = None
@@ -76,15 +88,6 @@ class EnvyController:
                 erase_retries=cfg.erase_retries,
                 op_observer=self._on_fault_op)
             self.array.fault_listeners.append(self._on_fault_event)
-        self.store = BoundStore(cfg.flash.num_segments,
-                                cfg.pages_per_segment,
-                                cfg.logical_pages, self.array,
-                                observer=self._on_store_event,
-                                bad_blocks=self.bad_blocks)
-        self.policy = policy or make_policy(
-            cfg.cleaning_policy,
-            **({"partition_segments": cfg.partition_segments}
-               if cfg.cleaning_policy == "hybrid" else {}))
         self.page_table = PageTable(cfg.logical_pages,
                                     entry_bytes=cfg.page_table_entry_bytes,
                                     read_ns=cfg.sram.read_ns,
@@ -92,10 +95,33 @@ class EnvyController:
         self.mmu = Mmu(self.page_table)
         self.buffer = WriteBuffer(cfg.buffer_pages, cfg.page_bytes,
                                   flush_threshold=cfg.flush_threshold)
+        self.store = BoundStore(
+            cfg.flash.num_segments, cfg.pages_per_segment,
+            cfg.logical_pages, self.array,
+            observer=self._on_store_event, bad_blocks=self.bad_blocks,
+            checkpoint_segments=cfg.effective_checkpoint_segments,
+            epoch_source=self.page_table.next_epoch)
+        self.store.program_listener = self._on_flush_program
+        self.store.preserve_flushed_copies = \
+            cfg.checkpoint_interval_flushes is not None
+        self.policy = policy or make_policy(
+            cfg.cleaning_policy,
+            **({"partition_segments": cfg.partition_segments}
+               if cfg.cleaning_policy == "hybrid" else {}))
         self.leveler = WearLeveler(cfg.wear_swap_cycles)
         self.metrics = ControllerMetrics()
         self._pending_work_ns = 0
-        self._format()
+        # --- crash-consistent metadata (repro.core.checkpoint) --------
+        self.checkpointer = None
+        self._flushes_since_checkpoint = 0
+        #: Report of the scan that rebuilt this controller, if any.
+        self.last_recovery_report = None
+        if cfg.checkpoint_interval_flushes is not None:
+            from .checkpoint import CheckpointManager
+
+            self.checkpointer = CheckpointManager(self)
+        if not _skip_format:
+            self._format()
         self.policy.attach(self.store)
 
     # ------------------------------------------------------------------
@@ -128,6 +154,11 @@ class EnvyController:
     # Store event hook: charge background work to the time breakdown
     # ------------------------------------------------------------------
 
+    def _on_flush_program(self, page: int, position: int, slot: int,
+                          epoch: int) -> None:
+        # The OOB stamp and the epoch note share the program cycle.
+        self.page_table.note_epoch(page, epoch)
+
     def _on_store_event(self, event: str, position: int, amount: int) -> None:
         # Timing comes from the array so wear degradation (Section 2),
         # when enabled, makes an aged segment genuinely slower.
@@ -136,7 +167,7 @@ class EnvyController:
             ns = amount * self.array.program_time_ns(phys)
             self.metrics.charge("flush", ns)
             self.metrics.flushes += amount
-        elif event in ("clean_copy", "transfer"):
+        elif event in ("clean_copy", "transfer", "rescue"):
             ns = amount * self.array.program_time_ns(phys)
             self.metrics.charge("clean", ns)
             self.metrics.clean_copies += amount
@@ -196,6 +227,31 @@ class EnvyController:
             "retired_segments": sorted(self.store.retired_phys),
             "reserves_remaining": len(self.store.reserve_phys),
             "wear_overshoot_cycles": self.array.wear_stats().overshoot_cycles,
+        })
+        # --- recovery / checkpoint status -----------------------------
+        ckpt = self.checkpointer
+        report.update({
+            "checkpointing_enabled": ckpt is not None and ckpt.enabled,
+            "checkpoint_failure_reason": (ckpt.failure_reason
+                                          if ckpt is not None else None),
+            "checkpoints_written": (ckpt.checkpoints_written
+                                    if ckpt is not None else 0),
+            "last_checkpoint_id": ckpt.checkpoint_id if ckpt is not None
+                                  else 0,
+            "checkpoint_segments": sorted(self.store.metadata_phys),
+            "rescued_copies": self.store.rescue_count,
+        })
+        recovery = self.last_recovery_report
+        report.update({
+            "recovered_from_flash": recovery is not None,
+            "recovery_mode": recovery.mode if recovery else None,
+            "recovery_pages_reconstructed": (recovery.pages_reconstructed
+                                             if recovery else 0),
+            "recovery_pages_scanned": (recovery.pages_scanned
+                                       if recovery else 0),
+            "recovery_scan_ns": recovery.scan_ns if recovery else 0,
+            "recovery_checkpoint_id": (recovery.checkpoint_id
+                                       if recovery else None),
         })
         return report
 
@@ -360,7 +416,28 @@ class EnvyController:
             journal.clear_flush()
         self.leveler.maybe_level(self.store)
         self.metrics.wear_swaps = self.leveler.swap_count
+        if self.checkpointer is not None and self.checkpointer.enabled:
+            self._flushes_since_checkpoint += 1
+            if self._flushes_since_checkpoint >= \
+                    self.config.checkpoint_interval_flushes:
+                self.checkpoint_now()
         return self._pending_work_ns - before
+
+    def checkpoint_now(self) -> int:
+        """Write a metadata checkpoint immediately; returns its ns cost.
+
+        No-op (returning 0) when checkpointing is disabled or has shut
+        itself off after a metadata-segment failure.
+        """
+        if self.checkpointer is None or not self.checkpointer.enabled:
+            return 0
+        ns = self.checkpointer.write_checkpoint()
+        self._flushes_since_checkpoint = 0
+        if ns:
+            self.metrics.charge("checkpoint", ns)
+            self.metrics.checkpoints_written += 1
+            self._pending_work_ns += ns
+        return ns
 
     def background_work(self, budget_ns: int) -> int:
         """Do up to ``budget_ns`` of flushing while over the threshold.

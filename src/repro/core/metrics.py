@@ -69,6 +69,8 @@ class ControllerMetrics:
     program_retries: int = 0
     erase_retries: int = 0
     bad_blocks_retired: int = 0
+    #: Flash-resident metadata checkpoints written (repro.core.checkpoint).
+    checkpoints_written: int = 0
     read_latency: LatencyStat = field(default_factory=LatencyStat)
     write_latency: LatencyStat = field(default_factory=LatencyStat)
     #: Controller time by activity, nanoseconds (Section 5.3 breakdown).
@@ -110,6 +112,7 @@ class ControllerMetrics:
         self.program_retries = 0
         self.erase_retries = 0
         self.bad_blocks_retired = 0
+        self.checkpoints_written = 0
         self.read_latency = LatencyStat()
         self.write_latency = LatencyStat()
         self.busy_ns = {}

@@ -54,6 +54,7 @@ def _segment_state(segment) -> dict:
     return {
         "states": [int(state) for state in segment.states],
         "data": list(segment.data) if segment.store_data else None,
+        "oob": list(segment.oob),
         "erase_count": segment.erase_count,
         "program_count": segment.program_count,
         "write_pointer": segment.write_pointer,
@@ -95,6 +96,17 @@ def save_system(system: EnvyController,
             "clean_copy_count": store.clean_copy_count,
             "transfer_count": store.transfer_count,
             "erase_count": store.erase_count,
+        },
+        # Crash-consistency state: per-page write epochs, the epoch and
+        # program-sequence counters, and the checkpoint cursor.  Without
+        # them a restored system would restart epochs at 1, and a later
+        # recovery scan would elect stale copies as winners.
+        "page_epochs": list(system.page_table._epochs),
+        "write_epoch": system.page_table.write_epoch,
+        "seq_counter": store.seq_counter,
+        "checkpointer": None if system.checkpointer is None else {
+            "checkpoint_id": system.checkpointer.checkpoint_id,
+            "holder": system.checkpointer.holder,
         },
         "segments": [_segment_state(s) for s in system.array.segments],
         "buffer": [(entry.logical_page,
@@ -159,6 +171,8 @@ def load_system(source: Union[str, BinaryIO]) -> EnvyController:
         segment.states = [PageState(v) for v in saved["states"]]
         if segment.store_data and saved["data"] is not None:
             segment.data = list(saved["data"])
+        if saved.get("oob") is not None:
+            segment.oob = list(saved["oob"])
         segment.erase_count = saved["erase_count"]
         segment.program_count = saved["program_count"]
         segment.write_pointer = saved["write_pointer"]
@@ -197,6 +211,16 @@ def load_system(source: Union[str, BinaryIO]) -> EnvyController:
             setattr(system.policy, attr, policy_state[attr])
     system.leveler.swap_count = state["leveler"]["swap_count"]
     system.leveler._last_swap_erase_count = state["leveler"]["last_swap"]
+    # Crash-consistency state (absent in pre-OOB snapshots, whose
+    # arrays carry no stamps to conflict with the fresh counters).
+    if state.get("page_epochs") is not None:
+        system.page_table._epochs = list(state["page_epochs"])
+        system.page_table.write_epoch = state["write_epoch"]
+        store.seq_counter = state["seq_counter"]
+    ckpt = state.get("checkpointer")
+    if ckpt is not None and system.checkpointer is not None:
+        system.checkpointer.checkpoint_id = ckpt["checkpoint_id"]
+        system.checkpointer.holder = ckpt["holder"]
     system.metrics.reset()
     return system
 

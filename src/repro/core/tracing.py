@@ -40,8 +40,10 @@ class AccessTrace:
         self.page_bytes = page_bytes
         self.records: List[AccessRecord] = []
         #: Device fault events (:class:`~repro.faults.plan.FaultEvent`)
-        #: observed while tracing — ECC corrections, retries, retirements
-        #: — interleaved with the host accesses that triggered them.
+        #: observed while tracing — ECC corrections, retries, retirements,
+        #: checkpoint failures (``checkpoint_disabled``,
+        #: ``checkpoint_erase_failed``) — interleaved with the host
+        #: accesses that triggered them.
         self.faults: List = []
 
     def append(self, op: str, address: int, length: int,

@@ -134,6 +134,9 @@ class FaultStats:
     #: Reads returned with flipped bits while ECC was disabled.
     silent_corrupt_reads: int = 0
     endurance_overshoots: int = 0
+    #: Bit flips injected into out-of-band (spare-area) reads during a
+    #: recovery scan; the OOB CRC detects these and demotes the copy.
+    oob_bit_flips: int = 0
 
     def reset(self) -> None:
         for f in fields(self):
@@ -162,6 +165,7 @@ class FaultInjector:
         self.program_ops = 0
         self.erase_ops = 0
         self.read_ops = 0
+        self.oob_ops = 0
         #: Injected faults in order: (kind, op_index, extra) tuples.
         self.event_log: List[Tuple] = []
 
@@ -263,6 +267,32 @@ class FaultInjector:
         self.event_log.append(("read_flip", index, segment,
                                tuple(sorted(flip_bits))))
         return bytes(corrupted), len(flip_bits)
+
+    def corrupt_oob(self, raw: bytes,
+                    segment: int = -1) -> Tuple[bytes, int]:
+        """Maybe flip a bit in a copy of an out-of-band read.
+
+        The spare area shares the data cells' per-bit flip rate, but its
+        draws come from a dedicated ``oob`` stream with its own counter:
+        scanning the array during recovery must not shift the fault
+        schedule the data path would otherwise see.
+        """
+        if not self.active:
+            return raw, 0
+        plan = self.plan
+        index = self.oob_ops
+        self.oob_ops += 1
+        if plan.read_flip_rate <= 0.0 or not raw:
+            return raw, 0
+        nbits = len(raw) * 8
+        page_p = min(1.0, plan.read_flip_rate * nbits)
+        if self._unit("oob", index) >= page_p:
+            return raw, 0
+        bit = self._draw_int("oobpos", index, nbits)
+        corrupted = bytearray(raw)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        self.event_log.append(("oob_flip", index, segment, bit))
+        return bytes(corrupted), 1
 
     # ------------------------------------------------------------------
 

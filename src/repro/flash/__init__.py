@@ -11,6 +11,8 @@ from .errors import (AddressError, BadBlockError, EnduranceExceeded,
                      EraseError, FlashError, ProgramError,
                      TransientEraseError, TransientProgramError,
                      UncorrectableDataError)
+from .oob import (CHECKPOINT, DATA, OOB_BYTES, OobRecord, pack_oob,
+                  payload_crc, unpack_oob)
 from .segment import FlashSegment, PageState
 
 __all__ = [
@@ -31,4 +33,11 @@ __all__ = [
     "TransientEraseError",
     "BadBlockError",
     "UncorrectableDataError",
+    "OobRecord",
+    "pack_oob",
+    "unpack_oob",
+    "payload_crc",
+    "OOB_BYTES",
+    "DATA",
+    "CHECKPOINT",
 ]

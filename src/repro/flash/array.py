@@ -219,8 +219,8 @@ class FlashArray:
     # Operations (delegate to segments, return timing)
     # ------------------------------------------------------------------
 
-    def program_page(self, segment: int, data: Optional[bytes] = None
-                     ) -> Tuple[int, int]:
+    def program_page(self, segment: int, data: Optional[bytes] = None,
+                     oob: Optional[bytes] = None) -> Tuple[int, int]:
         """Program the next page of ``segment``; return (page, time_ns).
 
         With a fault injector attached this is program-*verify*: a
@@ -245,7 +245,7 @@ class FlashArray:
                         f"segment {segment}: program failed verify "
                         f"{failures} times (budget "
                         f"{self._program_retries})")
-        page = seg.program_page(data)
+        page = seg.program_page(data, oob)
         if self._ecc is not None and data is not None:
             self._ecc_codes.setdefault(segment, {})[page] = \
                 self._ecc.encode(bytes(data))
@@ -288,6 +288,28 @@ class FlashArray:
         elif flips:
             self.fault_stats.silent_corrupt_reads += 1
         return data
+
+    def read_oob(self, segment: int, page: int) -> Optional[bytes]:
+        """Read one page's spare-area bytes through the fault path.
+
+        The OOB region sits in the same cells as the data, so read
+        disturbs afflict it too; with an injector attached, flips are
+        drawn from a dedicated ``oob`` stream (the data stream's draws
+        are untouched, keeping fault schedules stable whether or not a
+        scan happens).  The OOB carries its own CRC rather than ECC: a
+        corrupted stamp demotes the copy, it is never trusted corrected.
+        """
+        raw = self.segment(segment).read_oob(page)
+        if raw is None:
+            return None
+        injector = self._fault_injector
+        if injector is not None:
+            raw, flips = injector.corrupt_oob(raw, segment)
+            if flips:
+                self.fault_stats.oob_bit_flips += flips
+                self.emit_fault("oob_bit_flip", segment,
+                                f"page={page} bits={flips}")
+        return raw
 
     def invalidate_page(self, segment: int, page: int) -> None:
         self.segment(segment).invalidate_page(page)

@@ -1,0 +1,116 @@
+"""Out-of-band (OOB) page metadata: the array describes itself.
+
+The paper's durability story leans entirely on battery-backed SRAM
+(Section 2.2): lose the page table and every datum in Flash is orphaned.
+Real NAND/NOR parts reserve a spare ("out-of-band") region next to every
+page, and production controllers use it to make the array
+*self-describing* — each program stamps the page with its logical
+identity so the whole mapping can be rebuilt by scanning Flash alone.
+
+This module defines that stamp.  Every page program carries an
+:class:`OobRecord`:
+
+* ``kind``          — ``DATA`` (a logical page) or ``CHECKPOINT`` (a
+  chunk of a flash-resident page-table checkpoint);
+* ``logical_page``  — the logical page number (or chunk index for
+  checkpoint chunks);
+* ``epoch``         — the page's *version*: bumped once per flush, and
+  **preserved** by cleaner copies, so "highest epoch" always identifies
+  the newest committed version of a page;
+* ``seq``           — a global program sequence number, bumped on every
+  program.  Duplicate copies of the same epoch (an interrupted clean's
+  shadow copies) are byte-identical, and recovery keeps the *lowest*
+  sequence number — the shadow-paging original — so an uncommitted
+  clean resolves exactly as the battery-backed journal would;
+* ``position``      — the logical segment (cleaning position) the page
+  was programmed into, letting recovery rebuild the position ↔ physical
+  segment mapping;
+* ``aux``           — payload byte length for checkpoint chunks, 0 for
+  data pages;
+* ``payload_crc``   — CRC-32 of the page payload, the torn-write
+  detector: a program interrupted by power loss leaves a mismatch and
+  the copy is demoted in favour of the previous version.
+
+The packed record carries its own CRC (``oob_crc``) over the header
+fields, so a bit flip inside the OOB region itself is detected (and the
+slot treated as garbage) rather than silently mis-mapping a page.
+Stamping is free in the timing model: the OOB travels down the same
+256-byte-wide datapath as the page, in the same program cycle, exactly
+like the parallel page-table update of Section 5.1.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OobRecord", "pack_oob", "unpack_oob", "payload_crc",
+           "OOB_BYTES", "DATA", "CHECKPOINT"]
+
+#: OOB record kinds.
+DATA = 1
+CHECKPOINT = 2
+
+_MAGIC = 0xE7
+#: magic, kind, logical_page, epoch, seq, position, aux, payload_crc.
+_HEADER = struct.Struct("<BBqqqiII")
+_CRC = struct.Struct("<I")
+
+#: Bytes of spare area consumed per page (header + its own CRC).
+OOB_BYTES = _HEADER.size + _CRC.size
+
+
+def payload_crc(data: Optional[bytes]) -> int:
+    """CRC-32 of a page payload (None — a zero page — hashes as empty)."""
+    return zlib.crc32(data) & 0xFFFFFFFF if data else 0
+
+
+@dataclass(frozen=True)
+class OobRecord:
+    """The self-description stamped alongside one programmed page."""
+
+    kind: int
+    logical_page: int
+    epoch: int
+    seq: int
+    position: int
+    payload_crc: int
+    aux: int = 0
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == DATA
+
+    @property
+    def is_checkpoint(self) -> bool:
+        return self.kind == CHECKPOINT
+
+
+def pack_oob(record: OobRecord) -> bytes:
+    """Serialise a record to its fixed-size spare-area image."""
+    header = _HEADER.pack(_MAGIC, record.kind, record.logical_page,
+                          record.epoch, record.seq, record.position,
+                          record.aux, record.payload_crc)
+    return header + _CRC.pack(zlib.crc32(header) & 0xFFFFFFFF)
+
+
+def unpack_oob(raw: Optional[bytes]) -> Optional[OobRecord]:
+    """Parse a spare-area image; None for garbage (bad magic or CRC).
+
+    A None result means the OOB region itself is unreadable — the slot
+    carries no trustworthy identity, so recovery must treat whatever the
+    page holds as lost (its previous version, stored elsewhere with an
+    intact OOB, wins instead).
+    """
+    if raw is None or len(raw) != OOB_BYTES:
+        return None
+    header, (crc,) = raw[:_HEADER.size], _CRC.unpack(raw[_HEADER.size:])
+    if zlib.crc32(header) & 0xFFFFFFFF != crc:
+        return None
+    magic, kind, logical_page, epoch, seq, position, aux, pcrc = \
+        _HEADER.unpack(header)
+    if magic != _MAGIC or kind not in (DATA, CHECKPOINT):
+        return None
+    return OobRecord(kind, logical_page, epoch, seq, position, pcrc, aux)

@@ -51,7 +51,7 @@ class FlashSegment:
     """
 
     __slots__ = ("segment_id", "num_pages", "page_bytes", "store_data",
-                 "states", "data", "erase_count", "program_count",
+                 "states", "data", "oob", "erase_count", "program_count",
                  "write_pointer", "live_count", "_erasing", "is_bad")
 
     def __init__(self, segment_id: int, num_pages: int, page_bytes: int = 256,
@@ -65,6 +65,11 @@ class FlashSegment:
         self.states: List[PageState] = [PageState.ERASED] * num_pages
         self.data: List[Optional[bytes]] = ([None] * num_pages
                                             if store_data else [])
+        #: Out-of-band (spare-area) metadata per page, stamped at program
+        #: time (see :mod:`repro.flash.oob`).  Kept even in stateless
+        #: mode: the OOB is what makes the array self-describing, and
+        #: recovery needs it whether or not payloads are modelled.
+        self.oob: List[Optional[bytes]] = [None] * num_pages
         #: Cumulative program/erase cycles (wear) for this segment.
         self.erase_count = 0
         #: Total page program operations over the segment's lifetime.
@@ -114,13 +119,18 @@ class FlashSegment:
     # Program / read / invalidate
     # ------------------------------------------------------------------
 
-    def program_page(self, data: Optional[bytes] = None) -> int:
+    def program_page(self, data: Optional[bytes] = None,
+                     oob: Optional[bytes] = None) -> int:
         """Program the next sequential page; returns its index.
 
         Appending at the write pointer models the real array: with a
         256-byte-wide bank there is exactly one in-order program stream
         per segment, and the cleaner relies on this order being preserved
         (Section 4.3: "the order of the pages is maintained").
+
+        ``oob`` is the page's spare-area self-description (see
+        :mod:`repro.flash.oob`); it travels down the same wide datapath
+        in the same program cycle, so stamping it costs no extra time.
         """
         if self.is_bad:
             raise BadBlockError(self.segment_id, "retired")
@@ -138,6 +148,7 @@ class FlashSegment:
                     f"page data must be {self.page_bytes} bytes, "
                     f"got {len(data)}")
             self.data[page] = bytes(data) if data is not None else None
+        self.oob[page] = bytes(oob) if oob is not None else None
         self.states[page] = PageState.VALID
         self.write_pointer += 1
         self.live_count += 1
@@ -155,6 +166,21 @@ class FlashSegment:
         if not self.store_data:
             return None
         return self.data[page]
+
+    def read_oob(self, page: int) -> Optional[bytes]:
+        """Return the spare-area bytes of a programmed page.
+
+        Erased pages have no OOB (they read all-ones on real parts, the
+        unambiguous "never programmed" marker), so asking for one is an
+        addressing error just like reading their data.
+        """
+        self._check_page(page)
+        if self._erasing:
+            raise EraseError(f"segment {self.segment_id} is being erased")
+        if self.states[page] is PageState.ERASED:
+            raise AddressError(
+                f"page {page} of segment {self.segment_id} is erased")
+        return self.oob[page]
 
     def invalidate_page(self, page: int) -> None:
         """Mark ``page`` as superseded after a copy-on-write or clean."""
@@ -204,9 +230,33 @@ class FlashSegment:
         self.states = [PageState.ERASED] * self.num_pages
         if self.store_data:
             self.data = [None] * self.num_pages
+        self.oob = [None] * self.num_pages
         self.write_pointer = 0
         self.live_count = 0
         self.erase_count += 1
+
+    # ------------------------------------------------------------------
+    # Recovery support
+    # ------------------------------------------------------------------
+
+    def rebuild_states(self, live_slots) -> None:
+        """Reset VALID/INVALID marks from a recovery scan's verdicts.
+
+        The VALID/INVALID state machine is controller bookkeeping (real
+        cells hold only data); after a power loss that took the SRAM
+        with it, the recovery scan re-derives liveness from OOB epochs
+        and installs its verdict here.  Programmed slots in
+        ``live_slots`` become VALID, every other programmed slot
+        INVALID; erased slots are untouched.
+        """
+        live = 0
+        for slot in range(self.write_pointer):
+            if slot in live_slots:
+                self.states[slot] = PageState.VALID
+                live += 1
+            else:
+                self.states[slot] = PageState.INVALID
+        self.live_count = live
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator, Optional
 
-__all__ = ["BufferEntry", "WriteBuffer", "BufferFullError"]
+__all__ = ["BufferEntry", "WriteBuffer", "LruWriteBuffer",
+           "BufferFullError"]
 
 
 class BufferFullError(RuntimeError):
@@ -167,10 +168,16 @@ class WriteBuffer:
 
         A battery-backed buffer keeps its contents; a volatile one loses
         everything — which would lose the only copy of every buffered
-        page, exactly why Section 3.2 requires the battery.
+        page, exactly why Section 3.2 requires the battery.  The
+        hit/insert/flush counters are statistics, not state the battery
+        protects — they reset either way, so post-recovery hit rates
+        describe the new epoch rather than blending two runs.
         """
         if not self.battery_backed:
             self._entries.clear()
+        self.total_inserts = 0
+        self.total_hits = 0
+        self.total_flushes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"WriteBuffer({len(self._entries)}/{self.capacity_pages} "

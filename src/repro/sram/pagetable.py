@@ -9,6 +9,14 @@ Updating a mapping is the commit point of the copy-on-write: "Since
 changes do not become visible until the page table is updated, the entire
 copy-on-write appears to be done as a single atomic operation."
 
+Beyond the mapping, the table carries each page's *write epoch* — the
+monotonic version number stamped into the out-of-band region of every
+flash program (see :mod:`repro.flash.oob`).  The epoch counter and the
+per-page epochs make a lost table reconstructible: a full-array scan
+finds, for each logical page, the highest-epoch intact copy, and that is
+by construction the entry this table held (see
+:func:`repro.core.recovery.recover_from_flash`).
+
 Entries are 6 bytes at paper scale, so a 2 GB array needs 48 MB of SRAM —
 a deliberate trade against page size analysed in Section 3.3 and exposed
 here through :meth:`PageTable.sram_bytes`.
@@ -89,6 +97,11 @@ class PageTable:
         self.read_ns = read_ns
         self.write_ns = write_ns
         self._entries: List[Optional[Location]] = [None] * num_logical_pages
+        #: Write epoch of the live copy of each page (0 = never stamped).
+        self._epochs: List[int] = [0] * num_logical_pages
+        #: Next epoch to hand out; monotonic across the table's lifetime
+        #: and rebuilt as ``max(scanned epochs) + 1`` after recovery.
+        self.write_epoch = 1
         #: Lifetime counters for the metrics module.
         self.lookups = 0
         self.updates = 0
@@ -107,17 +120,46 @@ class PageTable:
         self.lookups += 1
         return self._entries[logical_page]
 
-    def update(self, logical_page: int, location: Location) -> None:
-        """Atomically repoint a logical page at a new physical location."""
+    def update(self, logical_page: int, location: Location,
+               epoch: Optional[int] = None) -> None:
+        """Atomically repoint a logical page at a new physical location.
+
+        ``epoch`` records the write epoch of the copy the entry now
+        points at (flash-resident copies only; SRAM entries keep the
+        last flash epoch so recovery idempotence can be checked).
+        """
         self._check(logical_page)
         self.updates += 1
         self._entries[logical_page] = location
+        if epoch is not None:
+            self._epochs[logical_page] = epoch
+
+    def next_epoch(self) -> int:
+        """Hand out the next monotonic write epoch."""
+        epoch = self.write_epoch
+        self.write_epoch += 1
+        return epoch
+
+    def note_epoch(self, logical_page: int, epoch: int) -> None:
+        """Record a page's flash write epoch without a mapping update.
+
+        Used by the flush path: the epoch is stamped into the OOB in the
+        same program cycle, so noting it is not a separate table write.
+        """
+        self._check(logical_page)
+        self._epochs[logical_page] = epoch
+
+    def epoch_of(self, logical_page: int) -> int:
+        """Write epoch of the page's last stamped flash copy."""
+        self._check(logical_page)
+        return self._epochs[logical_page]
 
     def clear(self, logical_page: int) -> None:
         """Unmap a logical page (used by the trim/deallocate extension)."""
         self._check(logical_page)
         self.updates += 1
         self._entries[logical_page] = None
+        self._epochs[logical_page] = 0
 
     def is_mapped(self, logical_page: int) -> bool:
         self._check(logical_page)

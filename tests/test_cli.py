@@ -25,6 +25,19 @@ class TestParser:
         assert args.localities == ["10/90"]
         assert args.segments == 32
 
+    def test_recover_defaults(self):
+        args = build_parser().parse_args(["recover"])
+        assert args.plan == "none"
+        assert args.kill_at == 0
+        assert not args.tear
+
+    def test_recover_args(self):
+        args = build_parser().parse_args(
+            ["recover", "--plan", "light", "--tear", "--kill-at", "7"])
+        assert args.plan == "light"
+        assert args.tear
+        assert args.kill_at == 7
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -62,3 +75,22 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Throughput" in output
         assert "Cleaning cost" in output
+
+    def test_faults_small_run(self, capsys):
+        assert main(["faults", "--writes", "400", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Health counter" in output
+        assert "data errors after readback" in output
+
+    def test_recover_small_run(self, capsys):
+        assert main(["recover", "--transactions", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "recovered store matches the committed prefix" in output
+        assert "checkpoint" in output
+
+    def test_recover_torn_under_faults(self, capsys):
+        assert main(["recover", "--transactions", "6", "--plan", "light",
+                     "--tear", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "torn program" in output
+        assert "recovered store matches the committed prefix" in output

@@ -1,0 +1,130 @@
+"""Tests for the write-buffer variants (repro.sram.buffer).
+
+The paper's buffer is strictly FIFO; :class:`LruWriteBuffer` is the
+"more complex management scheme" the paper rejected, kept so the
+ablation benchmark can measure the decision.  These tests pin the
+difference: FIFO lookups leave eviction order alone, LRU lookups promote
+— plus the shared bookkeeping (capacity errors, removal, power-cycle
+counter semantics).
+"""
+
+import pytest
+
+from repro.sram import BufferFullError, LruWriteBuffer, WriteBuffer
+
+
+def fill(buf, pages):
+    for page in pages:
+        buf.insert(page, bytearray(buf.page_bytes), origin=0)
+
+
+class TestFifoOrder:
+    def test_get_does_not_disturb_eviction_order(self):
+        buf = WriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3])
+        buf.get(1)
+        buf.get(1)
+        assert buf.pop_tail().logical_page == 1
+
+    def test_remove_then_reinsert_moves_to_head(self):
+        buf = WriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3])
+        buf.remove(2)
+        buf.insert(2, bytearray(buf.page_bytes), origin=0)
+        assert [e.logical_page for e in buf.entries()] == [1, 3, 2]
+        assert buf.pop_tail().logical_page == 1
+
+    def test_tail_with_mixed_inserts_and_removes(self):
+        buf = WriteBuffer(capacity_pages=8)
+        fill(buf, [5, 6, 7, 8])
+        buf.remove(5)          # oldest leaves: 6 becomes the tail
+        assert buf.tail().logical_page == 6
+        buf.remove(7)          # middle removal cannot change the tail
+        assert buf.tail().logical_page == 6
+        assert [e.logical_page for e in buf.entries()] == [6, 8]
+
+
+class TestLruOrder:
+    def test_get_promotes_to_head(self):
+        buf = LruWriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3])
+        buf.get(1)             # 1 is now most-recently-written
+        assert buf.pop_tail().logical_page == 2
+
+    def test_peek_does_not_promote(self):
+        buf = LruWriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3])
+        buf.peek(1)
+        assert buf.pop_tail().logical_page == 1
+
+    def test_repeated_hits_yield_lru_eviction_sequence(self):
+        buf = LruWriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3, 4])
+        buf.get(2)
+        buf.get(1)
+        order = [buf.pop_tail().logical_page for _ in range(4)]
+        assert order == [3, 4, 2, 1]
+
+    def test_remove_after_promotion(self):
+        buf = LruWriteBuffer(capacity_pages=4)
+        fill(buf, [1, 2, 3])
+        buf.get(1)
+        buf.remove(2)
+        assert [e.logical_page for e in buf.entries()] == [3, 1]
+
+
+class TestCapacityAndErrors:
+    @pytest.mark.parametrize("cls", [WriteBuffer, LruWriteBuffer])
+    def test_insert_into_full_buffer_raises(self, cls):
+        buf = cls(capacity_pages=2)
+        fill(buf, [1, 2])
+        assert buf.is_full and buf.free_slots == 0
+        with pytest.raises(BufferFullError):
+            buf.insert(3, bytearray(buf.page_bytes), origin=0)
+
+    def test_duplicate_insert_raises(self):
+        buf = WriteBuffer(capacity_pages=2)
+        fill(buf, [1])
+        with pytest.raises(ValueError):
+            buf.insert(1, bytearray(buf.page_bytes), origin=0)
+
+    def test_pop_tail_on_empty_raises(self):
+        with pytest.raises(BufferFullError):
+            WriteBuffer(capacity_pages=2).pop_tail()
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            WriteBuffer(capacity_pages=2).remove(9)
+
+
+class TestCountersAndPowerCycle:
+    @pytest.mark.parametrize("cls", [WriteBuffer, LruWriteBuffer])
+    def test_hit_rate_zero_before_any_access(self, cls):
+        assert cls(capacity_pages=2).hit_rate() == 0.0
+
+    def test_hit_rate_counts_gets_not_peeks(self):
+        buf = WriteBuffer(capacity_pages=4)
+        fill(buf, [1])
+        buf.get(1)
+        buf.peek(1)
+        buf.get(9)             # miss: no entry, no hit counted
+        assert buf.total_hits == 1
+        assert buf.hit_rate() == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("cls", [WriteBuffer, LruWriteBuffer])
+    def test_power_cycle_resets_counters_keeps_battery_data(self, cls):
+        buf = cls(capacity_pages=4, battery_backed=True)
+        fill(buf, [1, 2])
+        buf.get(1)
+        buf.pop_tail()
+        buf.power_cycle()
+        assert (buf.total_inserts, buf.total_hits, buf.total_flushes) \
+            == (0, 0, 0)
+        assert buf.hit_rate() == 0.0
+        assert len(buf) == 1   # battery preserved the remaining entry
+
+    def test_power_cycle_without_battery_loses_contents(self):
+        buf = WriteBuffer(capacity_pages=4, battery_backed=False)
+        fill(buf, [1, 2])
+        buf.power_cycle()
+        assert len(buf) == 0 and buf.total_inserts == 0

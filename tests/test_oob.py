@@ -1,0 +1,113 @@
+"""Tests for the out-of-band page self-description (repro.flash.oob).
+
+Every programmed page carries an OOB record — kind, logical page, write
+epoch, global sequence number, cleaning position and a payload CRC —
+that makes the array self-describing: recovery can rebuild the page
+table from Flash alone.  These tests pin the record format, its
+corruption detection, and the controller's stamping discipline.
+"""
+
+import pytest
+
+from repro.core import EnvyConfig, EnvyController
+from repro.faults import FaultInjector, FaultPlan
+from repro.flash import (CHECKPOINT, DATA, OOB_BYTES, OobRecord, pack_oob,
+                         payload_crc, unpack_oob)
+from repro.flash.segment import PageState
+
+
+class TestRecordFormat:
+    def test_roundtrip(self):
+        rec = OobRecord(DATA, 37, 1234, 99, 5, payload_crc(b"hello"), 7)
+        back = unpack_oob(pack_oob(rec))
+        assert back == rec
+        assert back.is_data and not back.is_checkpoint
+
+    def test_checkpoint_kind(self):
+        rec = OobRecord(CHECKPOINT, 0, 3, 0, 4, 0, 256)
+        back = unpack_oob(pack_oob(rec))
+        assert back.is_checkpoint and not back.is_data
+
+    def test_fixed_size(self):
+        raw = pack_oob(OobRecord(DATA, 0, 0, 0, 0, 0, 0))
+        assert len(raw) == OOB_BYTES
+
+    def test_none_and_garbage_reject(self):
+        assert unpack_oob(None) is None
+        assert unpack_oob(b"\xff" * OOB_BYTES) is None
+        assert unpack_oob(b"short") is None
+
+    @pytest.mark.parametrize("byte", range(0, OOB_BYTES, 3))
+    def test_any_corrupted_byte_detected(self, byte):
+        raw = bytearray(pack_oob(OobRecord(DATA, 12, 8, 44, 2,
+                                           payload_crc(b"x" * 256), 0)))
+        raw[byte] ^= 0x40
+        assert unpack_oob(bytes(raw)) is None
+
+    def test_payload_crc_detects_tear(self):
+        data = bytes(range(256))
+        crc = payload_crc(data)
+        torn = bytes([data[0] ^ 0xFF]) + data[1:]
+        assert payload_crc(torn) != crc
+        assert payload_crc(None) == payload_crc(b"")
+
+
+class TestControllerStamping:
+    def test_every_valid_page_is_stamped(self):
+        config = EnvyConfig.small(num_segments=10, pages_per_segment=16)
+        ctrl = EnvyController(config)
+        for page in range(0, config.logical_pages, 3):
+            ctrl.write(page * config.page_bytes, bytes([page & 0xFF]) * 8)
+        ctrl.drain()
+        stamped = set()
+        for seg in ctrl.array.segments:
+            for slot in range(seg.write_pointer):
+                if seg.states[slot] is not PageState.VALID:
+                    continue
+                rec = unpack_oob(seg.oob[slot])
+                assert rec is not None and rec.is_data
+                assert rec.payload_crc == payload_crc(seg.read_page(slot))
+                stamped.add(rec.logical_page)
+        # Every formatted logical page has a stamped flash copy (pages
+        # still buffered in SRAM are the only permissible absences).
+        buffered = {e.logical_page for e in ctrl.buffer.entries()}
+        assert stamped | buffered == set(range(config.logical_pages))
+
+    def test_epochs_increase_across_overwrites(self):
+        config = EnvyConfig.small(num_segments=10, pages_per_segment=16)
+        ctrl = EnvyController(config)
+        epochs = []
+        for round_ in range(3):
+            ctrl.write(0, bytes([round_]) * 8)
+            ctrl.drain()
+            best = max(rec.epoch
+                       for seg in ctrl.array.segments
+                       for slot in range(seg.write_pointer)
+                       if (rec := unpack_oob(seg.oob[slot])) is not None
+                       and rec.is_data and rec.logical_page == 0)
+            epochs.append(best)
+        assert epochs == sorted(epochs) and len(set(epochs)) == 3
+
+
+class TestInjectorOobFlips:
+    def test_corruption_is_deterministic(self):
+        plan = FaultPlan(seed=7, read_flip_rate=1e-3)
+        raw = pack_oob(OobRecord(DATA, 5, 9, 2, 1, 0, 0))
+
+        def run():
+            injector = FaultInjector(plan)
+            return [injector.corrupt_oob(raw, 0) for _ in range(2000)]
+
+        assert run() == run()
+
+    def test_flips_actually_occur_and_are_detected(self):
+        plan = FaultPlan(seed=7, read_flip_rate=1e-3)
+        injector = FaultInjector(plan)
+        raw = pack_oob(OobRecord(DATA, 5, 9, 2, 1, 0, 0))
+        flipped = 0
+        for _ in range(2000):
+            out, flips = injector.corrupt_oob(raw, 0)
+            if flips:
+                flipped += 1
+                assert unpack_oob(out) is None
+        assert flipped > 0
