@@ -30,6 +30,8 @@ from .ext import ParallelFlushScheduler, TransactionManager
 from .faults import (BadBlockTable, FaultEvent, FaultInjector, FaultPlan,
                      FaultStats, SecDed)
 from .flash import FlashArray, FlashBank, FlashChip, FlashSegment
+from .obs import (EventBus, LatencyHistogram, ObsEvent, ObservabilityHub,
+                  TimeSeriesSampler)
 from .ramdisk import BlockDevice, FileSystem
 from .sim import SimStats, TimedSimulator, build_tpca_system, simulate_tpca
 from .sram import Mmu, PageTable, WriteBuffer
@@ -79,6 +81,11 @@ __all__ = [
     "FaultEvent",
     "SecDed",
     "BadBlockTable",
+    "EventBus",
+    "ObsEvent",
+    "LatencyHistogram",
+    "ObservabilityHub",
+    "TimeSeriesSampler",
     "BlockDevice",
     "FileSystem",
     "system_cost",

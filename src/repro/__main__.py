@@ -11,6 +11,10 @@ Small front door for the library's experiments:
   the controller's health report.
 * ``recover``   — chaos demo: cut the power mid-TPC-A, rebuild the store
   from Flash alone, verify against the committed prefix.
+* ``observe``   — run a timed TPC-A workload with the observability hub
+  attached and render the live-stats dashboard (latency histograms with
+  tails, time breakdown, wear heatmap), optionally exporting the
+  Perfetto trace / Prometheus metrics / JSONL events.
 """
 
 from __future__ import annotations
@@ -83,8 +87,11 @@ def cmd_tpca(args: argparse.Namespace) -> int:
     rows = [
         ["Throughput", f"{stats.throughput_tps:,.0f} TPS"
          + (" (saturated)" if stats.saturated else "")],
-        ["Read latency", f"{stats.read_latency.mean_ns:.0f} ns"],
-        ["Write latency", f"{stats.write_latency.mean_ns:.0f} ns"],
+        ["Read latency", f"{stats.read_latency.mean_ns:.0f} ns "
+         f"(p50 {stats.read_latency.p50}, p99 {stats.read_latency.p99})"],
+        ["Write latency", f"{stats.write_latency.mean_ns:.0f} ns "
+         f"(p50 {stats.write_latency.p50}, "
+         f"p99 {stats.write_latency.p99})"],
         ["Pages flushed/s", f"{stats.page_flush_rate:,.0f}"],
         ["Cleaning cost", f"{stats.cleaning_cost:.2f}"],
     ]
@@ -207,12 +214,202 @@ def cmd_recover(args: argparse.Namespace) -> int:
     rows = [[key, str(value)] for key, value in report.as_dict().items()]
     rows.append(["committed pages", str(result.committed_pages)])
     rows.append(["page mismatches", str(len(result.mismatches))])
+    health = result.health or {}
+    for key in ("write_latency_p50_ns", "write_latency_p99_ns",
+                "read_latency_p99_ns"):
+        rows.append([key + " (pre-cut)", str(health.get(key, 0))])
     print(format_table(["Recovery statistic", "Value"], rows))
     if result.ok:
         print("\nrecovered store matches the committed prefix exactly.")
         return 0
     print(f"\nMISMATCH on pages {result.mismatches[:10]}")
     return 1
+
+
+def _print_histogram(title: str, hist, width: int = 40) -> None:
+    """Log-linear ASCII rendering of a latency histogram's octaves."""
+    print(f"\n{title}: {hist}")
+    octaves = hist.octaves()
+    if not octaves:
+        return
+    peak = max(count for _, _, count in octaves)
+    for low, high, count in octaves:
+        bar = "#" * (round(width * count / peak) if count else 0)
+        if count and not bar:
+            bar = "."
+        print(f"  {low:>11,}..{high:<11,} {count:>9,} {bar}")
+
+
+def _print_wear_heatmap(controller) -> None:
+    """Per-bank rows of per-segment erase-cycle glyphs."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    counts = controller.array.wear_stats().erase_counts
+    lo, hi = min(counts), max(counts)
+    span = max(1, hi - lo)
+    per_bank = controller.array.params.segments_per_bank
+    print(f"\nwear heatmap (erase cycles {lo}..{hi} per physical "
+          f"segment, {glyphs[0]}=least {glyphs[-1]}=most):")
+    for start in range(0, len(counts), per_bank):
+        row = "".join(glyphs[min(len(glyphs) - 1,
+                                 (c - lo) * len(glyphs) // (span + 1))]
+                      for c in counts[start:start + per_bank])
+        print(f"  bank {start // per_bank:>2} {row}")
+
+
+def _print_observe_dashboard(controller, hub, stats) -> None:
+    metrics = controller.metrics
+    read, write = metrics.read_latency, metrics.write_latency
+    print(banner(f"observability dashboard "
+                 f"({stats.simulated_seconds:.3f}s simulated)"))
+    rows = [
+        ["Throughput", f"{stats.throughput_tps:,.0f} TPS"
+         + (" (saturated)" if stats.saturated else "")],
+        ["Read latency (ns)",
+         f"mean {read.mean_ns:.0f}  p50 {read.p50}  p90 {read.p90}  "
+         f"p99 {read.p99}  p999 {read.p999}"],
+        ["Write latency (ns)",
+         f"mean {write.mean_ns:.0f}  p50 {write.p50}  p90 {write.p90}  "
+         f"p99 {write.p99}  p999 {write.p999}"],
+        ["Cleaning cost", f"{stats.cleaning_cost:.2f}"],
+        ["Events observed", f"{hub.total_events():,} "
+         f"({hub.dropped_events:,} dropped)"],
+        ["Sampler windows", f"{len(hub.sampler.windows)}"],
+    ]
+    print(format_table(["Quantity", "Value"], rows))
+    shares = ", ".join(f"{k} {v:.0%}"
+                       for k, v in stats.time_breakdown().items())
+    print(f"\ntime breakdown: {shares}")
+    by_kind = hub.time_by_kind()
+    if by_kind:
+        top = ", ".join(f"{kind} {ns / 1e6:,.1f}ms"
+                        for kind, ns in list(by_kind.items())[:6])
+        print(f"simulated span time by event kind: {top}")
+    _print_histogram("write latency histogram (ns)", write)
+    _print_histogram("read latency histogram (ns)", read)
+    _print_wear_heatmap(controller)
+    window = hub.latest_window()
+    if window is not None:
+        print(f"\nlast {window.duration_ns / 1e6:.2f}ms window: "
+              f"{window.writes} writes, {window.flushes} flushes, "
+              f"{window.clean_copies} clean copies, "
+              f"buffer {window.buffer_occupancy:.0%} full, "
+              f"cleaning backlog {window.cleaning_backlog_pages} pages")
+
+
+def _print_self_profile(profiler, stats, wall_s: float) -> None:
+    import io
+    import pstats
+
+    simulated_s = stats.simulated_seconds
+    print(banner("self-profile: host cost of simulated time"))
+    print(f"wall clock        : {wall_s:.2f}s for {simulated_s:.3f}s "
+          f"simulated")
+    if simulated_s > 0:
+        print(f"host per simulated: {wall_s / simulated_s:.1f}s "
+              f"wall per simulated second")
+    if profiler is not None:
+        out = io.StringIO()
+        pstats.Stats(profiler, stream=out).sort_stats(
+            "cumulative").print_stats(12)
+        lines = [ln for ln in out.getvalue().splitlines() if ln.strip()]
+        print("\nhottest paths (cumulative):")
+        for line in lines[2:16]:
+            print(f"  {line}")
+
+
+def _validate_exports(written: dict) -> int:
+    """Smoke-check the export files; returns a process exit code."""
+    import json
+
+    failures = []
+    with open(written["trace.json"]) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents", [])
+    span_tids = {e.get("tid") for e in events if e.get("ph") == "X"}
+    track_names = {e["args"]["name"] for e in events
+                   if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    if "host ops" not in track_names or "cleaner" not in track_names:
+        failures.append("trace.json: host/cleaner tracks missing")
+    if 1 not in span_tids or 3 not in span_tids:
+        failures.append("trace.json: no spans on the host/cleaner tracks")
+    with open(written["metrics.prom"]) as handle:
+        prom = handle.read()
+    if not prom.startswith("# HELP"):
+        failures.append("metrics.prom: not Prometheus text exposition")
+    for needed in ("envy_writes_total", "envy_write_latency_ns_bucket",
+                   'le="+Inf"'):
+        if needed not in prom:
+            failures.append(f"metrics.prom: missing {needed}")
+    with open(written["events.jsonl"]) as handle:
+        count = 0
+        for line in handle:
+            json.loads(line)
+            count += 1
+    if count == 0:
+        failures.append("events.jsonl: empty")
+    with open(written["timeseries.json"]) as handle:
+        windows = json.load(handle)
+    if not isinstance(windows, list) or not windows:
+        failures.append("timeseries.json: no windows")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"exports validated: {len(events)} trace events, "
+          f"{count} jsonl events, {len(windows)} windows.")
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import ObservabilityHub
+    from .sim import build_tpca_system
+
+    if args.smoke:
+        segments, pages = 16, 64
+        rate, duration = 8000.0, 0.03
+        window_us = 1000
+        out = args.out or "observe-out"
+        prewarm = 5.0
+    else:
+        segments, pages = args.segments, args.pages
+        rate, duration = args.rate, args.duration
+        window_us = args.window_us
+        out = args.out
+        prewarm = 10.0
+    simulator = build_tpca_system(num_segments=segments,
+                                  pages_per_segment=pages,
+                                  utilization=args.utilization,
+                                  rate_tps=rate, policy=args.policy,
+                                  seed=args.seed)
+    print(f"observing {rate:,.0f} TPS for {duration}s simulated "
+          f"({segments}x{pages} pages, {args.policy})...")
+    simulator.prewarm(prewarm)
+    hub = ObservabilityHub(simulator.controller,
+                           sample_interval_ns=window_us * 1000)
+    profiler = None
+    if args.self_profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    wall0 = time.perf_counter()
+    stats = simulator.run(duration)
+    wall_s = time.perf_counter() - wall0
+    if profiler is not None:
+        profiler.disable()
+    hub.close()
+    _print_observe_dashboard(simulator.controller, hub, stats)
+    if args.self_profile:
+        _print_self_profile(profiler, stats, wall_s)
+    if out:
+        written = hub.write_exports(out)
+        for path in written.values():
+            print(f"wrote {path}")
+        if args.smoke:
+            return _validate_exports(written)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +472,29 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--pages", type=int, default=16)
     recover.add_argument("--checkpoint", type=int, default=8,
                          help="checkpoint every N flushes (0 = off)")
+
+    observe = sub.add_parser(
+        "observe", help="instrumented run: dashboard + timeline exports")
+    observe.add_argument("--rate", type=float, default=30_000.0,
+                         help="request rate in TPS")
+    observe.add_argument("--duration", type=float, default=0.1,
+                         help="simulated seconds to observe")
+    observe.add_argument("--utilization", type=float, default=0.8)
+    observe.add_argument("--policy", choices=["fifo", "greedy", "locality",
+                                              "hybrid"], default="hybrid")
+    observe.add_argument("--seed", type=int, default=7)
+    observe.add_argument("--segments", type=int, default=128)
+    observe.add_argument("--pages", type=int, default=1024)
+    observe.add_argument("--window-us", type=int, default=1000,
+                         dest="window_us",
+                         help="time-series window in microseconds")
+    observe.add_argument("--out", default="observe-out",
+                         help="export directory ('' = no exports)")
+    observe.add_argument("--smoke", action="store_true",
+                         help="small fixed run + export validation (CI)")
+    observe.add_argument("--self-profile", action="store_true",
+                         dest="self_profile",
+                         help="profile the host cost of simulated time")
     return parser
 
 
@@ -287,6 +507,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "faults": cmd_faults,
     "recover": cmd_recover,
+    "observe": cmd_observe,
 }
 
 

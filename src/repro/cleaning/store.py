@@ -435,6 +435,17 @@ class SegmentStore:
                   for phys in self.active_phys()]
         return max(counts) - min(counts)
 
+    def occupancy(self) -> dict:
+        """Gauges for the observability sampler: live/dead pages,
+        utilization, and the per-position live fractions (heat data)."""
+        return {
+            "live_pages": self.live_pages(),
+            "dead_pages": sum(p.dead_slots for p in self.positions),
+            "utilization": self.utilization(),
+            "per_position_utilization":
+                [p.utilization for p in self.positions],
+        }
+
     def restore_layout(self, position_slots: List[List[int]],
                        position_phys: List[int],
                        page_location: List[Optional[Tuple[int, int]]],

@@ -49,6 +49,9 @@ class ChaosResult:
     #: Logical pages whose recovered bytes differ from the oracle.
     mismatches: List[int] = field(default_factory=list)
     verified: bool = False
+    #: ``health_report()`` of the workload controller at the cut —
+    #: includes the latency-tail percentiles for the run that died.
+    health: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -64,13 +67,18 @@ class KillSwitch:
     ``tear=True`` a killed program first writes a corrupted payload
     under the original OOB stamp — the torn page a mid-cycle power loss
     leaves behind, detected at recovery by the payload-CRC mismatch.
+
+    ``bus`` is an optional :class:`~repro.obs.events.EventBus`; a firing
+    kill publishes a ``chaos.kill`` mark so the power cut appears on the
+    exported timeline at the exact operation it interrupted.
     """
 
     def __init__(self, array, kill_at: Optional[int] = None,
-                 tear: bool = False) -> None:
+                 tear: bool = False, bus=None) -> None:
         self.array = array
         self.kill_at = kill_at
         self.tear = tear
+        self.bus = bus
         self.ops = 0
         self._program = array.program_page
         self._erase = array.erase_segment
@@ -81,17 +89,26 @@ class KillSwitch:
         self.ops += 1
         return self.kill_at is not None and self.ops == self.kill_at
 
+    def _mark_kill(self, op: str) -> None:
+        if self.bus is not None and self.bus.active:
+            from ..obs.events import CHAOS_KILL
+
+            self.bus.mark(CHAOS_KILL, {"op": self.ops, "kind": op,
+                                       "tear": self.tear})
+
     def _wrap_program(self, segment, data=None, oob=None):
         if self._fire():
             if self.tear and data is not None:
                 torn = bytes([data[0] ^ 0xFF]) + bytes(data[1:])
                 self._program(segment, torn, oob=oob)
+            self._mark_kill("program")
             raise SimulatedPowerFailure(
                 f"power lost at flash op {self.ops} (program)")
         return self._program(segment, data, oob=oob)
 
     def _wrap_erase(self, segment):
         if self._fire():
+            self._mark_kill("erase")
             raise SimulatedPowerFailure(
                 f"power lost at flash op {self.ops} (erase)")
         return self._erase(segment)
@@ -175,7 +192,8 @@ def run_chaos(config: EnvyConfig, transactions: int = 20,
     ctrl.store.preserve_flushed_copies = True
     layout = TpcaLayout.sized_for(config.logical_bytes)
     committed = _attach_oracle(ctrl)
-    switch = KillSwitch(ctrl.array, kill_at=kill_at, tear=tear)
+    switch = KillSwitch(ctrl.array, kill_at=kill_at, tear=tear,
+                        bus=ctrl.events)
     result = ChaosResult(kill_at=kill_at, tear=tear)
     try:
         _replay(ctrl, layout, transactions, seed)
@@ -185,6 +203,7 @@ def run_chaos(config: EnvyConfig, transactions: int = 20,
     switch.detach()
     result.ops_seen = switch.ops
     result.committed_pages = len(committed)
+    result.health = ctrl.health_report()
     if not recover:
         return result
     recovered, report = recover_from_flash(ctrl.array, config,

@@ -154,6 +154,11 @@ class CheckpointManager:
         self.enabled = False
         self.failure_reason = reason
         self.controller.array.emit_fault("checkpoint_disabled", -1, reason)
+        bus = self.controller.events
+        if bus.active:
+            from ..obs.events import CHECKPOINT_DISABLED
+
+            bus.mark(CHECKPOINT_DISABLED, {"reason": reason})
 
     def _erase_metadata(self, phys: int) -> int:
         """Erase a metadata segment (its chunks are always disposable)."""

@@ -32,6 +32,10 @@ from typing import Optional, Tuple
 from ..cleaning import CleaningPolicy, WearLeveler, make_policy
 from ..faults import BadBlockTable, FaultInjector, secded_for
 from ..flash.array import FlashArray
+from ..obs.events import (CHECKPOINT_BEGIN, CHECKPOINT_COMMIT, EventBus,
+                          FAULT_PREFIX, HOST_READ, HOST_WRITE, ObsEvent,
+                          RETRY_ERASE, RETRY_PROGRAM, STORE_EVENT_KINDS,
+                          WEAR_SWAP)
 from ..sram.buffer import WriteBuffer
 from ..sram.mmu import Mmu
 from ..sram.pagetable import Location, PageTable
@@ -87,7 +91,17 @@ class EnvyController:
                 program_retries=cfg.program_retries,
                 erase_retries=cfg.erase_retries,
                 op_observer=self._on_fault_op)
-            self.array.fault_listeners.append(self._on_fault_event)
+        # Fault events always flow through the controller: the counters
+        # and the event bus hear about every defence action regardless
+        # of which layer armed the fault machinery.
+        self.array.fault_listeners.append(self._on_fault_event)
+        # --- observability spine (repro.obs) --------------------------
+        #: Event bus every subsystem publishes to.  Dormant (one boolean
+        #: check per instrumented operation) until something subscribes.
+        self.events = EventBus()
+        #: The attached :class:`~repro.obs.hub.ObservabilityHub`, if any
+        #: (set by the hub itself); health_report folds in its views.
+        self.observability = None
         self.page_table = PageTable(cfg.logical_pages,
                                     entry_bytes=cfg.page_table_entry_bytes,
                                     read_ns=cfg.sram.read_ns,
@@ -178,6 +192,11 @@ class EnvyController:
         else:  # pragma: no cover - future event kinds
             return
         self._pending_work_ns += ns
+        bus = self.events
+        if bus.active:
+            bus.emit_span(STORE_EVENT_KINDS[event], ns,
+                          {"position": position, "phys": phys,
+                           "pages": amount})
 
     # ------------------------------------------------------------------
     # Fault hooks: retries cost time, fault events update the counters
@@ -192,13 +211,18 @@ class EnvyController:
         if kind == "retry_program":
             ns = count * self.array.program_time_ns(segment)
             self.metrics.program_retries += count
+            event_kind = RETRY_PROGRAM
         elif kind == "retry_erase":
             ns = count * self.array.erase_time_ns(segment)
             self.metrics.erase_retries += count
+            event_kind = RETRY_ERASE
         else:  # pragma: no cover - future retry kinds
             return
         self.metrics.charge("retry", ns)
         self._pending_work_ns += ns
+        bus = self.events
+        if bus.active:
+            bus.emit_span(event_kind, ns, {"segment": segment})
 
     def _on_fault_event(self, event) -> None:
         if event.kind == "ecc_corrected":
@@ -207,6 +231,12 @@ class EnvyController:
             self.metrics.ecc_uncorrectable += 1
         elif event.kind == "bad_block_retired":
             self.metrics.bad_blocks_retired += 1
+        bus = self.events
+        if bus.active:
+            bus.mark(FAULT_PREFIX + event.kind,
+                     {"segment": event.segment,
+                      "op_index": event.op_index,
+                      "detail": event.detail})
 
     def health_report(self) -> dict:
         """Device-health snapshot: fault, ECC and retirement counters.
@@ -253,6 +283,22 @@ class EnvyController:
             "recovery_checkpoint_id": (recovery.checkpoint_id
                                        if recovery else None),
         })
+        # --- latency tails (repro.obs histograms) ---------------------
+        metrics = self.metrics
+        report.update({
+            "read_latency_p50_ns": metrics.read_latency.p50,
+            "read_latency_p99_ns": metrics.read_latency.p99,
+            "write_latency_p50_ns": metrics.write_latency.p50,
+            "write_latency_p99_ns": metrics.write_latency.p99,
+        })
+        # Latest time-series window, flattened, when a hub is attached.
+        obs = self.observability
+        if obs is not None:
+            window = obs.latest_window()
+            if window is not None:
+                for key, value in window.as_dict(
+                        include_arrays=False).items():
+                    report[f"window_{key}"] = value
         return report
 
     # ------------------------------------------------------------------
@@ -313,6 +359,9 @@ class EnvyController:
             self.metrics.reads += 1
             self.metrics.read_latency.record(access_ns)
             self.metrics.charge("read", access_ns)
+            bus = self.events
+            if bus.active:
+                bus.emit_span(HOST_READ, access_ns, {"page": page})
             total_ns += access_ns
             offset += chunk
             remaining -= chunk
@@ -338,13 +387,22 @@ class EnvyController:
         offset = address
         view = memoryview(bytes(data))
         consumed = 0
+        bus = self.events
         while consumed < len(data):
             page, page_offset = divmod(offset, cfg.page_bytes)
             chunk = min(len(data) - consumed, cfg.page_bytes - page_offset)
+            start_ns = bus.clock_ns
             access_ns = self._write_page(page, page_offset,
                                          view[consumed:consumed + chunk])
             self.metrics.writes += 1
             self.metrics.write_latency.record(access_ns)
+            if bus.active:
+                # A stalled write already advanced the clock through the
+                # flush/clean/erase spans it waited on; the host span
+                # starts at the access start and covers them.
+                bus.emit(ObsEvent(HOST_WRITE, start_ns, access_ns,
+                                  {"page": page}))
+                bus.clock_ns = start_ns + access_ns
             total_ns += access_ns
             offset += chunk
             consumed += chunk
@@ -414,8 +472,13 @@ class EnvyController:
         self.mmu.update(page, Location.flash(location[0], location[1]))
         if journal is not None:
             journal.clear_flush()
+        swaps_before = self.leveler.swap_count
         self.leveler.maybe_level(self.store)
         self.metrics.wear_swaps = self.leveler.swap_count
+        if self.events.active and self.leveler.swap_count > swaps_before:
+            self.events.mark(WEAR_SWAP,
+                             {"swaps": self.leveler.swap_count
+                              - swaps_before})
         if self.checkpointer is not None and self.checkpointer.enabled:
             self._flushes_since_checkpoint += 1
             if self._flushes_since_checkpoint >= \
@@ -431,12 +494,20 @@ class EnvyController:
         """
         if self.checkpointer is None or not self.checkpointer.enabled:
             return 0
+        bus = self.events
+        if bus.active:
+            bus.mark(CHECKPOINT_BEGIN)
         ns = self.checkpointer.write_checkpoint()
         self._flushes_since_checkpoint = 0
         if ns:
             self.metrics.charge("checkpoint", ns)
             self.metrics.checkpoints_written += 1
             self._pending_work_ns += ns
+            if bus.active:
+                bus.emit_span(CHECKPOINT_COMMIT, ns,
+                              {"id": self.checkpointer.checkpoint_id,
+                               "chunks":
+                               self.checkpointer.last_chunk_count})
         return ns
 
     def background_work(self, budget_ns: int) -> int:

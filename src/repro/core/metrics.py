@@ -1,54 +1,39 @@
 """Latency and throughput accounting for the eNVy controller.
 
 Collects the quantities Section 5 reports: host read/write counts and
-average latencies (Figure 15), copy-on-write and buffer-hit rates, flush
-and cleaning volume (the cleaning-cost numerator/denominator), and the
+latencies (Figure 15), copy-on-write and buffer-hit rates, flush and
+cleaning volume (the cleaning-cost numerator/denominator), and the
 controller time breakdown of Section 5.3 (reads vs cleaning vs flushing
 vs erasing).
+
+Latencies are kept as full log-bucketed histograms
+(:class:`~repro.obs.hist.LatencyHistogram`), not just min/max/mean: the
+paper reports averages, but the phenomena this reproduction models —
+cleaning stalls, buffer saturation, retry storms — live in the tails,
+so every consumer of a latency stat gets p50/p90/p99/p999 for free.
+:class:`LatencyStat` remains as a compatibility name for the histogram.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
+
+from ..obs.hist import LatencyHistogram
 
 __all__ = ["LatencyStat", "ControllerMetrics"]
 
 
-@dataclass
-class LatencyStat:
-    """Streaming min/max/mean of an operation latency in nanoseconds."""
+class LatencyStat(LatencyHistogram):
+    """Compatibility shim: the old min/max/mean stat, now a histogram.
 
-    count: int = 0
-    total_ns: int = 0
-    min_ns: int = 0
-    max_ns: int = 0
-
-    def record(self, ns: int) -> None:
-        if self.count == 0 or ns < self.min_ns:
-            self.min_ns = ns
-        if ns > self.max_ns:
-            self.max_ns = ns
-        self.count += 1
-        self.total_ns += ns
-
-    @property
-    def mean_ns(self) -> float:
-        return self.total_ns / self.count if self.count else 0.0
-
-    def merge(self, other: "LatencyStat") -> None:
-        if other.count == 0:
-            return
-        if self.count == 0:
-            self.min_ns = other.min_ns
-        self.min_ns = min(self.min_ns, other.min_ns)
-        self.max_ns = max(self.max_ns, other.max_ns)
-        self.count += other.count
-        self.total_ns += other.total_ns
-
-    def __str__(self) -> str:
-        return (f"n={self.count} mean={self.mean_ns:.0f}ns "
-                f"[{self.min_ns}..{self.max_ns}]")
+    Every site that consumed a ``LatencyStat`` (controller metrics,
+    ``health_report``, the timed simulator, benchmarks) transparently
+    gained percentiles; the original ``record`` / ``merge`` / ``count``
+    / ``total_ns`` / ``min_ns`` / ``max_ns`` / ``mean_ns`` contract is
+    unchanged, and empty stats now print ``n=0 (empty)`` instead of a
+    misleading ``min_ns=0``.
+    """
 
 
 @dataclass
@@ -116,6 +101,34 @@ class ControllerMetrics:
         self.read_latency = LatencyStat()
         self.write_latency = LatencyStat()
         self.busy_ns = {}
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (repro.core.persistence)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot, histograms included."""
+        counters = {f.name: getattr(self, f.name) for f in fields(self)
+                    if f.name not in ("read_latency", "write_latency",
+                                      "busy_ns")}
+        return {
+            "counters": counters,
+            "busy_ns": dict(self.busy_ns),
+            "read_latency": self.read_latency.state_dict(),
+            "write_latency": self.write_latency.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for name, value in state["counters"].items():
+            if hasattr(self, name):
+                setattr(self, name, value)
+        self.busy_ns = dict(state["busy_ns"])
+        self.read_latency = LatencyStat()
+        self.read_latency.load_state(state["read_latency"])
+        self.write_latency = LatencyStat()
+        self.write_latency.load_state(state["write_latency"])
+
+    # ------------------------------------------------------------------
 
     def summary(self) -> str:
         lines = [

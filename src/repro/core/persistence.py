@@ -8,9 +8,12 @@ want to park a system on the host filesystem and pick it up later.
 The snapshot captures everything the hardware would retain across a
 power cycle (Flash contents and wear, page table, write buffer,
 cleaning state including the policy's persistent registers) and nothing
-it would not (the MMU translation cache, latency statistics).  Restoring
-therefore behaves exactly like a power-cycle recovery on a machine that
-happens to be a different Python process.
+it would not (the MMU translation cache).  Restoring therefore behaves
+exactly like a power-cycle recovery on a machine that happens to be a
+different Python process.  Controller metrics — counters and the full
+latency histograms — also ride along, so a restored long-running
+benchmark keeps its statistics; snapshots written before the metrics
+rode along restore with freshly reset metrics.
 
 Format: a small versioned header plus a pickle of the component state
 dictionaries.  Snapshots are trusted inputs (your own files), the same
@@ -117,6 +120,7 @@ def save_system(system: EnvyController,
             "swap_count": system.leveler.swap_count,
             "last_swap": system.leveler._last_swap_erase_count,
         },
+        "metrics": system.metrics.state_dict(),
     }
     payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     if isinstance(target, str):
@@ -222,6 +226,8 @@ def load_system(source: Union[str, BinaryIO]) -> EnvyController:
         system.checkpointer.checkpoint_id = ckpt["checkpoint_id"]
         system.checkpointer.holder = ckpt["holder"]
     system.metrics.reset()
+    if state.get("metrics") is not None:
+        system.metrics.load_state(state["metrics"])
     return system
 
 

@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from ..faults.plan import FaultEvent
+from ..obs.events import FAULT_PREFIX
+
 __all__ = ["AccessRecord", "AccessTrace", "TracingController"]
 
 
@@ -39,12 +42,11 @@ class AccessTrace:
     def __init__(self, page_bytes: int) -> None:
         self.page_bytes = page_bytes
         self.records: List[AccessRecord] = []
-        #: Device fault events (:class:`~repro.faults.plan.FaultEvent`)
-        #: observed while tracing — ECC corrections, retries, retirements,
-        #: checkpoint failures (``checkpoint_disabled``,
-        #: ``checkpoint_erase_failed``) — interleaved with the host
-        #: accesses that triggered them.
-        self.faults: List = []
+        #: Device fault events observed while tracing — ECC corrections,
+        #: retries, retirements, checkpoint failures
+        #: (``checkpoint_disabled``, ``checkpoint_erase_failed``) —
+        #: interleaved with the host accesses that triggered them.
+        self.faults: List[FaultEvent] = []
 
     def append(self, op: str, address: int, length: int,
                ns: int) -> None:
@@ -123,10 +125,27 @@ class TracingController:
         self._on_access = on_access
         self.enabled = True
         # Record device fault events (ECC corrections, retries, bad
-        # blocks) alongside the accesses that triggered them.
-        array = getattr(controller, "array", None)
-        if array is not None and hasattr(array, "fault_listeners"):
-            array.fault_listeners.append(self._record_fault)
+        # blocks) alongside the accesses that triggered them.  They
+        # arrive over the controller's event bus as ``fault.*`` marks —
+        # the same channel every other observer uses — with a direct
+        # array subscription only as a fallback for bus-less wrappees.
+        events = getattr(controller, "events", None)
+        if events is not None:
+            events.subscribe(self._record_fault_event, prefix=FAULT_PREFIX)
+        else:
+            array = getattr(controller, "array", None)
+            if array is not None and hasattr(array, "fault_listeners"):
+                array.fault_listeners.append(self._record_fault)
+
+    def _record_fault_event(self, event) -> None:
+        """Rebuild the typed FaultEvent from a ``fault.*`` bus mark."""
+        if self.enabled:
+            data = event.data or {}
+            self.trace.faults.append(FaultEvent(
+                event.kind[len(FAULT_PREFIX):],
+                int(data.get("segment", -1)),
+                int(data.get("op_index", 0)),
+                str(data.get("detail", ""))))
 
     def _record_fault(self, event) -> None:
         if self.enabled:

@@ -116,6 +116,11 @@ class FaultEvent:
     op_index: int
     detail: str = ""
 
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form (the observability event payload)."""
+        return {"kind": self.kind, "segment": self.segment,
+                "op_index": self.op_index, "detail": self.detail}
+
 
 @dataclass
 class FaultStats:

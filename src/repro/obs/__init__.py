@@ -1,0 +1,17 @@
+"""Unified observability: event bus, histograms, time series, exports.
+
+The package is the single instrumentation spine for the reproduction:
+every subsystem publishes typed events to the controller's
+:class:`~repro.obs.events.EventBus` (dormant and near-free until
+something subscribes), and :class:`~repro.obs.hub.ObservabilityHub`
+turns the stream into histograms, windowed time series, and
+Perfetto/Prometheus/JSONL exports.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .events import EventBus, ObsEvent
+from .hist import LatencyHistogram
+from .hub import ObservabilityHub
+from .timeseries import TimeSeriesSampler, Window
+
+__all__ = ["EventBus", "ObsEvent", "LatencyHistogram",
+           "ObservabilityHub", "TimeSeriesSampler", "Window"]

@@ -1,0 +1,180 @@
+"""Exporters: simulated-timeline and metrics data in standard formats.
+
+Three consumers, three formats:
+
+* **Chrome trace / Perfetto JSON** (:func:`chrome_trace`) — the simulated
+  timeline as complete ("X") and instant ("i") events, with each
+  subsystem on its own named track so host operations and cleaning spans
+  interleave visually exactly as they do in simulated time.  Open the
+  file at https://ui.perfetto.dev ("Open trace file") or
+  ``chrome://tracing``.
+* **Prometheus text exposition** (:func:`prometheus_text`) — the
+  controller counters and latency histograms in the plain-text scrape
+  format, so a run's final state can be diffed, plotted, or pushed to a
+  gateway without custom parsing.
+* **JSONL** (:func:`events_jsonl`, :func:`timeseries_json`) — raw event
+  and window dumps for ad-hoc analysis (one JSON object per line; pipe
+  through ``jq``).
+
+All functions return strings; callers own file placement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from .events import ObsEvent
+from .hist import LatencyHistogram
+
+__all__ = ["chrome_trace", "prometheus_text", "events_jsonl",
+           "timeseries_json", "TRACKS"]
+
+#: Kind prefix -> (tid, track name).  First matching prefix wins, so
+#: every subsystem renders on its own named row in Perfetto.
+TRACKS = [
+    ("host.", 1, "host ops"),
+    ("buffer.", 2, "write buffer"),
+    ("clean.", 3, "cleaner"),
+    ("checkpoint.", 4, "checkpoint"),
+    ("retry.", 5, "faults"),
+    ("fault.", 5, "faults"),
+    ("wear.", 6, "wear leveling"),
+    ("chaos.", 7, "chaos"),
+]
+_DEFAULT_TID = 8
+_DEFAULT_TRACK = "other"
+
+
+def _tid_of(kind: str) -> int:
+    for prefix, tid, _ in TRACKS:
+        if kind.startswith(prefix):
+            return tid
+    return _DEFAULT_TID
+
+
+def chrome_trace(events: Iterable[ObsEvent],
+                 process_name: str = "eNVy (simulated)") -> str:
+    """Serialise events as a Chrome-trace JSON document (Perfetto).
+
+    Timestamps and durations convert from simulated nanoseconds to the
+    trace format's microseconds; sub-microsecond spans keep their
+    precision as fractional values.
+    """
+    trace_events: List[dict] = [{
+        "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    seen_tids = set()
+    rows = []
+    for event in events:
+        tid = _tid_of(event.kind)
+        seen_tids.add(tid)
+        row = {
+            "name": event.kind,
+            "pid": 1,
+            "tid": tid,
+            "ts": event.t_ns / 1e3,
+        }
+        if event.dur_ns > 0:
+            row["ph"] = "X"
+            row["dur"] = event.dur_ns / 1e3
+        else:
+            row["ph"] = "i"
+            row["s"] = "t"
+        if event.data:
+            row["args"] = dict(event.data)
+        rows.append(row)
+    names = {tid: name for _, tid, name in TRACKS}
+    names[_DEFAULT_TID] = _DEFAULT_TRACK
+    for tid in sorted(seen_tids):
+        trace_events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": names[tid]},
+        })
+    trace_events.extend(rows)
+    return json.dumps({"traceEvents": trace_events,
+                       "displayTimeUnit": "ns"})
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: ControllerMetrics counter attribute -> (metric name, help text).
+_COUNTERS = [
+    ("reads", "envy_reads_total", "Host page reads serviced"),
+    ("writes", "envy_writes_total", "Host page writes serviced"),
+    ("buffer_hits", "envy_buffer_hits_total",
+     "Writes absorbed by the SRAM write buffer"),
+    ("copy_on_writes", "envy_copy_on_writes_total",
+     "Flash pages copied into SRAM on write"),
+    ("flushes", "envy_flushes_total", "Buffer pages programmed to Flash"),
+    ("clean_copies", "envy_clean_copies_total",
+     "Pages copied by the cleaner"),
+    ("erases", "envy_erases_total", "Segment erases"),
+    ("wear_swaps", "envy_wear_swaps_total", "Wear-leveling segment swaps"),
+    ("ecc_corrected", "envy_ecc_corrected_total",
+     "Reads corrected by SEC-DED"),
+    ("ecc_uncorrectable", "envy_ecc_uncorrectable_total",
+     "Reads with uncorrectable corruption"),
+    ("program_retries", "envy_program_retries_total",
+     "Transient program failures retried"),
+    ("erase_retries", "envy_erase_retries_total",
+     "Transient erase failures retried"),
+    ("bad_blocks_retired", "envy_bad_blocks_retired_total",
+     "Segments retired as bad blocks"),
+    ("checkpoints_written", "envy_checkpoints_total",
+     "Metadata checkpoints written"),
+]
+
+
+def _histogram_lines(name: str, help_text: str,
+                     hist: LatencyHistogram) -> List[str]:
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+    cumulative = 0
+    for _, high, count in hist.iter_buckets():
+        cumulative += count
+        lines.append(f'{name}_bucket{{le="{high}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {hist.total_ns}")
+    lines.append(f"{name}_count {hist.count}")
+    return lines
+
+
+def prometheus_text(metrics) -> str:
+    """Render a :class:`~repro.core.metrics.ControllerMetrics` in the
+    Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for attr, name, help_text in _COUNTERS:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {getattr(metrics, attr)}")
+    lines.append("# HELP envy_busy_ns_total Controller time by activity")
+    lines.append("# TYPE envy_busy_ns_total counter")
+    for activity in sorted(metrics.busy_ns):
+        lines.append(f'envy_busy_ns_total{{activity="{activity}"}} '
+                     f'{metrics.busy_ns[activity]}')
+    lines.extend(_histogram_lines(
+        "envy_read_latency_ns", "Host read latency (simulated ns)",
+        metrics.read_latency))
+    lines.extend(_histogram_lines(
+        "envy_write_latency_ns", "Host write latency (simulated ns)",
+        metrics.write_latency))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSONL / JSON dumps
+# ----------------------------------------------------------------------
+
+def events_jsonl(events: Iterable[ObsEvent]) -> str:
+    """One JSON object per line, in event order (ends with newline)."""
+    lines = [json.dumps(event.as_dict()) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def timeseries_json(windows, include_arrays: bool = True) -> str:
+    """The sampler's windows as a JSON array of flat objects."""
+    rows = [w.as_dict(include_arrays) for w in windows]
+    return json.dumps(rows, indent=1)

@@ -141,6 +141,11 @@ class TimedSimulator:
                 clock = txn.arrival_ns
             else:
                 busy_at_arrival = True  # host queue is backed up
+            events = controller.events
+            if events.active:
+                # Idle gaps appear as real gaps on the exported
+                # timeline: jump the observability clock to the arrival.
+                events.sync(clock)
             clock = self._execute(txn, clock, busy_at_arrival,
                                   stats if measuring else None)
             if measuring:

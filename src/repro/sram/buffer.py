@@ -99,6 +99,11 @@ class WriteBuffer:
     def free_slots(self) -> int:
         return self.capacity_pages - len(self._entries)
 
+    @property
+    def occupancy(self) -> float:
+        """Filled fraction of the buffer (1.0 = every slot in use)."""
+        return len(self._entries) / self.capacity_pages
+
     def hit_rate(self) -> float:
         """Fraction of buffered-page writes among all insert attempts."""
         total = self.total_inserts + self.total_hits

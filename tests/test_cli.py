@@ -38,6 +38,23 @@ class TestParser:
         assert args.tear
         assert args.kill_at == 7
 
+    def test_observe_defaults(self):
+        args = build_parser().parse_args(["observe"])
+        assert args.rate == 30_000
+        assert args.window_us == 1000
+        assert args.out == "observe-out"
+        assert not args.smoke
+        assert not args.self_profile
+
+    def test_observe_args(self):
+        args = build_parser().parse_args(
+            ["observe", "--smoke", "--self-profile", "--out", "x",
+             "--window-us", "500"])
+        assert args.smoke
+        assert args.self_profile
+        assert args.out == "x"
+        assert args.window_us == 500
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -94,3 +111,23 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "torn program" in output
         assert "recovered store matches the committed prefix" in output
+
+    def test_recover_reports_precut_tail(self, capsys):
+        assert main(["recover", "--transactions", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "write_latency_p99_ns (pre-cut)" in output
+
+    def test_tpca_reports_percentiles(self, capsys):
+        assert main(["tpca", "3000", "--duration", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "p50" in output
+        assert "p99" in output
+
+    def test_observe_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["observe", "--smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "observability dashboard" in output
+        assert "wear heatmap" in output
+        assert "exports validated" in output
+        assert (tmp_path / "observe-out" / "trace.json").exists()

@@ -1,0 +1,383 @@
+"""Tests for the unified observability layer (``repro.obs``).
+
+Covers the histogram's bucket geometry and percentile guarantees, the
+event bus, the sampler, the exporters, and — most importantly — the
+zero-perturbation contract: an instrumented run produces the same
+simulated results as an uninstrumented one.
+"""
+
+import json
+
+import pytest
+
+from repro.core import EnvyConfig, EnvySystem
+from repro.core.metrics import ControllerMetrics, LatencyStat
+from repro.core.persistence import roundtrip
+from repro.core.tracing import TracingController
+from repro.faults import FaultEvent, FaultPlan
+from repro.obs import (EventBus, LatencyHistogram, ObsEvent,
+                       ObservabilityHub)
+from repro.obs.export import chrome_trace, events_jsonl, prometheus_text
+from repro.obs.hist import RELATIVE_ERROR, bucket_bounds, bucket_index
+from repro.sim import build_tpca_system
+
+
+# ----------------------------------------------------------------------
+# Histogram geometry
+# ----------------------------------------------------------------------
+
+class TestBuckets:
+    def test_small_values_exact(self):
+        for value in range(32):
+            low, high = bucket_bounds(bucket_index(value))
+            assert low == value == high
+
+    def test_bounds_contain_value(self):
+        for value in [32, 33, 100, 4_095, 4_096, 50_000, 10**9, 2**40]:
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value <= high
+
+    def test_relative_error_bound(self):
+        for value in [40, 1000, 160_000, 50_000_000, 2**33 + 7]:
+            low, high = bucket_bounds(bucket_index(value))
+            assert (high - low) / low <= RELATIVE_ERROR
+
+    def test_index_monotonic(self):
+        indices = [bucket_index(v) for v in range(5000)]
+        assert indices == sorted(indices)
+
+    def test_adjacent_buckets_tile(self):
+        # Every bucket's high + 1 is the next bucket's low.
+        prev_high = -1
+        for index in range(bucket_index(10**7)):
+            low, high = bucket_bounds(index)
+            assert low == prev_high + 1
+            prev_high = high
+
+
+class TestHistogram:
+    def test_empty_str(self):
+        assert str(LatencyHistogram()) == "n=0 (empty)"
+        assert str(LatencyStat()) == "n=0 (empty)"
+
+    def test_exact_extremes_and_mean(self):
+        hist = LatencyHistogram()
+        for value in (160, 200, 52_000_000):
+            hist.record(value)
+        assert hist.min_ns == 160
+        assert hist.max_ns == 52_000_000
+        assert hist.mean_ns == pytest.approx((160 + 200 + 52_000_000) / 3)
+
+    def test_percentiles_monotonic(self):
+        hist = LatencyHistogram()
+        for value in range(1, 10_000, 7):
+            hist.record(value * 13)
+        samples = [hist.percentile(p)
+                   for p in (0, 10, 25, 50, 75, 90, 99, 99.9, 100)]
+        assert samples == sorted(samples)
+        assert samples[0] >= hist.min_ns
+        assert samples[-1] == hist.max_ns
+
+    def test_percentiles_near_exact(self):
+        values = [(v * 37) % 100_000 + 100 for v in range(5000)]
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        ordered = sorted(values)
+        for p in (50, 90, 99):
+            exact = ordered[max(0, -(-len(ordered) * p // 100) - 1)]
+            got = hist.percentile(p)
+            assert got == pytest.approx(exact, rel=RELATIVE_ERROR + 0.01)
+
+    def test_merge_equals_combined_recording(self):
+        a, b, combined = (LatencyHistogram() for _ in range(3))
+        left = [160, 200, 4000, 52_000_000]
+        right = [170, 170, 999, 3]
+        for value in left:
+            a.record(value)
+            combined.record(value)
+        for value in right:
+            b.record(value)
+            combined.record(value)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total_ns == combined.total_ns
+        assert a.buckets == combined.buckets
+        assert (a.min_ns, a.max_ns) == (combined.min_ns, combined.max_ns)
+        for p in (50, 90, 99, 99.9):
+            assert a.percentile(p) == combined.percentile(p)
+
+    def test_state_roundtrip(self):
+        hist = LatencyHistogram()
+        for value in (1, 160, 4000, 52_000_000):
+            hist.record(value)
+        copy = LatencyHistogram.from_state(hist.state_dict())
+        assert copy.buckets == hist.buckets
+        assert copy.count == hist.count
+        assert (copy.min_ns, copy.max_ns) == (hist.min_ns, hist.max_ns)
+        assert str(copy) == str(hist)
+
+    def test_negative_clamped(self):
+        hist = LatencyHistogram()
+        hist.record(-5)
+        assert hist.min_ns == 0
+
+    def test_latencystat_is_histogram(self):
+        # The compat shim: old call sites keep working, gain percentiles.
+        stat = LatencyStat()
+        stat.record(100)
+        assert isinstance(stat, LatencyHistogram)
+        assert stat.p50 == 100
+
+
+class TestMetricsPersistence:
+    def test_controller_metrics_state_roundtrip(self):
+        metrics = ControllerMetrics()
+        metrics.reads = 7
+        metrics.charge("clean", 1234)
+        metrics.read_latency.record(180)
+        metrics.write_latency.record(52_000_000)
+        copy = ControllerMetrics()
+        copy.load_state(metrics.state_dict())
+        assert copy.reads == 7
+        assert copy.busy_ns == {"clean": 1234}
+        assert copy.read_latency.p50 == metrics.read_latency.p50
+        assert copy.write_latency.max_ns == 52_000_000
+
+    def test_snapshot_carries_metrics(self):
+        system = EnvySystem(EnvyConfig.small(num_segments=8,
+                                             pages_per_segment=32))
+        system.write(0, b"x" * 600)
+        system.read(0, 600)
+        copy = roundtrip(system)
+        assert copy.metrics.writes == system.metrics.writes
+        assert copy.metrics.write_latency.count == \
+            system.metrics.write_latency.count
+        assert copy.metrics.write_latency.p99 == \
+            system.metrics.write_latency.p99
+
+
+# ----------------------------------------------------------------------
+# Event bus
+# ----------------------------------------------------------------------
+
+class TestEventBus:
+    def test_inactive_until_subscribed(self):
+        bus = EventBus()
+        assert not bus.active
+        handler = lambda event: None  # noqa: E731
+        bus.subscribe(handler)
+        assert bus.active
+        bus.unsubscribe(handler)
+        assert not bus.active
+
+    def test_emit_span_advances_clock(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit_span("clean.erase", 5000, {"segment": 3})
+        assert bus.clock_ns == 5000
+        assert seen[0].kind == "clean.erase"
+        assert seen[0].t_ns == 0
+        assert seen[0].dur_ns == 5000
+
+    def test_prefix_filter(self):
+        bus = EventBus()
+        faults, everything = [], []
+        bus.subscribe(faults.append, prefix="fault.")
+        bus.subscribe(everything.append)
+        bus.mark("fault.bad_block", {"segment": 1})
+        bus.mark("wear.swap")
+        assert [event.kind for event in faults] == ["fault.bad_block"]
+        assert len(everything) == 2
+
+    def test_sync_never_rewinds(self):
+        bus = EventBus()
+        bus.sync(1000)
+        bus.sync(400)
+        assert bus.clock_ns == 1000
+
+    def test_event_as_dict_flattens_data(self):
+        event = ObsEvent("host.write", 10, 160, {"page": 4})
+        row = event.as_dict()
+        assert row["kind"] == "host.write"
+        assert row["page"] == 4
+
+
+# ----------------------------------------------------------------------
+# Typed fault routing
+# ----------------------------------------------------------------------
+
+class TestTypedFaults:
+    def test_trace_faults_are_typed(self):
+        system = EnvySystem(EnvyConfig.small(
+            num_segments=8, pages_per_segment=32,
+            fault_plan=FaultPlan(seed=13, transient_erase_rate=0.6),
+            reserve_segments=2, erase_retries=40))
+        traced = TracingController(system)
+        pages = system.size_bytes // 256
+        for i in range(3000):
+            traced.write((i % pages) * 256, b"y" * 256)
+        assert traced.trace.faults, "fault plan produced no events"
+        for fault in traced.trace.faults:
+            assert isinstance(fault, FaultEvent)
+        kinds = {fault.kind for fault in traced.trace.faults}
+        assert "transient_erase_failure" in kinds
+        assert traced.trace.faults[0].as_dict()["kind"] in kinds
+
+
+# ----------------------------------------------------------------------
+# Hub + sampler + exporters against a real simulated run
+# ----------------------------------------------------------------------
+
+def _smoke_sim(seed=7):
+    simulator = build_tpca_system(num_segments=16, pages_per_segment=64,
+                                  rate_tps=8000.0, seed=seed)
+    simulator.prewarm(5.0)
+    return simulator
+
+
+@pytest.fixture(scope="module")
+def observed():
+    simulator = _smoke_sim()
+    hub = ObservabilityHub(simulator.controller,
+                           sample_interval_ns=1_000_000)
+    stats = simulator.run(0.02)
+    hub.close()
+    return simulator, hub, stats
+
+
+class TestHub:
+    def test_events_flow(self, observed):
+        _, hub, _ = observed
+        assert hub.total_events() > 0
+        assert hub.dropped_events == 0
+        kinds = set(hub.kind_counts)
+        assert "host.write" in kinds
+        assert "host.read" in kinds
+        assert "buffer.flush" in kinds
+        assert "clean.copy" in kinds
+
+    def test_span_histograms(self, observed):
+        _, hub, _ = observed
+        flush = hub.span_histograms["buffer.flush"]
+        assert flush.count == hub.kind_counts["buffer.flush"]
+        assert flush.min_ns > 0
+
+    def test_host_events_match_metrics(self, observed):
+        simulator, hub, _ = observed
+        metrics = simulator.controller.metrics
+        assert hub.kind_counts["host.read"] == \
+            metrics.read_latency.count
+        assert hub.kind_counts["host.write"] == \
+            metrics.write_latency.count
+
+    def test_sampler_windows(self, observed):
+        _, hub, _ = observed
+        windows = hub.sampler.windows
+        assert len(windows) >= 10
+        for window in windows[:-1]:
+            assert window.duration_ns == 1_000_000
+        assert hub.latest_window() is windows[-1]
+        # Gauges were filled in from the live system.
+        assert windows[-1].buffer_capacity > 0
+        assert 0.0 <= windows[-1].utilization <= 1.0
+
+    def test_health_report_window(self, observed):
+        simulator, _, _ = observed
+        health = simulator.controller.health_report()
+        assert health["write_latency_p99_ns"] >= \
+            health["write_latency_p50_ns"] > 0
+        assert "window_writes" in health
+
+    def test_time_by_kind_sorted(self, observed):
+        _, hub, _ = observed
+        spans = list(hub.time_by_kind().values())
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestExporters:
+    def test_chrome_trace_tracks(self, observed):
+        _, hub, _ = observed
+        trace = json.loads(hub.chrome_trace_json())
+        events = trace["traceEvents"]
+        names = {event["args"]["name"] for event in events
+                 if event.get("ph") == "M"
+                 and event.get("name") == "thread_name"}
+        assert {"host ops", "write buffer", "cleaner"} <= names
+        span_tids = {event["tid"] for event in events
+                     if event.get("ph") == "X"}
+        # Host ops and cleaning land on separate tracks.
+        assert 1 in span_tids and 3 in span_tids
+        for event in events:
+            if event.get("ph") == "X":
+                assert event["dur"] > 0
+
+    def test_prometheus_text(self, observed):
+        simulator, hub, _ = observed
+        text = hub.prometheus()
+        assert text.startswith("# HELP")
+        metrics = simulator.controller.metrics
+        assert f"envy_flushes_total {metrics.flushes}" in text
+        assert 'envy_write_latency_ns_bucket{le="+Inf"} ' \
+            f"{metrics.write_latency.count}" in text
+        # Bucket counts are cumulative: non-decreasing down the lines.
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("envy_write_latency_ns_bucket")]
+        assert counts == sorted(counts)
+
+    def test_events_jsonl(self, observed):
+        _, hub, _ = observed
+        lines = hub.events_jsonl().splitlines()
+        assert len(lines) == hub.total_events()
+        row = json.loads(lines[0])
+        assert {"kind", "t_ns", "dur_ns"} <= set(row)
+
+    def test_write_exports(self, observed, tmp_path):
+        _, hub, _ = observed
+        written = hub.write_exports(str(tmp_path / "out"))
+        assert set(written) == {"trace.json", "metrics.prom",
+                                "events.jsonl", "timeseries.json"}
+        windows = json.loads(
+            (tmp_path / "out" / "timeseries.json").read_text())
+        assert isinstance(windows, list) and windows
+        assert windows[0]["t_start_ns"] == 0
+
+    def test_empty_event_exporters(self):
+        events = json.loads(chrome_trace([]))["traceEvents"]
+        # Only the process-name metadata record; no spans or instants.
+        assert all(event["ph"] == "M" for event in events)
+        assert events_jsonl([]) == ""
+        text = prometheus_text(ControllerMetrics())
+        assert "envy_reads_total 0" in text
+
+
+# ----------------------------------------------------------------------
+# The zero-perturbation contract
+# ----------------------------------------------------------------------
+
+class TestNoPerturbation:
+    def test_identical_results_with_and_without_hub(self):
+        plain = _smoke_sim()
+        stats_plain = plain.run(0.02)
+
+        instrumented = _smoke_sim()
+        hub = ObservabilityHub(instrumented.controller)
+        stats_obs = instrumented.run(0.02)
+        hub.close()
+
+        for attr in ("transactions_completed", "pages_flushed",
+                     "clean_copies", "erases", "simulated_ns"):
+            assert getattr(stats_obs, attr) == getattr(stats_plain, attr)
+        assert stats_obs.busy_ns == stats_plain.busy_ns
+        for stat in ("read_latency", "write_latency"):
+            a = getattr(stats_obs, stat)
+            b = getattr(stats_plain, stat)
+            assert a.buckets == b.buckets
+            assert a.total_ns == b.total_ns
+        plain_m = plain.controller.metrics
+        obs_m = instrumented.controller.metrics
+        assert obs_m.flushes == plain_m.flushes
+        assert obs_m.clean_copies == plain_m.clean_copies
+        assert obs_m.erases == plain_m.erases
