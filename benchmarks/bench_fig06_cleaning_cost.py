@@ -8,8 +8,8 @@ gathering under uniform access) must measure a cleaning cost of ~4.
 import pytest
 
 from repro.analysis import banner, format_table
-from repro.cleaning import (LocalityGatheringPolicy, cleaning_cost,
-                            measure_cleaning_cost)
+from repro.cleaning import cleaning_cost
+from repro.perf import run_sweep
 
 UTILIZATIONS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
 #: Utilizations where the naive fixed-utilization scheme is simulated.
@@ -17,13 +17,13 @@ SIMULATED = [0.5, 0.7, 0.8]
 
 
 def run_figure():
-    simulated = {}
-    for utilization in SIMULATED:
-        result = measure_cleaning_cost(
-            LocalityGatheringPolicy(), "50/50", num_segments=64,
-            pages_per_segment=128, utilization=utilization,
-            turnovers=3, warmup_turnovers=4)
-        simulated[utilization] = result.cleaning_cost
+    points = [dict(policy="locality", locality="50/50", num_segments=64,
+                   pages_per_segment=128, utilization=utilization,
+                   turnovers=3, warmup_turnovers=4)
+              for utilization in SIMULATED]
+    results = run_sweep("repro.perf.points:cleaning_cost_point", points)
+    simulated = {utilization: result.cleaning_cost
+                 for utilization, result in zip(SIMULATED, results)}
     rows = []
     for utilization in UTILIZATIONS:
         measured = simulated.get(utilization)

@@ -14,8 +14,7 @@ locality-gathering and hybrid (16 segments/partition) policies on a
 import pytest
 
 from repro.analysis import banner, format_table, line_chart
-from repro.cleaning import (GreedyPolicy, HybridPolicy,
-                            LocalityGatheringPolicy, measure_cleaning_cost)
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 LOCALITIES = ["50/50", "40/60", "30/70", "20/80", "10/90", "5/95"]
@@ -25,21 +24,23 @@ TURNOVERS = 5 if FULL_SCALE else 3
 WARMUP = 10 if FULL_SCALE else 8
 
 
-def measure(policy_factory):
-    costs = {}
-    for locality in LOCALITIES:
-        result = measure_cleaning_cost(
-            policy_factory(), locality, num_segments=SEGMENTS,
-            pages_per_segment=PAGES, turnovers=TURNOVERS,
-            warmup_turnovers=WARMUP)
-        costs[locality] = result.cleaning_cost
-    return costs
+def measure(policy, **policy_kwargs):
+    """Cleaning cost per locality label, fanned out via the sweep
+    runner (``ENVY_JOBS`` controls the worker count)."""
+    points = [dict(policy=policy, policy_kwargs=policy_kwargs,
+                   locality=locality, num_segments=SEGMENTS,
+                   pages_per_segment=PAGES, turnovers=TURNOVERS,
+                   warmup_turnovers=WARMUP)
+              for locality in LOCALITIES]
+    results = run_sweep("repro.perf.points:cleaning_cost_point", points)
+    return {locality: result.cleaning_cost
+            for locality, result in zip(LOCALITIES, results)}
 
 
 def run_figure():
-    greedy = measure(GreedyPolicy)
-    locality = measure(LocalityGatheringPolicy)
-    hybrid = measure(lambda: HybridPolicy(partition_segments=16))
+    greedy = measure("greedy")
+    locality = measure("locality")
+    hybrid = measure("hybrid", partition_segments=16)
     rows = [[label, greedy[label], locality[label], hybrid[label]]
             for label in LOCALITIES]
     # X axis: hot-access share (50 -> 95), like the paper's locality axis.

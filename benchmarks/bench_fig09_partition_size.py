@@ -10,7 +10,7 @@ low uniform-access cost.
 import pytest
 
 from repro.analysis import banner, format_table
-from repro.cleaning import HybridPolicy, measure_cleaning_cost
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 PARTITION_SIZES = [1, 2, 4, 8, 16, 32, 64, 128]
@@ -22,14 +22,17 @@ WARMUP = 10 if FULL_SCALE else 8
 
 
 def run_figure():
-    costs = {}
-    for size in PARTITION_SIZES:
-        for locality in LOCALITIES:
-            result = measure_cleaning_cost(
-                HybridPolicy(partition_segments=size), locality,
-                num_segments=SEGMENTS, pages_per_segment=PAGES,
-                turnovers=TURNOVERS, warmup_turnovers=WARMUP)
-            costs[(size, locality)] = result.cleaning_cost
+    grid = [(size, locality) for size in PARTITION_SIZES
+            for locality in LOCALITIES]
+    points = [dict(policy="hybrid",
+                   policy_kwargs={"partition_segments": size},
+                   locality=locality, num_segments=SEGMENTS,
+                   pages_per_segment=PAGES, turnovers=TURNOVERS,
+                   warmup_turnovers=WARMUP)
+              for size, locality in grid]
+    results = run_sweep("repro.perf.points:cleaning_cost_point", points)
+    costs = {key: result.cleaning_cost
+             for key, result in zip(grid, results)}
     rows = [[size] + [costs[(size, locality)] for locality in LOCALITIES]
             for size in PARTITION_SIZES]
     report = "\n".join([

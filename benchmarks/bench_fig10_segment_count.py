@@ -10,7 +10,7 @@ array, further gains are marginal."
 import pytest
 
 from repro.analysis import banner, format_table
-from repro.cleaning import HybridPolicy, measure_cleaning_cost
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 SEGMENT_COUNTS = [32, 64, 128, 256, 512]
@@ -22,15 +22,17 @@ WARMUP = 8
 
 
 def run_figure():
-    costs = {}
-    for count in SEGMENT_COUNTS:
-        pages = TOTAL_PAGES // count
-        for locality in LOCALITIES:
-            result = measure_cleaning_cost(
-                HybridPolicy(partition_segments=count // PARTITIONS),
-                locality, num_segments=count, pages_per_segment=pages,
-                turnovers=TURNOVERS, warmup_turnovers=WARMUP)
-            costs[(count, locality)] = result.cleaning_cost
+    grid = [(count, locality) for count in SEGMENT_COUNTS
+            for locality in LOCALITIES]
+    points = [dict(policy="hybrid",
+                   policy_kwargs={"partition_segments": count // PARTITIONS},
+                   locality=locality, num_segments=count,
+                   pages_per_segment=TOTAL_PAGES // count,
+                   turnovers=TURNOVERS, warmup_turnovers=WARMUP)
+              for count, locality in grid]
+    results = run_sweep("repro.perf.points:cleaning_cost_point", points)
+    costs = {key: result.cleaning_cost
+             for key, result in zip(grid, results)}
     rows = [[count, f"{100 / count:.2f}%"]
             + [costs[(count, locality)] for locality in LOCALITIES]
             for count in SEGMENT_COUNTS]

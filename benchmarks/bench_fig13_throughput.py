@@ -10,7 +10,7 @@ saturates in the same 30-45k band.
 import pytest
 
 from repro.analysis import banner, format_table, line_chart
-from repro.sim import simulate_tpca
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 RATES = [5_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000]
@@ -20,10 +20,10 @@ PREWARM = 10
 
 
 def run_figure():
-    stats = {rate: simulate_tpca(rate, duration_s=DURATION,
-                                 warmup_s=WARMUP,
-                                 prewarm_turnovers=PREWARM)
-             for rate in RATES}
+    points = [dict(rate_tps=rate, duration_s=DURATION, warmup_s=WARMUP,
+                   prewarm_turnovers=PREWARM) for rate in RATES]
+    results = run_sweep("repro.perf.points:tpca_point", points)
+    stats = dict(zip(RATES, results))
     rows = [[rate, round(s.throughput_tps), f"{s.cleaning_cost:.2f}",
              round(s.page_flush_rate), "yes" if s.saturated else "no"]
             for rate, s in stats.items()]

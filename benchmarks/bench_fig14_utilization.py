@@ -9,7 +9,7 @@ Flash array's storage space free at any given time."
 import pytest
 
 from repro.analysis import banner, format_table
-from repro.sim import simulate_tpca
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 UTILIZATIONS = [0.3, 0.5, 0.7, 0.8, 0.85, 0.9]
@@ -20,12 +20,13 @@ WARMUP = 0.05 if FULL_SCALE else 0.03
 
 
 def run_figure():
-    stats = {}
-    for utilization in UTILIZATIONS:
-        for rate in RATES:
-            stats[(utilization, rate)] = simulate_tpca(
-                rate, duration_s=DURATION, warmup_s=WARMUP,
-                utilization=utilization, prewarm_turnovers=8)
+    grid = [(utilization, rate) for utilization in UTILIZATIONS
+            for rate in RATES]
+    points = [dict(rate_tps=rate, duration_s=DURATION, warmup_s=WARMUP,
+                   utilization=utilization, prewarm_turnovers=8)
+              for utilization, rate in grid]
+    results = run_sweep("repro.perf.points:tpca_point", points)
+    stats = dict(zip(grid, results))
     rows = []
     for utilization in UTILIZATIONS:
         row = [f"{utilization:.0%}"]

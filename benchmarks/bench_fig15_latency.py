@@ -12,7 +12,7 @@ preempt the controller's long operations.
 import pytest
 
 from repro.analysis import banner, format_table
-from repro.sim import simulate_tpca
+from repro.perf import run_sweep
 from conftest import FULL_SCALE
 
 RATES = [5_000, 15_000, 30_000, 45_000, 60_000]
@@ -21,9 +21,10 @@ WARMUP = 0.1 if FULL_SCALE else 0.04
 
 
 def run_figure():
-    stats = {rate: simulate_tpca(rate, duration_s=DURATION,
-                                 warmup_s=WARMUP, prewarm_turnovers=10)
-             for rate in RATES}
+    points = [dict(rate_tps=rate, duration_s=DURATION, warmup_s=WARMUP,
+                   prewarm_turnovers=10) for rate in RATES]
+    results = run_sweep("repro.perf.points:tpca_point", points)
+    stats = dict(zip(RATES, results))
     rows = [[rate, f"{s.read_latency.mean_ns:.0f}",
              f"{s.write_latency.mean_ns:.0f}",
              str(s.write_latency.p50), str(s.write_latency.p99),

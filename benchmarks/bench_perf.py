@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Perf-regression harness entry point (see ``repro.perf.bench``).
+
+Measures wall-clock and simulated-accesses/sec for the canonical
+scenarios, probes parallel sweep scaling, and emits ``BENCH_PERF.json``:
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke \\
+        --output BENCH_PERF.current.json --compare BENCH_PERF.json
+
+Unlike the ``bench_fig*`` files this is a plain script, not a pytest
+benchmark: CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

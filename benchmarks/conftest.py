@@ -7,7 +7,10 @@ be assembled from a single ``pytest benchmarks/ --benchmark-only`` run.
 Scale: the benchmarks default to configurations that finish in seconds
 to a few minutes while preserving the ratios the results depend on (see
 DESIGN.md).  Set ``ENVY_BENCH_SCALE=full`` for larger arrays and longer
-runs closer to paper scale.
+runs closer to paper scale.  The sweep-shaped figures (6, 8, 9, 10, 13,
+14, 15) fan their points out through :func:`repro.perf.run_sweep`, so
+``ENVY_JOBS=<n>`` runs them across ``n`` worker processes with results
+identical to a serial run.
 """
 
 import os

@@ -52,26 +52,46 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_policies(args: argparse.Namespace) -> int:
-    from .cleaning import (GreedyPolicy, HybridPolicy,
-                           LocalityGatheringPolicy, measure_cleaning_cost)
+    from .perf import run_sweep
 
     localities = args.localities or ["50/50", "20/80", "10/90", "5/95"]
     print(banner(f"Figure 8: cleaning cost vs locality "
                  f"({args.segments} segments x {args.pages} pages)"))
+    policies = [("greedy", {}), ("locality", {}),
+                ("hybrid", {"partition_segments": args.partition})]
+    points = [dict(policy=name, policy_kwargs=kwargs, locality=label,
+                   num_segments=args.segments, pages_per_segment=args.pages,
+                   turnovers=3, warmup_turnovers=8)
+              for label in localities
+              for name, kwargs in policies]
+    results = run_sweep("repro.perf.points:cleaning_cost_point", points,
+                        jobs=args.jobs)
     rows = []
-    for label in localities:
-        row = [label]
-        for factory in (GreedyPolicy, LocalityGatheringPolicy,
-                        lambda: HybridPolicy(args.partition)):
-            result = measure_cleaning_cost(
-                factory(), label, num_segments=args.segments,
-                pages_per_segment=args.pages, turnovers=3,
-                warmup_turnovers=8)
-            row.append(result.cleaning_cost)
-        rows.append(row)
+    for index, label in enumerate(localities):
+        chunk = results[index * len(policies):(index + 1) * len(policies)]
+        rows.append([label] + [result.cleaning_cost for result in chunk])
     print(format_table(["Locality", "Greedy", "Locality gathering",
                         f"Hybrid({args.partition})"], rows))
     return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from .perf.bench import main as perf_main
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    argv += ["--output", args.output,
+             "--max-regression", str(args.max_regression)]
+    if args.compare:
+        argv += ["--compare", args.compare]
+    if args.seed_baseline:
+        argv += ["--seed-baseline", args.seed_baseline]
+    if args.no_scaling:
+        argv.append("--no-scaling")
+    return perf_main(argv)
 
 
 def cmd_tpca(args: argparse.Namespace) -> int:
@@ -429,6 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument("--segments", type=int, default=64)
     policies.add_argument("--pages", type=int, default=128)
     policies.add_argument("--partition", type=int, default=8)
+    policies.add_argument("--jobs", type=int, default=None,
+                          help="parallel sweep workers (default: "
+                               "ENVY_JOBS or CPU count)")
 
     tpca = sub.add_parser("tpca", help="one timed TPC-A simulation point")
     tpca.add_argument("rate", type=float, help="request rate in TPS")
@@ -495,6 +518,26 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--self-profile", action="store_true",
                          dest="self_profile",
                          help="profile the host cost of simulated time")
+
+    perf = sub.add_parser(
+        "perf", help="perf-regression bench: throughput + BENCH_PERF.json")
+    perf.add_argument("--smoke", action="store_true",
+                      help="small scenarios for CI")
+    perf.add_argument("--jobs", type=int, default=None,
+                      help="parallel sweep workers (default: ENVY_JOBS "
+                           "or CPU count)")
+    perf.add_argument("--output", default="BENCH_PERF.json",
+                      help="JSON report path (default: %(default)s)")
+    perf.add_argument("--compare", metavar="BASELINE",
+                      help="fail on regression vs this committed report")
+    perf.add_argument("--max-regression", type=float, default=0.25,
+                      dest="max_regression")
+    perf.add_argument("--seed-baseline", metavar="REPORT",
+                      dest="seed_baseline",
+                      help="embed a pre-optimization report for speedups")
+    perf.add_argument("--no-scaling", action="store_true",
+                      dest="no_scaling",
+                      help="skip the parallel scaling probe")
     return parser
 
 
@@ -508,6 +551,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "recover": cmd_recover,
     "observe": cmd_observe,
+    "perf": cmd_perf,
 }
 
 

@@ -48,16 +48,13 @@ class GreedyPolicy(CleaningPolicy):
 
     def _clean_next(self) -> None:
         store = self._store
-        best = None
-        best_space = -1
-        for pos in store.positions:
-            if pos.index == self._active:
-                continue
-            space = pos.dead_slots + pos.free_slots
-            if space > best_space:
-                best_space = space
-                best = pos.index
-        if best is None or best_space <= 0:
+        # Most invalidated space == fewest live pages; the store's
+        # bucket index answers that in O(1) with the same lowest-index
+        # tie-break as the original full scan.
+        best = store.min_live_position(exclude=self._active)
+        if (best is None
+                or store.positions[best].live_count
+                >= store.pages_per_segment):
             raise RuntimeError(
                 "greedy cleaner found no reclaimable space; the array is "
                 "over-committed (utilization must stay below 100%)")
@@ -66,7 +63,9 @@ class GreedyPolicy(CleaningPolicy):
 
     def flush(self, logical_page: int, origin: int) -> int:
         store = self._store
-        if store.positions[self._active].free_slots == 0:
+        active = self._active
+        if store.positions[active].free_slots == 0:
             self._clean_next()
-        store.append(self._active, logical_page)
-        return self._active
+            active = self._active
+        store.append(active, logical_page)
+        return active

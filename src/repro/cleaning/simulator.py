@@ -84,6 +84,11 @@ class SimulationResult:
 class PolicySimulator:
     """Run one cleaning policy under one write workload."""
 
+    __slots__ = ("policy", "utilization", "store", "buffer_pages",
+                 "buffer_policy", "_buffer", "buffer_hits", "host_writes",
+                 "leveler", "_store_buffer_page", "_policy_flush",
+                 "_maybe_level")
+
     def __init__(self, policy: CleaningPolicy, num_segments: int = 128,
                  pages_per_segment: int = 256, utilization: float = 0.80,
                  buffer_pages: Optional[int] = None,
@@ -127,6 +132,12 @@ class PolicySimulator:
         self.host_writes = 0
         self.leveler = (WearLeveler(wear_threshold) if wear_leveling
                         else None)
+        # Bound-method caches for the per-write hot path: the store and
+        # policy never change after construction.
+        self._store_buffer_page = self.store.buffer_page
+        self._policy_flush = self.policy.flush
+        self._maybe_level = (self.leveler.maybe_level
+                             if self.leveler is not None else None)
 
     # ------------------------------------------------------------------
 
@@ -134,14 +145,14 @@ class PolicySimulator:
         """Apply one host write (word writes collapse to page writes)."""
         self.host_writes += 1
         if self.buffer_pages == 0:
-            origin = self.store.buffer_page(logical_page)
+            origin = self._store_buffer_page(logical_page)
             if origin is None:
                 raise RuntimeError(
                     f"page {logical_page} has no initial placement; "
                     f"populate the store before writing")
-            self.policy.flush(logical_page, origin)
-            if self.leveler is not None:
-                self.leveler.maybe_level(self.store)
+            self._policy_flush(logical_page, origin)
+            if self._maybe_level is not None:
+                self._maybe_level(self.store)
             return
         buffer = self._buffer
         if logical_page in buffer:
@@ -152,7 +163,7 @@ class PolicySimulator:
             return
         if len(buffer) >= self.buffer_pages:
             self._flush_one()
-        origin = self.store.buffer_page(logical_page)
+        origin = self._store_buffer_page(logical_page)
         if origin is None:
             raise RuntimeError(
                 f"page {logical_page} has no initial placement; "
@@ -161,11 +172,12 @@ class PolicySimulator:
 
     def _flush_one(self) -> None:
         """Flush the FIFO tail through the cleaning policy."""
-        page, origin = next(iter(self._buffer.items()))
-        del self._buffer[page]
-        self.policy.flush(page, origin)
-        if self.leveler is not None:
-            self.leveler.maybe_level(self.store)
+        buffer = self._buffer
+        page, origin = next(iter(buffer.items()))
+        del buffer[page]
+        self._policy_flush(page, origin)
+        if self._maybe_level is not None:
+            self._maybe_level(self.store)
 
     def drain(self) -> None:
         """Flush every buffered page (used at the end of experiments)."""

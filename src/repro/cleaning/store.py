@@ -138,10 +138,92 @@ class SegmentStore:
         self.host_write_count = 0
         #: Smoothing constant for per-position clean intervals.
         self.interval_alpha = 0.15
+        # --- derived accounting, maintained incrementally --------------
+        # Running totals and a live-count bucket index make live_pages()
+        # and greedy victim selection O(1) instead of O(positions).  Any
+        # code that mutates position/physical state directly (recovery,
+        # snapshot restore) must call rebuild_derived() afterwards.
+        self._live_total = 0
+        self._slot_total = 0
+        #: _live_buckets[k] = indices of positions with exactly k live
+        #: pages.  Greedy's victim (max dead+free = min live) is the
+        #: lowest index in the lowest occupied bucket.
+        self._live_buckets: List[set] = [set()
+                                         for _ in range(pages_per_segment + 1)]
+        self._live_buckets[0].update(range(num_positions))
+        #: Lazy floor: no occupied bucket exists below this live count.
+        self._min_live = 0
+        #: Bumped whenever the active-segment membership may have
+        #: changed; keys the active_phys()/wear_spread() caches.
+        self._derived_version = 0
+        self._active_key = None
+        self._active_cache: List[int] = []
+        self._wear_key = None
+        self._wear_value = 0
 
     # ------------------------------------------------------------------
     # Primitive operations
     # ------------------------------------------------------------------
+
+    def _live_delta(self, pos: Position, delta: int) -> None:
+        """Adjust a position's live count, keeping the bucket index and
+        running total consistent."""
+        buckets = self._live_buckets
+        live = pos.live_count
+        buckets[live].discard(pos.index)
+        live += delta
+        pos.live_count = live
+        buckets[live].add(pos.index)
+        self._live_total += delta
+        if live < self._min_live:
+            self._min_live = live
+
+    def min_live_position(self, exclude: int = -1) -> Optional[int]:
+        """Lowest-indexed position with the fewest live pages.
+
+        This is greedy's victim: most dead+free space == fewest live
+        pages, ties broken by position index (matching the original
+        first-wins scan).  ``exclude`` skips one position (the active
+        segment).  Returns None when every position is excluded.
+        """
+        buckets = self._live_buckets
+        n = len(buckets)
+        live = self._min_live
+        while live < n and not buckets[live]:
+            live += 1
+        self._min_live = min(live, n - 1) if n else 0
+        while live < n:
+            bucket = buckets[live]
+            if bucket:
+                if len(bucket) == 1 and exclude in bucket:
+                    live += 1
+                    continue
+                best = min(bucket)
+                if best == exclude:
+                    best = min(i for i in bucket if i != exclude)
+                return best
+            live += 1
+        return None
+
+    def rebuild_derived(self) -> None:
+        """Recompute the incrementally maintained accounting from the
+        positions.  Must be called after any direct mutation of position
+        slots/live counts or the physical membership sets (recovery,
+        snapshot restore)."""
+        buckets = [set() for _ in range(self.pages_per_segment + 1)]
+        live_total = 0
+        slot_total = 0
+        for pos in self.positions:
+            buckets[pos.live_count].add(pos.index)
+            live_total += pos.live_count
+            slot_total += len(pos.slots)
+        self._live_buckets = buckets
+        self._live_total = live_total
+        self._slot_total = slot_total
+        self._min_live = 0
+        self._derived_version += 1
+        self._active_key = None
+        self._wear_key = None
 
     def location(self, logical_page: int) -> Optional[Tuple[int, int]]:
         return self.page_location[logical_page]
@@ -165,13 +247,14 @@ class SegmentStore:
         the cleaning cost) from cleaner-initiated copies.
         """
         pos = self.positions[pos_index]
-        if pos.free_slots <= 0:
+        if len(pos.slots) >= pos.capacity:
             raise StoreError(f"position {pos_index} has no free slots")
         old = self.page_location[logical_page]
         if old is not None and old != IN_BUFFER:
             self._kill(old)
         pos.slots.append(logical_page)
-        pos.live_count += 1
+        self._slot_total += 1
+        self._live_delta(pos, 1)
         self.page_location[logical_page] = (pos_index, len(pos.slots) - 1)
         if pos.demoted:
             # A rewritten page is hot again; cancel any pending demotion.
@@ -198,9 +281,9 @@ class SegmentStore:
     def _kill(self, loc: Tuple[int, int]) -> None:
         """Invalidate the Flash copy at ``loc`` (lazy: just drop liveness)."""
         pos = self.positions[loc[0]]
-        pos.live_count -= 1
-        if pos.live_count < 0:
+        if pos.live_count <= 0:
             raise StoreError(f"negative live count in position {loc[0]}")
+        self._live_delta(pos, -1)
 
     # ------------------------------------------------------------------
     # Cleaning
@@ -246,19 +329,21 @@ class SegmentStore:
         self.phys_erase_counts[old_phys] += 1
         self.erase_count += 1
         copies = len(survivors)
+        old_slot_count = len(pos.slots)
         if prepend:
             if len(prepend) + copies > pos.capacity:
                 raise StoreError(
                     f"position {pos_index} cannot absorb {len(prepend)} "
                     f"prepended pages")
             pos.slots = list(prepend) + survivors
-            pos.live_count += len(prepend)
+            self._live_delta(pos, len(prepend))
             self.clean_copy_count += len(prepend)
             self.transfer_count += len(prepend)
             if self.observer is not None:
                 self.observer("transfer", pos_index, len(prepend))
         else:
             pos.slots = survivors
+        self._slot_total += len(pos.slots) - old_slot_count
         for slot, page in enumerate(pos.slots):
             self.page_location[page] = (pos_index, slot)
         self.clean_copy_count += copies
@@ -302,7 +387,7 @@ class SegmentStore:
         for slot in indices:
             page = pos.slots[slot]
             if self.page_location[page] == (pos_index, slot):
-                pos.live_count -= 1
+                self._live_delta(pos, -1)
                 self.page_location[page] = None
                 if pos.demoted:
                     pos.demoted.discard(page)
@@ -328,7 +413,8 @@ class SegmentStore:
         if pos.free_slots <= 0:
             raise StoreError(f"position {pos_index} cannot receive: full")
         pos.slots.append(logical_page)
-        pos.live_count += 1
+        self._slot_total += 1
+        self._live_delta(pos, 1)
         self.page_location[logical_page] = (pos_index, len(pos.slots) - 1)
         if demote:
             pos.demoted.add(logical_page)
@@ -409,38 +495,57 @@ class SegmentStore:
         self.transfer_count = 0
         self.erase_count = 0
         self.host_write_count = 0
+        # wear_spread() keys its cache on erase_count; resetting the
+        # counter would otherwise reuse stale entries.
+        self._derived_version += 1
+        self._wear_key = None
 
     def live_pages(self) -> int:
-        return sum(p.live_count for p in self.positions)
+        return self._live_total
 
     def active_phys(self) -> List[int]:
         """Physical segments in the cleaning rotation, in id order.
 
         Excludes retired bad blocks and unprovisioned reserves, so the
         utilization and wear accounting track the array's *usable*
-        capacity as it degrades.
+        capacity as it degrades.  Cached: retirement is rare, so the
+        membership only changes when _derived_version (or a set size)
+        does.  Callers must not mutate the returned list.
         """
-        return [phys for phys in range(len(self.phys_erase_counts))
+        key = (self._derived_version, len(self.phys_erase_counts),
+               len(self.retired_phys), len(self.reserve_phys),
+               len(self.metadata_phys))
+        if key != self._active_key:
+            self._active_key = key
+            self._active_cache = [
+                phys for phys in range(len(self.phys_erase_counts))
                 if phys not in self.retired_phys
                 and phys not in self.reserve_phys
                 and phys not in self.metadata_phys]
+        return self._active_cache
 
     def utilization(self) -> float:
         """Live fraction of the usable array (spare included, like §4.1)."""
         total = len(self.active_phys()) * self.pages_per_segment
-        return self.live_pages() / total
+        return self._live_total / total
 
     def wear_spread(self) -> int:
-        counts = [self.phys_erase_counts[phys]
-                  for phys in self.active_phys()]
-        return max(counts) - min(counts)
+        # Keyed on the erase counter: phys_erase_counts only changes
+        # when a segment is erased (erase_count += 1) or on a rebuild.
+        key = (self.erase_count, self._derived_version)
+        if key != self._wear_key:
+            counts = self.phys_erase_counts
+            values = [counts[phys] for phys in self.active_phys()]
+            self._wear_key = key
+            self._wear_value = max(values) - min(values)
+        return self._wear_value
 
     def occupancy(self) -> dict:
         """Gauges for the observability sampler: live/dead pages,
         utilization, and the per-position live fractions (heat data)."""
         return {
-            "live_pages": self.live_pages(),
-            "dead_pages": sum(p.dead_slots for p in self.positions),
+            "live_pages": self._live_total,
+            "dead_pages": self._slot_total - self._live_total,
             "utilization": self.utilization(),
             "per_position_utilization":
                 [p.utilization for p in self.positions],
@@ -476,6 +581,7 @@ class SegmentStore:
                 1 for slot, page in enumerate(pos.slots)
                 if self.page_location[page] == (pos.index, slot))
         self.spare_phys = spare_phys
+        self.rebuild_derived()
 
     def check_invariants(self) -> None:
         """Expensive consistency check used by the property tests."""
@@ -495,6 +601,21 @@ class SegmentStore:
                     f"but {live_seen[pos.index]} live slots found")
             if len(pos.slots) > pos.capacity:
                 raise StoreError(f"position {pos.index} over capacity")
+        if self._live_total != sum(live_seen):
+            raise StoreError(
+                f"live total drift: running={self._live_total} "
+                f"actual={sum(live_seen)}")
+        if self._slot_total != sum(len(p.slots) for p in self.positions):
+            raise StoreError("slot total drift")
+        for live, bucket in enumerate(self._live_buckets):
+            for index in bucket:
+                if self.positions[index].live_count != live:
+                    raise StoreError(
+                        f"bucket drift: position {index} in bucket {live} "
+                        f"but live_count="
+                        f"{self.positions[index].live_count}")
+        if sum(len(b) for b in self._live_buckets) != self.num_positions:
+            raise StoreError("bucket index does not partition positions")
         phys_in_use = [p.phys for p in self.positions] + [self.spare_phys]
         if sorted(phys_in_use) != self.active_phys():
             raise StoreError("physical segment mapping is not a bijection "

@@ -353,6 +353,11 @@ class BoundStore(SegmentStore):
                     f"reserve pool is exhausted") from exc
             self.retired_phys.add(phys)
             self.reserve_phys.remove(replacement)
+            # Active membership changed without an erase-count tick;
+            # drop the store's active/wear caches.
+            self._derived_version += 1
+            self._active_key = None
+            self._wear_key = None
             if self.spare_phys == phys:
                 self.spare_phys = replacement
             self.array.fault_stats.bad_blocks_retired += 1

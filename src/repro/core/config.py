@@ -241,6 +241,15 @@ class EnvyConfig:
     #: before the stale one is erased, so a crash mid-checkpoint always
     #: leaves one complete older checkpoint intact).
     checkpoint_segments: int = 2
+    # --- performance (repro.perf) -------------------------------------
+    #: Stamp every program's out-of-band self-description record.  None
+    #: means automatic: on when page payloads are stored or
+    #: checkpointing is enabled (the configurations recovery scans run
+    #: against), off for placement-only simulation where nothing ever
+    #: reads the stamps.  Stamps share the program cycle, so this knob
+    #: never changes timing or metrics — only whether the Python model
+    #: spends time packing CRC records nobody will read.
+    oob_stamping: Optional[bool] = None
 
     @property
     def effective_checkpoint_segments(self) -> int:

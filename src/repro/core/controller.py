@@ -118,6 +118,14 @@ class EnvyController:
         self.store.program_listener = self._on_flush_program
         self.store.preserve_flushed_copies = \
             cfg.checkpoint_interval_flushes is not None
+        # Lazy OOB stamping: skip packing self-description records when
+        # nothing will ever scan them (placement-only simulation).
+        # Stamps share the program cycle, so metrics are unaffected.
+        stamp = cfg.oob_stamping
+        if stamp is None:
+            stamp = (store_data
+                     or cfg.checkpoint_interval_flushes is not None)
+        self.store.stamp_oob = stamp
         self.policy = policy or make_policy(
             cfg.cleaning_policy,
             **({"partition_segments": cfg.partition_segments}
@@ -125,6 +133,15 @@ class EnvyController:
         self.leveler = WearLeveler(cfg.wear_swap_cycles)
         self.metrics = ControllerMetrics()
         self._pending_work_ns = 0
+        # Hot-path scalars: EnvyConfig derives these through property
+        # chains on every access; the timed simulator calls read_timed
+        # millions of times, so bind them once (the config is frozen).
+        self._page_bytes = cfg.page_bytes
+        self._size_bytes = cfg.logical_bytes
+        self._bus_overhead_ns = cfg.bus_overhead_ns
+        self._sram_read_ns = cfg.sram.read_ns
+        self._sram_write_ns = cfg.sram.write_ns
+        self._flash_read_ns = cfg.flash.read_ns
         # --- crash-consistent metadata (repro.core.checkpoint) --------
         self.checkpointer = None
         self._flushes_since_checkpoint = 0
@@ -308,15 +325,15 @@ class EnvyController:
     @property
     def size_bytes(self) -> int:
         """Bytes of linear memory presented to the host."""
-        return self.config.logical_bytes
+        return self._size_bytes
 
     def _check_range(self, address: int, length: int) -> None:
         if length < 0:
             raise ValueError("length cannot be negative")
-        if address < 0 or address + length > self.size_bytes:
+        if address < 0 or address + length > self._size_bytes:
             raise IndexError(
                 f"address range [{address}, {address + length}) outside "
-                f"the {self.size_bytes}-byte array")
+                f"the {self._size_bytes}-byte array")
 
     # ------------------------------------------------------------------
     # Host reads
@@ -333,33 +350,42 @@ class EnvyController:
         bus overhead + (page-table read on MMU miss) + one SRAM or Flash
         read cycle — 160 ns in the common case (Section 5.1).
         """
-        self._check_range(address, length)
-        cfg = self.config
+        if length < 0:
+            raise ValueError("length cannot be negative")
+        page_bytes = self._page_bytes
+        if address < 0 or address + length > self._size_bytes:
+            self._check_range(address, length)
         pieces = []
         total_ns = 0
         offset = address
         remaining = length
+        metrics = self.metrics
+        read_latency = metrics.read_latency
+        translate_timed = self.mmu.translate_timed
+        store_data = self.store_data
+        bus = self.events
         while remaining > 0:
-            page, page_offset = divmod(offset, cfg.page_bytes)
-            chunk = min(remaining, cfg.page_bytes - page_offset)
-            location, translate_ns = self.mmu.translate_timed(page)
-            access_ns = cfg.bus_overhead_ns + translate_ns
+            page, page_offset = divmod(offset, page_bytes)
+            chunk = remaining
+            if chunk > page_bytes - page_offset:
+                chunk = page_bytes - page_offset
+            location, translate_ns = translate_timed(page)
+            access_ns = self._bus_overhead_ns + translate_ns
             if location is not None and location.in_sram:
                 entry = self.buffer.peek(location.slot)
                 payload = entry.data if entry is not None else None
-                access_ns += cfg.sram.read_ns
+                access_ns += self._sram_read_ns
             else:
                 payload = (self.store.read_page_data(page)
-                           if self.store_data else None)
-                access_ns += cfg.flash.read_ns + self._ecc_check_ns
+                           if store_data else None)
+                access_ns += self._flash_read_ns + self._ecc_check_ns
             if payload is None:
                 pieces.append(bytes(chunk))
             else:
                 pieces.append(bytes(payload[page_offset:page_offset + chunk]))
-            self.metrics.reads += 1
-            self.metrics.read_latency.record(access_ns)
-            self.metrics.charge("read", access_ns)
-            bus = self.events
+            metrics.reads += 1
+            read_latency.record(access_ns)
+            metrics.charge("read", access_ns)
             if bus.active:
                 bus.emit_span(HOST_READ, access_ns, {"page": page})
             total_ns += access_ns
@@ -382,15 +408,15 @@ class EnvyController:
         the latency cliff of Figure 15.
         """
         self._check_range(address, len(data))
-        cfg = self.config
+        page_bytes = self._page_bytes
         total_ns = 0
         offset = address
         view = memoryview(bytes(data))
         consumed = 0
         bus = self.events
         while consumed < len(data):
-            page, page_offset = divmod(offset, cfg.page_bytes)
-            chunk = min(len(data) - consumed, cfg.page_bytes - page_offset)
+            page, page_offset = divmod(offset, page_bytes)
+            chunk = min(len(data) - consumed, page_bytes - page_offset)
             start_ns = bus.clock_ns
             access_ns = self._write_page(page, page_offset,
                                          view[consumed:consumed + chunk])
@@ -409,15 +435,14 @@ class EnvyController:
         return total_ns
 
     def _write_page(self, page: int, page_offset: int, chunk) -> int:
-        cfg = self.config
         location, translate_ns = self.mmu.translate_timed(page)
-        access_ns = cfg.bus_overhead_ns + translate_ns
+        access_ns = self._bus_overhead_ns + translate_ns
         if location is not None and location.in_sram:
             entry = self.buffer.peek(location.slot)
             if entry is not None and entry.data is not None:
                 entry.data[page_offset:page_offset + len(chunk)] = chunk
             self.metrics.buffer_hits += 1
-            access_ns += cfg.sram.write_ns
+            access_ns += self._sram_write_ns
             self.metrics.charge("host-write", access_ns)
             return access_ns
         # Copy-on-write path.  A full buffer stalls the host while the
@@ -429,21 +454,20 @@ class EnvyController:
         if self.buffer.is_full:
             stall_ns = self.flush_one()
             access_ns += stall_ns
-        old_data = None
+        page_data = None
         if self.store_data:
             old_data = self.store.read_page_data(page)
-        page_data = bytearray(old_data) if old_data is not None else \
-            bytearray(cfg.page_bytes)
-        page_data[page_offset:page_offset + len(chunk)] = chunk
+            page_data = (bytearray(old_data) if old_data is not None
+                         else bytearray(self._page_bytes))
+            page_data[page_offset:page_offset + len(chunk)] = chunk
         origin = self.store.buffer_page(page)
-        entry = self.buffer.insert(page, page_data if self.store_data
-                                   else None, origin)
+        entry = self.buffer.insert(page, page_data, origin)
         self.mmu.update(page, Location.sram(page))
         self.metrics.copy_on_writes += 1
         # One wide Flash read to copy the page + the SRAM write; the
         # page-table update happens in parallel with the transfer
         # (Section 5.1) and adds nothing.
-        access_ns += cfg.flash.read_ns + cfg.sram.write_ns
+        access_ns += self._flash_read_ns + self._sram_write_ns
         self.metrics.charge("host-write", access_ns - stall_ns)
         return access_ns
 

@@ -171,6 +171,9 @@ def load_system(source: Union[str, BinaryIO]) -> EnvyController:
                            else loc for loc in state["page_location"]]
     for name, value in state["counters"].items():
         setattr(store, name, value)
+    # Positions and counters were poked directly; refresh the store's
+    # incrementally maintained totals/bucket index and caches.
+    store.rebuild_derived()
     for segment, saved in zip(system.array.segments, state["segments"]):
         segment.states = [PageState(v) for v in saved["states"]]
         if segment.store_data and saved["data"] is not None:
@@ -181,6 +184,7 @@ def load_system(source: Union[str, BinaryIO]) -> EnvyController:
         segment.program_count = saved["program_count"]
         segment.write_pointer = saved["write_pointer"]
         segment.live_count = saved["live_count"]
+        segment.rebuild_live_slots()
     # Write buffer contents (battery backed).
     system.buffer._entries.clear()
     for logical_page, data, origin in state["buffer"]:

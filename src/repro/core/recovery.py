@@ -616,6 +616,9 @@ def recover_from_flash(array, config, policy=None,
                                for phys in range(array.num_segments)]
     store.retired_phys = set(retired)
     store.reserve_phys = list(reserves)
+    # The membership sets were replaced wholesale; drop the derived
+    # active/wear caches restore_layout just primed.
+    store.rebuild_derived()
     if ctrl.bad_blocks is not None:
         ctrl.bad_blocks.reserve = list(reserves)
         for phys in sorted(retired):

@@ -29,23 +29,38 @@ __all__ = ["FlashArray", "WearStats"]
 
 
 class WearStats:
-    """Snapshot of program/erase wear across the array."""
+    """Snapshot of program/erase wear across the array.
 
-    __slots__ = ("erase_counts", "program_counts", "endurance_cycles")
+    The aggregates are computed once at construction — a WearStats is a
+    snapshot, so repeated property access must not rescan the count
+    lists (they used to, making ``wear_stats().spread`` in a loop
+    quadratic).
+    """
+
+    __slots__ = ("erase_counts", "program_counts", "endurance_cycles",
+                 "_min_erases", "_max_erases", "_total_erases",
+                 "_total_programs", "_overshoot_cycles")
 
     def __init__(self, erase_counts: List[int], program_counts: List[int],
                  endurance_cycles: int) -> None:
         self.erase_counts = erase_counts
         self.program_counts = program_counts
         self.endurance_cycles = endurance_cycles
+        self._min_erases = min(erase_counts)
+        self._max_erases = max(erase_counts)
+        self._total_erases = sum(erase_counts)
+        self._total_programs = sum(program_counts)
+        self._overshoot_cycles = sum(
+            count - endurance_cycles for count in erase_counts
+            if count > endurance_cycles)
 
     @property
     def min_erases(self) -> int:
-        return min(self.erase_counts)
+        return self._min_erases
 
     @property
     def max_erases(self) -> int:
-        return max(self.erase_counts)
+        return self._max_erases
 
     @property
     def spread(self) -> int:
@@ -53,30 +68,29 @@ class WearStats:
 
         Section 4.3 triggers a leveling swap when this exceeds 100.
         """
-        return self.max_erases - self.min_erases
+        return self._max_erases - self._min_erases
 
     @property
     def total_erases(self) -> int:
-        return sum(self.erase_counts)
+        return self._total_erases
 
     @property
     def total_programs(self) -> int:
-        return sum(self.program_counts)
+        return self._total_programs
 
     @property
     def remaining_fraction(self) -> float:
         """Fraction of rated endurance left on the most-worn segment."""
         if self.endurance_cycles <= 0:
             return 0.0
-        used = self.max_erases / self.endurance_cycles
+        used = self._max_erases / self.endurance_cycles
         return max(0.0, 1.0 - used)
 
     @property
     def overshoot_cycles(self) -> int:
         """Erase cycles consumed beyond the rated endurance (Section 2:
         recorded, not fatal, unless ``strict_endurance`` is set)."""
-        return sum(max(0, count - self.endurance_cycles)
-                   for count in self.erase_counts)
+        return self._overshoot_cycles
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"WearStats(erases {self.min_erases}..{self.max_erases}, "

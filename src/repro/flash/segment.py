@@ -52,7 +52,8 @@ class FlashSegment:
 
     __slots__ = ("segment_id", "num_pages", "page_bytes", "store_data",
                  "states", "data", "oob", "erase_count", "program_count",
-                 "write_pointer", "live_count", "_erasing", "is_bad")
+                 "write_pointer", "live_count", "live_slots", "_erasing",
+                 "is_bad")
 
     def __init__(self, segment_id: int, num_pages: int, page_bytes: int = 256,
                  store_data: bool = True) -> None:
@@ -78,6 +79,11 @@ class FlashSegment:
         #: of a segment", Section 4.3).
         self.write_pointer = 0
         self.live_count = 0
+        #: Indices of VALID pages, maintained incrementally so
+        #: :meth:`live_pages` never rescans the state list.  Code that
+        #: assigns ``states`` wholesale must call
+        #: :meth:`rebuild_live_slots`.
+        self.live_slots: set = set()
         self._erasing = False
         #: Retired after a permanent erase failure (grown bad block).
         #: Existing data stays readable (Section 2) but the segment
@@ -152,6 +158,7 @@ class FlashSegment:
         self.states[page] = PageState.VALID
         self.write_pointer += 1
         self.live_count += 1
+        self.live_slots.add(page)
         self.program_count += 1
         return page
 
@@ -191,11 +198,17 @@ class FlashSegment:
                 f"(state={self.states[page].name})")
         self.states[page] = PageState.INVALID
         self.live_count -= 1
+        self.live_slots.discard(page)
 
     def live_pages(self) -> List[int]:
         """Indices of valid pages, in programming (head-to-tail) order."""
-        return [i for i in range(self.write_pointer)
-                if self.states[i] is PageState.VALID]
+        return sorted(self.live_slots)
+
+    def rebuild_live_slots(self) -> None:
+        """Recompute :attr:`live_slots` after ``states`` was replaced
+        wholesale (snapshot restore)."""
+        self.live_slots = {i for i in range(self.write_pointer)
+                           if self.states[i] is PageState.VALID}
 
     # ------------------------------------------------------------------
     # Erase
@@ -233,6 +246,7 @@ class FlashSegment:
         self.oob = [None] * self.num_pages
         self.write_pointer = 0
         self.live_count = 0
+        self.live_slots = set()
         self.erase_count += 1
 
     # ------------------------------------------------------------------
@@ -257,6 +271,7 @@ class FlashSegment:
             else:
                 self.states[slot] = PageState.INVALID
         self.live_count = live
+        self.rebuild_live_slots()
 
     # ------------------------------------------------------------------
 

@@ -87,8 +87,16 @@ class LatencyHistogram:
             self._max_ns = ns
         self.count += 1
         self.total_ns += ns
-        index = bucket_index(ns)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
+        # bucket_index(ns), inlined: record() is called once per
+        # simulated access and the function-call overhead dominates it.
+        if ns < 2 * SUBBUCKETS:
+            index = ns
+        else:
+            shift = ns.bit_length() - (SUBBUCKET_BITS + 1)
+            index = (((shift + 1) << SUBBUCKET_BITS)
+                     + ((ns >> shift) - SUBBUCKETS))
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other`` in; exactly equivalent to recording its

@@ -1,0 +1,24 @@
+"""Performance layer: parallel sweep runner and perf-regression bench.
+
+The paper's figures are grids of independent simulation points;
+:func:`run_sweep` fans them out across processes with results identical
+to a serial loop (see :mod:`repro.perf.sweep` for the determinism
+contract).  :mod:`repro.perf.bench` is the harness behind
+``benchmarks/bench_perf.py`` and ``python -m repro perf``, which track
+simulator throughput over time in ``BENCH_PERF.json``.
+"""
+
+from .bench import SCENARIOS, compare_reports, run_bench
+from .points import cleaning_cost_point, tpca_point
+from .sweep import derive_seed, resolve_jobs, run_sweep
+
+__all__ = [
+    "run_sweep",
+    "resolve_jobs",
+    "derive_seed",
+    "cleaning_cost_point",
+    "tpca_point",
+    "run_bench",
+    "compare_reports",
+    "SCENARIOS",
+]

@@ -1,0 +1,53 @@
+"""Picklable sweep workers for the standard simulation points.
+
+These are the module-level functions :func:`repro.perf.sweep.run_sweep`
+dispatches to worker processes (by the dotted names below).  Each takes
+one mapping of keyword arguments and returns the simulator's ordinary
+result object, so rewiring a serial figure loop onto the sweep runner
+changes nothing downstream of the call.
+
+Dotted names:
+
+* ``"repro.perf.points:cleaning_cost_point"`` — one untimed
+  cleaning-cost measurement (Figures 6, 8, 9, 10); returns
+  :class:`~repro.cleaning.simulator.SimulationResult`.
+* ``"repro.perf.points:tpca_point"`` — one timed TPC-A point
+  (Figures 13, 14, 15); returns :class:`~repro.sim.tracker.SimStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["cleaning_cost_point", "tpca_point"]
+
+
+def cleaning_cost_point(point: Mapping[str, Any]):
+    """Run one untimed cleaning-cost simulation.
+
+    ``point`` holds :func:`~repro.cleaning.simulator
+    .measure_cleaning_cost` keyword arguments plus:
+
+    * ``policy`` — policy name for :func:`~repro.cleaning.make_policy`
+      (default ``"greedy"``);
+    * ``policy_kwargs`` — constructor arguments for that policy (e.g.
+      ``{"partition_segments": 16}`` for hybrid).
+    """
+    from ..cleaning import make_policy, measure_cleaning_cost
+
+    kwargs = dict(point)
+    policy = kwargs.pop("policy", "greedy")
+    policy_kwargs = kwargs.pop("policy_kwargs", None) or {}
+    return measure_cleaning_cost(make_policy(policy, **policy_kwargs),
+                                 **kwargs)
+
+
+def tpca_point(point: Mapping[str, Any]):
+    """Run one timed TPC-A simulation point.
+
+    ``point`` holds :func:`~repro.sim.engine.simulate_tpca` keyword
+    arguments (``rate_tps`` is required).
+    """
+    from ..sim import simulate_tpca
+
+    return simulate_tpca(**dict(point))

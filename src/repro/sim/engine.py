@@ -44,6 +44,9 @@ __all__ = ["TimedSimulator", "simulate_tpca", "build_tpca_system"]
 class TimedSimulator:
     """Replays timed transactions against an eNVy controller."""
 
+    __slots__ = ("controller", "workload", "suspend_max_ns", "rng",
+                 "_debt_ns", "_overdraft_ns")
+
     def __init__(self, controller: EnvyController,
                  workload: TpcaWorkload,
                  suspend_max_ns: int = 40,
@@ -117,9 +120,13 @@ class TimedSimulator:
         base_erases = metrics.erases
         base_busy = dict(metrics.busy_ns)
         measure_start = warmup_ns
+        next_transaction = self.workload.next_transaction
+        background = self._background
+        execute = self._execute
+        events = controller.events
 
         while True:
-            txn = self.workload.next_transaction()
+            txn = next_transaction()
             if txn.arrival_ns >= end_ns:
                 break
             if not measuring and txn.arrival_ns >= warmup_ns:
@@ -136,18 +143,17 @@ class TimedSimulator:
             # Idle gap until this transaction can start: background work.
             if txn.arrival_ns > clock:
                 gap = txn.arrival_ns - clock
-                done = self._background(gap)
+                done = background(gap)
                 busy_at_arrival = done >= gap
                 clock = txn.arrival_ns
             else:
                 busy_at_arrival = True  # host queue is backed up
-            events = controller.events
             if events.active:
                 # Idle gaps appear as real gaps on the exported
                 # timeline: jump the observability clock to the arrival.
                 events.sync(clock)
-            clock = self._execute(txn, clock, busy_at_arrival,
-                                  stats if measuring else None)
+            clock = execute(txn, clock, busy_at_arrival,
+                            stats if measuring else None)
             if measuring:
                 stats.transactions_completed += 1
 
@@ -201,6 +207,13 @@ class TimedSimulator:
         to avoid spurious restarts during bursts").
         """
         controller = self.controller
+        metrics = controller.metrics
+        busy_ns = metrics.busy_ns
+        write = controller.write
+        read_timed = controller.read_timed
+        record_read = stats.read_latency.record if stats is not None else None
+        record_write = (stats.write_latency.record if stats is not None
+                        else None)
         suspend = (self.rng.randrange(self.suspend_max_ns)
                    if busy_at_arrival and self.suspend_max_ns else 0)
         first = True
@@ -208,38 +221,37 @@ class TimedSimulator:
             wait = suspend if first else 0
             first = False
             if is_write:
-                erase_before = controller.metrics.busy_ns.get("erase", 0)
-                flushes_before = controller.metrics.flushes
-                cleans_before = controller.metrics.clean_copies
-                ns = controller.write(address, _WORD_PAYLOAD)
+                erase_before = busy_ns.get("erase", 0)
+                flushes_before = metrics.flushes
+                cleans_before = metrics.clean_copies
+                ns = write(address, _WORD_PAYLOAD)
                 # Erase time triggered by a stalled flush is deferred:
                 # the host only waits for the program(s).  But a *clean*
                 # needs the spare segment erased first, so any erase
                 # still outstanding from an earlier stall is paid now.
-                erase_delta = (controller.metrics.busy_ns.get("erase", 0)
-                               - erase_before)
+                erase_delta = busy_ns.get("erase", 0) - erase_before
                 if erase_delta:
                     ns -= erase_delta
-                if (controller.metrics.clean_copies != cleans_before
+                if (metrics.clean_copies != cleans_before
                         and self._debt_ns):
                     ns += self._debt_ns
                     self._debt_ns = 0
                 self._debt_ns += erase_delta
-                if controller.metrics.flushes != flushes_before:
+                if metrics.flushes != flushes_before:
                     # The write stalled on a flush; it also had to wait
                     # for whatever background operation was in flight.
                     ns += self._overdraft_ns
                     self._overdraft_ns = 0
                 total = wait + ns
-                if stats is not None:
-                    stats.write_latency.record(total)
+                if record_write is not None:
+                    record_write(total)
                     if ns > 1000:
                         stats.host_stall_ns += ns
             else:
-                _, ns = controller.read_timed(address, 8)
+                _, ns = read_timed(address, 8)
                 total = wait + ns
-                if stats is not None:
-                    stats.read_latency.record(total)
+                if record_read is not None:
+                    record_read(total)
             clock += total
         return clock
 

@@ -56,10 +56,24 @@ class Mmu:
 
     def translate_timed(self, logical_page: int
                         ) -> "tuple[Optional[Location], int]":
-        """Translate and report the added latency (0 on a cache hit)."""
-        hit = logical_page in self._cache
-        location = self.translate(logical_page)
-        return location, 0 if hit else self.page_table.read_ns
+        """Translate and report the added latency (0 on a cache hit).
+
+        Single-lookup equivalent of ``translate`` + a membership test;
+        this sits on the per-access hot path of the timed simulator.
+        """
+        cache = self._cache
+        cached = cache.get(logical_page)
+        if cached is not None:
+            cache.move_to_end(logical_page)
+            self.hits += 1
+            return cached, 0
+        self.misses += 1
+        location = self.page_table.lookup(logical_page)
+        if location is not None:
+            cache[logical_page] = location
+            if len(cache) > self.capacity:
+                cache.popitem(last=False)
+        return location, self.page_table.read_ns
 
     # ------------------------------------------------------------------
     # Coherence
