@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Sharded-service benchmark entry point (see ``repro.service.bench``).
+
+Measures service throughput and per-tenant p99 vs shard count and
+tenant skew, gates the 4-shard scaling claim (>=2.5x the 1-shard
+simulated throughput on the canonical zipf scenario), and emits
+``BENCH_SERVICE.json``:
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke \\
+        --output BENCH_SERVICE.current.json \\
+        --compare BENCH_SERVICE.smoke.json
+
+Like ``bench_perf.py`` this is a plain script, not a pytest benchmark:
+CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,9 @@ from .flash import FlashArray, FlashBank, FlashChip, FlashSegment
 from .obs import (EventBus, LatencyHistogram, ObsEvent, ObservabilityHub,
                   TimeSeriesSampler)
 from .ramdisk import BlockDevice, FileSystem
+from .service import (CrossShardError, EnvyService, LoadGenerator,
+                      ServiceConfig, ServiceStats, ShardRouter, TenantSpec,
+                      TenantStats, TokenBucket)
 from .sim import SimStats, TimedSimulator, build_tpca_system, simulate_tpca
 from .sram import Mmu, PageTable, WriteBuffer
 from .workloads import BimodalWorkload, UniformWorkload
@@ -88,6 +91,15 @@ __all__ = [
     "TimeSeriesSampler",
     "BlockDevice",
     "FileSystem",
+    "EnvyService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ShardRouter",
+    "CrossShardError",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "LoadGenerator",
     "system_cost",
     "estimate_lifetime",
     "__version__",

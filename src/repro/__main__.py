@@ -15,6 +15,11 @@ Small front door for the library's experiments:
   attached and render the live-stats dashboard (latency histograms with
   tails, time breakdown, wear heatmap), optionally exporting the
   Perfetto trace / Prometheus metrics / JSONL events.
+* ``serve``     — run the sharded multi-tenant storage service
+  (``repro.service``): generate a deterministic tenant schedule, fan it
+  out over N eNVy shards, and print the service dashboard (per-tenant
+  tails, admission-control counters, per-shard summaries).  ``--smoke``
+  additionally proves run-to-run and across-``--jobs`` determinism.
 """
 
 from __future__ import annotations
@@ -432,6 +437,153 @@ def cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant(spec: str):
+    """``name=a,workload=zipf,rate_tps=1e6,...`` -> :class:`TenantSpec`."""
+    import dataclasses
+
+    from .service import TenantSpec
+
+    coercers = {}
+    for field in dataclasses.fields(TenantSpec):
+        if field.type in ("int",):
+            coercers[field.name] = int
+        elif field.type in ("float", "Optional[float]"):
+            coercers[field.name] = float
+        else:
+            coercers[field.name] = str
+    kwargs = {}
+    for part in spec.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in coercers:
+            raise SystemExit(
+                f"bad tenant spec item {part!r}; keys: "
+                f"{', '.join(sorted(coercers))}")
+        coerce = coercers[key]
+        kwargs[key] = coerce(float(value)) if coerce is int else \
+            coerce(value.strip())
+    tenant = TenantSpec(**kwargs)
+    tenant.validate()
+    return tenant
+
+
+def _print_service_dashboard(service, stats) -> None:
+    rows = [
+        ["Shards x pages", f"{stats.num_shards} x "
+         f"{service.router.pages_per_shard:,} "
+         f"({service.router.total_bytes >> 20} MiB service space)"],
+        ["Offered / admitted", f"{stats.requests_offered:,} / "
+         f"{stats.requests_admitted:,}"],
+        ["Throttled (rate limit)", f"{stats.requests_throttled:,}"],
+        ["Rejected (queue full)", f"{stats.requests_rejected_queue:,}"],
+        ["Rejected (cleaner debt)", f"{stats.requests_rejected_shed:,}"],
+        ["Served", f"{stats.accesses_served:,} in "
+         f"{stats.simulated_ns / 1e6:.3f} ms simulated"],
+        ["Service throughput",
+         f"{stats.accesses_per_simulated_s:,.0f} accesses/s simulated"],
+    ]
+    print(format_table(["Service", "Value"], rows))
+    tenant_rows = []
+    for name, tstats in stats.tenants.items():
+        row = tstats.as_dict()
+        tenant_rows.append([
+            name, f"{row['offered']:,}", f"{row['throttled']:,}",
+            f"{row['rejected']:,}", f"{row['reads']:,}",
+            f"{row['writes']:,}", f"{row['read_p99_ns']:,}",
+            f"{row['write_p99_ns']:,}"])
+    print()
+    print(format_table(["Tenant", "Offered", "Throttled", "Rejected",
+                        "Reads", "Writes", "Read p99 (ns)",
+                        "Write p99 (ns)"], tenant_rows))
+    shard_rows = [[s["shard"], f"{s['accesses']:,}",
+                   f"{s['batches']:,}", s["max_batch_pages"],
+                   f"{s['coalesced_writes']:,}", f"{s['flushes']:,}",
+                   f"{s['erases']:,}", f"{s['clock_ns'] / 1e6:.3f}"]
+                  for s in stats.shards]
+    print()
+    print(format_table(["Shard", "Accesses", "Batches", "Max batch",
+                        "Coalesced", "Flushes", "Erases", "Clock (ms)"],
+                       shard_rows))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import EnvyService, ServiceConfig, TenantSpec
+
+    if args.smoke:
+        config = ServiceConfig(num_shards=2, num_segments=8,
+                               pages_per_segment=32, seed=args.seed)
+        # Rates are accesses/s for zipf/uniform but transactions/s for
+        # tpca (one transaction expands to ~17 accesses).
+        tenants = [
+            TenantSpec("zipf-hot", rate_tps=8e6, skew=1.0,
+                       write_fraction=0.3),
+            TenantSpec("tpca", rate_tps=2e5, workload="tpca"),
+            TenantSpec("limited", rate_tps=6e6, workload="uniform",
+                       rate_limit_tps=2e6),
+        ]
+        duration = 0.0003
+    else:
+        config = ServiceConfig(num_shards=args.shards,
+                               num_segments=args.segments,
+                               pages_per_segment=args.pages,
+                               utilization=args.utilization,
+                               policy=args.policy,
+                               queue_capacity=args.queue,
+                               seed=args.seed)
+        if args.tenant:
+            tenants = [_parse_tenant(spec) for spec in args.tenant]
+        else:
+            tenants = [
+                TenantSpec("zipf-hot", rate_tps=args.rate / 2,
+                           skew=args.skew, write_fraction=0.3),
+                # A TPC-A transaction expands to ~17 accesses, so its
+                # quarter of the aggregate rate is divided down.
+                TenantSpec("tpca", rate_tps=args.rate / 68,
+                           workload="tpca"),
+                TenantSpec("limited", rate_tps=args.rate / 4,
+                           workload="uniform",
+                           rate_limit_tps=args.rate / 8),
+            ]
+        duration = args.duration
+    service = EnvyService(config, tenants)
+    print(f"serving {len(tenants)} tenants over {config.num_shards} "
+          f"shards for {duration * 1e3:g} ms simulated "
+          f"(seed {config.seed})...")
+    stats = service.run(duration, jobs=args.jobs)
+    print(banner(f"eNVy service: {config.num_shards} shards, "
+                 f"{len(tenants)} tenants"))
+    _print_service_dashboard(service, stats)
+    if not args.smoke:
+        return 0
+
+    # Smoke mode proves the determinism contract: identical metrics —
+    # including every admission-control rejection — across repeat runs
+    # and across --jobs settings.
+    baseline = stats.as_dict()
+    health = service.health_report()
+    failures = []
+    for key in ("requests_rejected", "requests_throttled",
+                "requests_rejected_queue", "requests_rejected_shed"):
+        if key not in health:
+            failures.append(f"health_report missing {key}")
+    if health.get("requests_throttled", 0) <= 0:
+        failures.append("expected the rate-limited tenant to be throttled")
+    rerun = EnvyService(config, tenants).run(duration, jobs=1).as_dict()
+    if rerun != baseline:
+        failures.append("rerun with the same seed changed the metrics")
+    fanned = EnvyService(config, tenants).run(duration, jobs=2).as_dict()
+    if fanned != baseline:
+        failures.append("--jobs 2 changed the metrics")
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("smoke ok: metrics identical across reruns and --jobs 1/2; "
+          f"{health['requests_rejected']:,} rejections reproduced.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -538,6 +690,39 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-scaling", action="store_true",
                       dest="no_scaling",
                       help="skip the parallel scaling probe")
+
+    serve = sub.add_parser(
+        "serve", help="sharded multi-tenant eNVy storage service")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="independent eNVy banks (default: %(default)s)")
+    serve.add_argument("--segments", type=int, default=16,
+                       help="flash segments per shard")
+    serve.add_argument("--pages", type=int, default=64,
+                       help="pages per segment")
+    serve.add_argument("--utilization", type=float, default=0.8)
+    serve.add_argument("--policy", choices=["fifo", "greedy", "locality",
+                                            "hybrid"], default="hybrid")
+    serve.add_argument("--duration", type=float, default=0.002,
+                       help="simulated seconds of tenant traffic")
+    serve.add_argument("--rate", type=float, default=4e6,
+                       help="aggregate offered accesses/s for the "
+                            "default tenant mix")
+    serve.add_argument("--skew", type=float, default=1.0,
+                       help="zipf skew of the hot default tenant")
+    serve.add_argument("--queue", type=int, default=256,
+                       help="per-shard bounded queue capacity")
+    serve.add_argument("--tenant", action="append", metavar="SPEC",
+                       help="tenant spec 'name=a,workload=zipf,"
+                            "rate_tps=1e6,...' (repeatable; replaces "
+                            "the default mix)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="service seed (schedule + shard prewarm)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="shard fan-out workers (default: ENVY_JOBS "
+                            "or CPU count); never changes results")
+    serve.add_argument("--smoke", action="store_true",
+                       help="small fixed run + determinism validation "
+                            "(CI)")
     return parser
 
 
@@ -552,6 +737,7 @@ COMMANDS = {
     "recover": cmd_recover,
     "observe": cmd_observe,
     "perf": cmd_perf,
+    "serve": cmd_serve,
 }
 
 

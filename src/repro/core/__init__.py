@@ -22,7 +22,8 @@ from .recovery import (CleaningJournal, CleanPhase, CrashInjector,
                        recover_from_flash, verify_against_scan)
 from .checkpoint import (CheckpointError, CheckpointManager,
                          read_latest_checkpoint)
-from .chaos import ChaosResult, KillSwitch, chaos_sweep, run_chaos
+from .chaos import (ChaosResult, KillSwitch, attach_commit_oracle,
+                    chaos_sweep, recovered_page_bytes, run_chaos)
 
 __all__ = [
     "EnvyConfig",
@@ -64,6 +65,8 @@ __all__ = [
     "KillSwitch",
     "run_chaos",
     "chaos_sweep",
+    "attach_commit_oracle",
+    "recovered_page_bytes",
     "EnvyMemoryView",
     "TracingController",
     "AccessTrace",

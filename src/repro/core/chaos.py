@@ -26,7 +26,8 @@ from .controller import EnvyController
 from .recovery import (RecoveryReport, SimulatedPowerFailure,
                        recover_from_flash)
 
-__all__ = ["ChaosResult", "KillSwitch", "run_chaos", "chaos_sweep"]
+__all__ = ["ChaosResult", "KillSwitch", "run_chaos", "chaos_sweep",
+           "attach_commit_oracle", "recovered_page_bytes"]
 
 #: Bytes written per TPC-A balance update in the replay.
 _WORD = 8
@@ -118,7 +119,8 @@ class KillSwitch:
         self.array.__dict__.pop("erase_segment", None)
 
 
-def _attach_oracle(ctrl: EnvyController) -> Dict[int, Optional[bytes]]:
+def attach_commit_oracle(ctrl: EnvyController
+                         ) -> Dict[int, Optional[bytes]]:
     """Record every committed flush's payload, keyed by logical page.
 
     Wraps ``store.append`` so the payload is logged only after the
@@ -140,7 +142,11 @@ def _attach_oracle(ctrl: EnvyController) -> Dict[int, Optional[bytes]]:
     return committed
 
 
-def _page_bytes(ctrl: EnvyController, page: int) -> bytes:
+#: Backwards-compatible private aliases (pre-service-layer names).
+_attach_oracle = attach_commit_oracle
+
+
+def recovered_page_bytes(ctrl: EnvyController, page: int) -> bytes:
     """A page's recovered bytes, read without the fault path."""
     zeros = bytes(ctrl.config.page_bytes)
     loc = ctrl.store.page_location[page]
@@ -150,6 +156,9 @@ def _page_bytes(ctrl: EnvyController, page: int) -> bytes:
     phys = ctrl.store.positions[position].phys
     data = ctrl.array.segment(phys).read_page(slot)
     return bytes(data) if data is not None else zeros
+
+
+_page_bytes = recovered_page_bytes
 
 
 def _replay(ctrl: EnvyController, layout,
@@ -191,7 +200,7 @@ def run_chaos(config: EnvyConfig, transactions: int = 20,
         raise ValueError("chaos runs need a data-bearing controller")
     ctrl.store.preserve_flushed_copies = True
     layout = TpcaLayout.sized_for(config.logical_bytes)
-    committed = _attach_oracle(ctrl)
+    committed = attach_commit_oracle(ctrl)
     switch = KillSwitch(ctrl.array, kill_at=kill_at, tear=tear,
                         bus=ctrl.events)
     result = ChaosResult(kill_at=kill_at, tear=tear)
@@ -215,7 +224,7 @@ def run_chaos(config: EnvyConfig, transactions: int = 20,
         want = committed.get(page)
         if want is None:
             want = zeros
-        if _page_bytes(recovered, page) != want:
+        if recovered_page_bytes(recovered, page) != want:
             result.mismatches.append(page)
     result.verified = True
     return result

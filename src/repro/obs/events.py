@@ -52,6 +52,15 @@ Event taxonomy (kind strings, hierarchical by prefix):
 ``checkpoint.disabled`` checkpointing shut itself off (instant)
 ``wear.swap``           wear-leveling segment swap (instant)
 ``chaos.kill``          simulated power cut fired (instant)
+``service.run``         service run started (instant; data: requests,
+                        shards, tenants)
+``service.shard``       one shard's run summary (instant)
+``service.batch``       a coalesced write batch closed (span; data:
+                        shard, pages)
+``service.reject``      admission control refused a request (instant;
+                        data: shard, tenant, reason)
+``service.throttle``    cleaner-debt backpressure delayed a write
+                        (instant; data: shard, tenant, delay_ns)
 ======================  ================================================
 """
 
@@ -66,6 +75,8 @@ __all__ = [
     "CLEAN_TRANSFER", "CLEAN_RESCUE", "CLEAN_ERASE", "RETRY_PROGRAM",
     "RETRY_ERASE", "FAULT_PREFIX", "CHECKPOINT_BEGIN", "CHECKPOINT_COMMIT",
     "CHECKPOINT_DISABLED", "WEAR_SWAP", "CHAOS_KILL",
+    "SERVICE_RUN", "SERVICE_SHARD", "SERVICE_BATCH", "SERVICE_REJECT",
+    "SERVICE_THROTTLE",
 ]
 
 HOST_READ = "host.read"
@@ -83,6 +94,11 @@ CHECKPOINT_COMMIT = "checkpoint.commit"
 CHECKPOINT_DISABLED = "checkpoint.disabled"
 WEAR_SWAP = "wear.swap"
 CHAOS_KILL = "chaos.kill"
+SERVICE_RUN = "service.run"
+SERVICE_SHARD = "service.shard"
+SERVICE_BATCH = "service.batch"
+SERVICE_REJECT = "service.reject"
+SERVICE_THROTTLE = "service.throttle"
 
 #: Store-observer event names -> bus kinds (the store predates the bus
 #: and keeps its compact names; the controller translates).

@@ -1,0 +1,53 @@
+"""``repro.service``: one-or-many eNVy banks as a storage service.
+
+The library below this package simulates a *single* eNVy controller;
+this package presents N of them as a concurrent, multi-tenant storage
+service:
+
+* :class:`ShardRouter` — stripes one logical page space across shards
+  (:mod:`repro.service.shard`);
+* :class:`TenantSpec` / :class:`TokenBucket` / :class:`TenantStats` —
+  per-tenant workload shapes, rate limits and accounting
+  (:mod:`repro.service.tenant`);
+* :class:`LoadGenerator` — deterministic open/closed-loop multi-tenant
+  schedules on the discrete-event clock
+  (:mod:`repro.service.loadgen`);
+* :class:`ShardExecutor` — bounded queue, admission control and write
+  batching per shard (:mod:`repro.service.executor`);
+* :class:`EnvyService` — the front door: schedule, fan out over
+  ``run_sweep``, merge (:mod:`repro.service.frontend`);
+* :func:`run_service_chaos` / :func:`service_chaos_sweep` — kill a
+  shard mid-batch and recover every shard independently
+  (:mod:`repro.service.chaos`).
+
+Drive it from the CLI with ``python -m repro serve`` and benchmark it
+with ``benchmarks/bench_service.py``; docs/SERVICE.md is the guide.
+"""
+
+from .chaos import ServiceChaosReport, run_service_chaos, service_chaos_sweep
+from .executor import ShardExecutor, prewarm_shard, service_shard_point
+from .frontend import (EnvyService, ServiceConfig, ServiceStats,
+                       ServiceTransaction)
+from .loadgen import LoadGenerator, Request
+from .shard import CrossShardError, ShardRouter
+from .tenant import TenantSpec, TenantStats, TokenBucket
+
+__all__ = [
+    "ShardRouter",
+    "CrossShardError",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "LoadGenerator",
+    "Request",
+    "ShardExecutor",
+    "prewarm_shard",
+    "service_shard_point",
+    "EnvyService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceTransaction",
+    "ServiceChaosReport",
+    "run_service_chaos",
+    "service_chaos_sweep",
+]

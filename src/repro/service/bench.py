@@ -1,0 +1,306 @@
+"""Service benchmark: throughput and tails vs shard count and skew.
+
+``benchmarks/bench_service.py`` and the CI ``service-smoke`` job land
+here.  The harness runs the canonical multi-tenant scenarios against
+the sharded service at increasing shard counts under **strong scaling**
+— a fixed total Flash budget (``total_segments``) divided across the
+shards — and reports two families of numbers:
+
+* **Simulated throughput** (served accesses per *simulated* second) and
+  per-tenant latency tails from the :mod:`repro.obs` histograms.  These
+  are machine-independent, deterministic per seed, and carry the
+  headline claim: the canonical zipf scenario must serve at least
+  ``--min-scaling`` (default 2.5×) more simulated accesses/s at 4
+  shards than at 1 — N independent banks really do behave as N servers,
+  even with a zipf-skewed tenant, because the router stripes the hot
+  head across shards.
+* **Wall-clock throughput** (served accesses per host second), the perf
+  trajectory number.  As in :mod:`repro.perf.bench` it is compared to a
+  committed baseline only after normalizing by the calibration score,
+  so CI runners of different speeds share one baseline; the seeded
+  simulated outputs must match the baseline *exactly*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..perf.bench import calibrate
+from .frontend import EnvyService, ServiceConfig
+from .tenant import TenantSpec
+
+__all__ = ["SCENARIOS", "run_bench", "compare_reports", "main"]
+
+SCHEMA = "envy-bench-service/1"
+
+#: Canonical service scenarios in (full, smoke) variants.  Each runs at
+#: every shard count in ``shard_counts`` with ``total_segments`` divided
+#: evenly, so the Flash budget — not the shard count — is held fixed.
+SCENARIOS: Dict[str, Dict[str, Dict[str, Any]]] = {
+    # The headline scenario: one saturating zipf tenant plus a
+    # rate-limited background tenant; carries the >=2.5x @ 4 shards gate.
+    "zipf_canonical": {
+        "full": dict(
+            total_segments=64, pages_per_segment=128, shard_counts=[1, 2, 4],
+            duration_s=0.001, seed=1234,
+            tenants=[
+                dict(name="hot", rate_tps=4e7, skew=1.0,
+                     write_fraction=0.3),
+                dict(name="limited", rate_tps=4e6, workload="uniform",
+                     rate_limit_tps=1e6),
+            ]),
+        "smoke": dict(
+            total_segments=32, pages_per_segment=64, shard_counts=[1, 2, 4],
+            duration_s=0.0002, seed=1234,
+            tenants=[
+                dict(name="hot", rate_tps=4e7, skew=1.0,
+                     write_fraction=0.3),
+                dict(name="limited", rate_tps=4e6, workload="uniform",
+                     rate_limit_tps=1e6),
+            ]),
+    },
+    # Tenant-skew sensitivity: the same offered load at mild and heavy
+    # zipf skew, fixed 4 shards — striping should keep the served
+    # throughput close while the tails move.
+    "skew_spread": {
+        "full": dict(
+            total_segments=64, pages_per_segment=128, shard_counts=[4],
+            duration_s=0.001, seed=99,
+            tenants=[
+                dict(name="mild", rate_tps=1.5e7, skew=0.6,
+                     write_fraction=0.3),
+                dict(name="heavy", rate_tps=1.5e7, skew=1.3,
+                     write_fraction=0.3),
+            ]),
+        "smoke": dict(
+            total_segments=32, pages_per_segment=64, shard_counts=[4],
+            duration_s=0.0002, seed=99,
+            tenants=[
+                dict(name="mild", rate_tps=1.5e7, skew=0.6,
+                     write_fraction=0.3),
+                dict(name="heavy", rate_tps=1.5e7, skew=1.3,
+                     write_fraction=0.3),
+            ]),
+    },
+    # Transactional tenant mixed with a zipf tenant (rates are
+    # transactions/s for tpca: one transaction is ~17 accesses).
+    "tpca_mix": {
+        "full": dict(
+            total_segments=64, pages_per_segment=128, shard_counts=[2, 4],
+            duration_s=0.001, seed=7,
+            tenants=[
+                dict(name="zipf", rate_tps=1e7, skew=1.0,
+                     write_fraction=0.3),
+                dict(name="tpca", rate_tps=1e6, workload="tpca"),
+            ]),
+        "smoke": dict(
+            total_segments=32, pages_per_segment=64, shard_counts=[2, 4],
+            duration_s=0.0002, seed=7,
+            tenants=[
+                dict(name="zipf", rate_tps=1e7, skew=1.0,
+                     write_fraction=0.3),
+                dict(name="tpca", rate_tps=1e6, workload="tpca"),
+            ]),
+    },
+}
+
+
+def _service_for(spec: Dict[str, Any], num_shards: int) -> EnvyService:
+    if spec["total_segments"] % num_shards:
+        raise ValueError(
+            f"total_segments={spec['total_segments']} does not divide "
+            f"across {num_shards} shards")
+    config = ServiceConfig(
+        num_shards=num_shards,
+        num_segments=spec["total_segments"] // num_shards,
+        pages_per_segment=spec["pages_per_segment"],
+        seed=spec["seed"])
+    tenants = [TenantSpec(**kwargs) for kwargs in spec["tenants"]]
+    return EnvyService(config, tenants)
+
+
+def _run_scenario(spec: Dict[str, Any],
+                  jobs: Optional[int]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"shard_counts": {}}
+    sim_tput: Dict[int, float] = {}
+    for num_shards in spec["shard_counts"]:
+        service = _service_for(spec, num_shards)
+        start = time.perf_counter()
+        stats = service.run(spec["duration_s"], jobs=jobs)
+        wall_s = time.perf_counter() - start
+        sim_tput[num_shards] = stats.accesses_per_simulated_s
+        entry["shard_counts"][str(num_shards)] = {
+            "wall_s": round(wall_s, 4),
+            "served": stats.accesses_served,
+            "served_per_wall_s": round(stats.accesses_served / wall_s, 1),
+            # Everything below is machine-independent (exact fidelity).
+            "fidelity": {
+                "requests_admitted": stats.requests_admitted,
+                "requests_throttled": stats.requests_throttled,
+                "requests_rejected_queue": stats.requests_rejected_queue,
+                "requests_rejected_shed": stats.requests_rejected_shed,
+                "accesses_served": stats.accesses_served,
+                "simulated_ns": stats.simulated_ns,
+                "accesses_per_simulated_s": round(
+                    stats.accesses_per_simulated_s, 1),
+                "tenants": {name: tstats.as_dict()
+                            for name, tstats in stats.tenants.items()},
+            },
+        }
+    if 1 in sim_tput and 4 in sim_tput and sim_tput[1]:
+        entry["scaling_4x"] = round(sim_tput[4] / sim_tput[1], 3)
+    return entry
+
+
+def run_bench(smoke: bool = False,
+              jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run every scenario at every shard count and build the report."""
+    mode = "smoke" if smoke else "full"
+    report: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "timestamp": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "calibration_ops_per_s": round(calibrate(), 1),
+        "scenarios": {},
+    }
+    for name, variants in SCENARIOS.items():
+        report["scenarios"][name] = _run_scenario(variants[mode], jobs)
+    return report
+
+
+def check_scaling(report: Dict[str, Any],
+                  min_scaling: float = 2.5) -> List[str]:
+    """The shard-scaling gate: 4 shards must beat 1 by ``min_scaling``."""
+    failures = []
+    for name, entry in report.get("scenarios", {}).items():
+        scaling = entry.get("scaling_4x")
+        if scaling is not None and scaling < min_scaling:
+            failures.append(
+                f"{name}: 4-shard simulated throughput is only "
+                f"{scaling:.2f}x the 1-shard run (need {min_scaling}x)")
+    return failures
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    max_regression: float = 0.25) -> List[str]:
+    """Regression check vs a committed report; returns failures.
+
+    Wall throughput is calibration-normalized (slow runners do not read
+    as regressions); simulated outputs must match exactly — the service
+    is deterministic per seed, so *any* drift is a correctness bug.
+    """
+    failures: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: current={current.get('mode')} "
+            f"baseline={baseline.get('mode')} (run with the same --smoke "
+            f"setting as the committed baseline)")
+        return failures
+    cur_calib = current.get("calibration_ops_per_s") or 1.0
+    base_calib = baseline.get("calibration_ops_per_s") or 1.0
+    for name, base_entry in baseline.get("scenarios", {}).items():
+        cur_entry = current.get("scenarios", {}).get(name)
+        if cur_entry is None:
+            failures.append(f"scenario {name!r} missing from current run")
+            continue
+        for count, base_point in base_entry["shard_counts"].items():
+            cur_point = cur_entry["shard_counts"].get(count)
+            if cur_point is None:
+                failures.append(f"{name}@{count} shards missing")
+                continue
+            cur_norm = cur_point["served_per_wall_s"] / cur_calib
+            base_norm = base_point["served_per_wall_s"] / base_calib
+            ratio = cur_norm / base_norm if base_norm else 0.0
+            if ratio < 1.0 - max_regression:
+                failures.append(
+                    f"{name}@{count} shards: normalized throughput fell "
+                    f"to {ratio:.0%} of baseline "
+                    f"({cur_point['served_per_wall_s']:,.0f}/s vs "
+                    f"{base_point['served_per_wall_s']:,.0f}/s)")
+            if cur_point["fidelity"] != base_point["fidelity"]:
+                failures.append(
+                    f"{name}@{count} shards: seeded service outputs "
+                    f"changed — determinism break")
+    return failures
+
+
+def _format_report(report: Dict[str, Any]) -> str:
+    lines = [f"service bench ({report['mode']}, python "
+             f"{report['python']}, {report['cpu_count']} cpus, "
+             f"calibration {report['calibration_ops_per_s']:,.0f} ops/s)"]
+    for name, entry in report["scenarios"].items():
+        for count, point in entry["shard_counts"].items():
+            fid = point["fidelity"]
+            p99s = ", ".join(
+                f"{tn} p99 r{t['read_p99_ns']:,}/w{t['write_p99_ns']:,}ns"
+                for tn, t in fid["tenants"].items())
+            lines.append(
+                f"  {name:<15} {count:>2} shard(s) "
+                f"{fid['accesses_per_simulated_s']:>14,.0f} acc/sim-s "
+                f"{point['served_per_wall_s']:>12,.0f} acc/wall-s  "
+                f"[{p99s}]")
+        if "scaling_4x" in entry:
+            lines.append(f"  {name:<15} scaling 4 vs 1 shard: "
+                         f"{entry['scaling_4x']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_service",
+        description="eNVy sharded-service benchmark "
+                    "(throughput/p99 vs shard count and tenant skew)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenarios for CI")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="shard fan-out workers (default: ENVY_JOBS "
+                             "or CPU count); never changes results")
+    parser.add_argument("--output", default="BENCH_SERVICE.json",
+                        help="write the JSON report here "
+                             "(default: %(default)s)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="fail on regression vs this committed report")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated normalized-throughput drop "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-scaling", type=float, default=2.5,
+                        dest="min_scaling",
+                        help="required 4-shard/1-shard simulated-"
+                             "throughput ratio (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke, jobs=args.jobs)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(_format_report(report))
+    print(f"report written to {args.output}")
+
+    failures = check_scaling(report, args.min_scaling)
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures += compare_reports(report, baseline,
+                                    max_regression=args.max_regression)
+    if failures:
+        print("\nSERVICE BENCH FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if args.compare:
+        print(f"no regression vs {args.compare} "
+              f"(tolerance {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,195 @@
+"""Service-level chaos: kill one bank mid-batch, recover every bank.
+
+The core chaos harness (:mod:`repro.core.chaos`) proves the recovery
+guarantee for a single controller.  The service raises the stakes: N
+shards serve interleaved tenant batches, the power dies on *one* shard
+in the middle of a coalesced write batch, and recovery must proceed
+**per shard, independently** — each bank's Flash array alone rebuilds
+that bank's committed state, with no cross-shard metadata to consult
+(shards share nothing; that independence is the router's core
+invariant).
+
+The drill reuses the core harness's published pieces —
+:class:`~repro.core.chaos.KillSwitch` to cut the power at a chosen
+Flash operation, :func:`~repro.core.chaos.attach_commit_oracle` to log
+every committed flush, :func:`~repro.core.recovery.recover_from_flash`
+to rebuild each bank, and :func:`~repro.core.chaos.
+recovered_page_bytes` to compare — and drives them through the real
+service path: the multi-tenant :class:`~repro.service.loadgen.
+LoadGenerator` schedule, partitioned by shard, executed by
+:class:`~repro.service.executor.ShardExecutor` with stamped payloads so
+every committed write is distinguishable.
+
+:func:`service_chaos_sweep` is the property test: a dry run counts the
+victim shard's Flash operations, then the same seeded service run is
+killed at every ``stride``-th one.  Every report must satisfy
+``report.ok`` — all shards (killed and survivors alike) recover exactly
+their committed pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.chaos import (KillSwitch, attach_commit_oracle,
+                          recovered_page_bytes)
+from ..core.controller import EnvyController
+from ..core.recovery import SimulatedPowerFailure, recover_from_flash
+from .executor import ShardExecutor, prewarm_shard
+from .frontend import ServiceConfig
+from .loadgen import LoadGenerator
+from .tenant import TenantSpec
+
+__all__ = ["ServiceChaosReport", "run_service_chaos",
+           "service_chaos_sweep"]
+
+
+@dataclass
+class ServiceChaosReport:
+    """Outcome of one service chaos drill (kill + N recoveries)."""
+
+    kill_shard: int
+    kill_at: Optional[int]
+    tear: bool
+    #: Flash operations the victim shard issued (the kill-point space
+    #: when the run was a dry run).
+    ops_seen: int = 0
+    #: Whether the kill fired (False = the victim outran it).
+    interrupted: bool = False
+    #: Per-shard recovery summaries, in shard order: ``shard``,
+    #: ``mode`` (checkpoint / full-scan), ``committed_pages``,
+    #: ``mismatches``.
+    shards: List[Dict] = field(default_factory=list)
+    #: Every (shard, logical_page) whose recovered bytes differ from
+    #: that shard's commit oracle.
+    mismatches: List[Tuple[int, int]] = field(default_factory=list)
+    verified: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.verified and not self.mismatches
+
+
+def _chaos_config(config: Optional[ServiceConfig]) -> ServiceConfig:
+    """The drill variant of a service config: data-bearing shards,
+    stampable payloads, no prewarm (committed state starts empty)."""
+    base = config or ServiceConfig(num_shards=2, num_segments=4,
+                                   pages_per_segment=16)
+    return replace(base, store_data=True, prewarm_turnovers=0.0)
+
+
+def run_service_chaos(config: Optional[ServiceConfig] = None,
+                      tenants: Optional[Sequence[TenantSpec]] = None,
+                      duration_s: float = 0.0005,
+                      kill_shard: int = 0,
+                      kill_at: Optional[int] = None,
+                      tear: bool = False,
+                      recover: bool = True) -> ServiceChaosReport:
+    """One drill: service run, kill one shard, recover all shards.
+
+    The schedule is the deterministic service schedule for
+    ``(config.seed, tenants, duration_s)``; ``kill_at`` is 1-based over
+    the victim shard's Flash operations (``None`` runs to completion —
+    with ``recover=False`` that is the dry run sizing a sweep).  Every
+    shard — interrupted or not — is then rebuilt from its array alone
+    and byte-compared against its own commit oracle.
+    """
+    config = _chaos_config(config)
+    config.validate()
+    if not 0 <= kill_shard < config.num_shards:
+        raise IndexError(f"no shard {kill_shard}")
+    # The default tenant's rate leaves idle gaps between arrivals: the
+    # flusher and cleaner need background time to issue the Flash
+    # programs and erases that make up the kill-point space.
+    specs = list(tenants) if tenants else [
+        TenantSpec("writer", rate_tps=2e6, write_fraction=0.9, skew=0.8)]
+    router = config.make_router()
+    generator = LoadGenerator(specs, router.num_pages, config.page_bytes,
+                              seed=config.seed)
+    schedule, _ = generator.generate(duration_s)
+    num_shards = config.num_shards
+    slices: List[list] = [[] for _ in range(num_shards)]
+    for arrival, tenant, seq, is_write, page in schedule:
+        slices[page % num_shards].append(
+            (arrival, tenant, seq, is_write, page // num_shards))
+
+    report = ServiceChaosReport(kill_shard=kill_shard, kill_at=kill_at,
+                                tear=tear)
+    shard_config = config.shard_config()
+    tenant_names = [spec.name for spec in specs]
+    oracles: List[Dict[int, Optional[bytes]]] = []
+    controllers: List[EnvyController] = []
+    for index in range(num_shards):
+        ctrl = EnvyController(shard_config, store_data=True)
+        ctrl.store.preserve_flushed_copies = True
+        if config.prewarm_turnovers > 0:
+            prewarm_shard(ctrl, config.prewarm_turnovers)
+        oracles.append(attach_commit_oracle(ctrl))
+        controllers.append(ctrl)
+
+    for index in range(num_shards):
+        ctrl = controllers[index]
+        executor = ShardExecutor(
+            ctrl, index, tenant_names,
+            queue_capacity=config.queue_capacity,
+            batch_pages=config.batch_pages,
+            soft_watermark=config.soft_watermark,
+            hard_watermark=config.hard_watermark,
+            throttle_penalty_ns=config.throttle_penalty_ns,
+            stamp_payloads=True)
+        switch = KillSwitch(
+            ctrl.array,
+            kill_at=kill_at if index == kill_shard else None,
+            tear=tear, bus=ctrl.events)
+        try:
+            executor.run(slices[index])
+        except SimulatedPowerFailure:
+            report.interrupted = True
+        switch.detach()
+        if index == kill_shard:
+            report.ops_seen = switch.ops
+    if not recover:
+        return report
+
+    zeros = bytes(shard_config.page_bytes)
+    for index in range(num_shards):
+        # Independence is the point: each bank is rebuilt from its own
+        # array with nothing but the shared (static) geometry.
+        recovered, scan = recover_from_flash(controllers[index].array,
+                                             shard_config)
+        recovered.check_consistency()
+        bad = 0
+        for page in range(shard_config.logical_pages):
+            want = oracles[index].get(page)
+            if want is None:
+                want = zeros
+            if recovered_page_bytes(recovered, page) != want:
+                bad += 1
+                report.mismatches.append((index, page))
+        report.shards.append({
+            "shard": index,
+            "mode": scan.mode,
+            "committed_pages": len(oracles[index]),
+            "mismatches": bad,
+        })
+    report.verified = True
+    return report
+
+
+def service_chaos_sweep(config: Optional[ServiceConfig] = None,
+                        tenants: Optional[Sequence[TenantSpec]] = None,
+                        duration_s: float = 0.0005,
+                        kill_shard: int = 0, stride: int = 1,
+                        tear: bool = False) -> List[ServiceChaosReport]:
+    """Kill the same seeded service run at every ``stride``-th Flash
+    operation of ``kill_shard``; every report should satisfy ``ok``."""
+    dry = run_service_chaos(config, tenants, duration_s,
+                            kill_shard=kill_shard, kill_at=None,
+                            recover=False)
+    reports = []
+    for kill_at in range(1, dry.ops_seen + 1, max(1, stride)):
+        reports.append(run_service_chaos(
+            config, tenants, duration_s, kill_shard=kill_shard,
+            kill_at=kill_at, tear=tear))
+    return reports

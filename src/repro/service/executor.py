@@ -1,0 +1,318 @@
+"""Per-shard request execution: queueing, admission, batching.
+
+One :class:`ShardExecutor` owns one :class:`~repro.core.controller.
+EnvyController` and replays that shard's slice of the service schedule
+as a single-server queue on the simulated clock:
+
+* **bounded queue** — a request arriving while ``queue_capacity``
+  earlier requests are still waiting or in service is rejected
+  (``service.reject`` mark, per-tenant counter).  The completion-time
+  deque makes queue depth exact without simulating the queue
+  structurally.
+* **admission control / backpressure** — before a write is served, the
+  shard checks its cleaner debt: write-buffer occupancy at or past the
+  hard watermark sheds the write (the cleaner has lost the race;
+  letting the write in would only deepen the stall), occupancy past
+  the soft watermark delays it by a throttle penalty (``service.
+  throttle``).  Reads always pass — they never create Flash work.
+* **write batching** — the SRAM write buffer is the batching device
+  (Section 3.2): back-to-back writes coalesce in SRAM and flush as
+  segment-sized programs.  The executor counts batch boundaries (a
+  batch is a maximal run of requests served without an idle gap,
+  capped at ``batch_pages``) and emits ``service.batch`` spans, and
+  reports how many writes coalesced into already-buffered pages.
+* **background work** — idle gaps between arrivals go to the
+  controller's flusher/cleaner exactly as in :class:`~repro.sim.
+  engine.TimedSimulator`, with the same overdraft rule (a flush chain
+  started late in a gap completes across the boundary).
+
+Everything the executor returns is a plain picklable dict, because
+:func:`service_shard_point` is the ``"module:function"`` worker
+:func:`~repro.perf.sweep.run_sweep` dispatches to processes — shard
+results must cross a process boundary and merge deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.controller import EnvyController
+from ..obs.events import SERVICE_BATCH, SERVICE_REJECT, SERVICE_THROTTLE
+from ..obs.hist import LatencyHistogram
+from ..perf.sweep import derive_seed
+from .loadgen import Request
+
+__all__ = ["ShardExecutor", "prewarm_shard", "service_shard_point"]
+
+_WORD = 8
+_WORD_PAYLOAD = b"\x00" * _WORD
+
+
+def prewarm_shard(controller: EnvyController,
+                  free_space_turnovers: float = 3.0,
+                  seed: int = 5) -> None:
+    """Bring one shard to cleaning steady state, untimed.
+
+    Same procedure as :meth:`repro.sim.engine.TimedSimulator.prewarm`:
+    replay the flush traffic's page-level effect until the free space
+    has turned over a few times, settle the buffer at its threshold,
+    then reset the metrics so measurement starts clean.
+    """
+    store = controller.store
+    rng = random.Random(seed)
+    total_free = sum(p.free_slots for p in store.positions)
+    flushes = int(total_free * free_space_turnovers)
+    num_pages = store.num_logical_pages
+    buffer_page = store.buffer_page
+    flush = controller.policy.flush
+    for _ in range(flushes):
+        page = rng.randrange(num_pages)
+        flush(page, buffer_page(page))
+    page_bytes = controller.config.page_bytes
+    while len(controller.buffer) < controller.buffer.threshold_pages:
+        page = rng.randrange(num_pages)
+        if page not in controller.buffer:
+            controller.write(page * page_bytes, b"\x00")
+    controller.mmu.flush()
+    controller.metrics.reset()
+
+
+class ShardExecutor:
+    """Replays one shard's request slice against its controller."""
+
+    def __init__(self, controller: EnvyController, shard_index: int,
+                 tenant_names: Sequence[str],
+                 queue_capacity: int = 256,
+                 batch_pages: int = 16,
+                 soft_watermark: float = 0.85,
+                 hard_watermark: float = 0.97,
+                 throttle_penalty_ns: int = 2000,
+                 stamp_payloads: bool = False) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue needs capacity for at least one request")
+        if batch_pages < 1:
+            raise ValueError("batches need at least one page")
+        if not 0.0 < soft_watermark <= hard_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < soft <= hard <= 1")
+        self.controller = controller
+        self.shard_index = shard_index
+        self.tenant_names = list(tenant_names)
+        self.queue_capacity = queue_capacity
+        self.batch_pages = batch_pages
+        self.soft_watermark = soft_watermark
+        self.hard_watermark = hard_watermark
+        self.throttle_penalty_ns = throttle_penalty_ns
+        #: Write a distinct 8-byte stamp per write (the chaos oracle
+        #: needs distinguishable committed payloads).
+        self.stamp_payloads = stamp_payloads
+        self._overdraft_ns = 0
+        self._stamp = 0
+
+    # ------------------------------------------------------------------
+
+    def _background(self, budget_ns: int) -> int:
+        """Spend an idle gap on pending and new background work."""
+        done = 0
+        if self._overdraft_ns > 0:
+            paid = min(self._overdraft_ns, budget_ns)
+            self._overdraft_ns -= paid
+            done += paid
+        controller = self.controller
+        while done < budget_ns and controller.buffer.over_threshold:
+            work = controller.flush_one()
+            if done + work > budget_ns:
+                self._overdraft_ns += done + work - budget_ns
+                done = budget_ns
+            else:
+                done += work
+        return done
+
+    def run(self, requests: Sequence[Request]) -> Dict:
+        """Execute the slice; returns a picklable per-shard stats dict.
+
+        ``requests`` carry *local* page numbers (the front-end routes
+        global pages before partitioning) and must be sorted by arrival
+        — the schedule order the load generator produced.
+        """
+        controller = self.controller
+        metrics = controller.metrics
+        bus = controller.events
+        page_bytes = controller.config.page_bytes
+        buffer = controller.buffer
+        capacity = buffer.capacity_pages
+        soft_pages = int(capacity * self.soft_watermark)
+        hard_pages = int(capacity * self.hard_watermark)
+        write = controller.write
+        read_timed = controller.read_timed
+        base_hits = metrics.buffer_hits
+
+        per_tenant = {
+            name: {"rejected": 0, "delayed": 0, "reads": 0, "writes": 0,
+                   "read_latency": LatencyHistogram(),
+                   "write_latency": LatencyHistogram()}
+            for name in self.tenant_names
+        }
+        completions: deque = deque()
+        clock = 0
+        rejected_queue = 0
+        rejected_shed = 0
+        batches = 0
+        batch_len = 0
+        batch_start_ns = 0
+        max_batch = 0
+
+        def close_batch() -> None:
+            nonlocal batches, batch_len, max_batch
+            if batch_len == 0:
+                return
+            batches += 1
+            if batch_len > max_batch:
+                max_batch = batch_len
+            if bus.active:
+                bus.emit_span(SERVICE_BATCH, max(0, clock - batch_start_ns),
+                              {"shard": self.shard_index,
+                               "pages": batch_len})
+            batch_len = 0
+
+        for arrival, tenant_index, _seq, is_write, page in requests:
+            name = self.tenant_names[tenant_index]
+            slot = per_tenant[name]
+            while completions and completions[0] <= arrival:
+                completions.popleft()
+            if arrival > clock:
+                close_batch()
+                self._background(arrival - clock)
+                clock = arrival
+                if bus.active:
+                    bus.sync(clock)
+            # Bounded queue: depth counts requests still waiting or in
+            # service when this one arrives.
+            if len(completions) >= self.queue_capacity:
+                slot["rejected"] += 1
+                rejected_queue += 1
+                if bus.active:
+                    bus.mark(SERVICE_REJECT,
+                             {"shard": self.shard_index, "tenant": name,
+                              "reason": "queue_full"})
+                continue
+            delay = 0
+            if is_write:
+                occupancy = len(buffer)
+                if occupancy >= hard_pages:
+                    # Cleaner debt at the hard watermark: shed the write.
+                    slot["rejected"] += 1
+                    rejected_shed += 1
+                    if bus.active:
+                        bus.mark(SERVICE_REJECT,
+                                 {"shard": self.shard_index, "tenant": name,
+                                  "reason": "cleaner_behind"})
+                    continue
+                if occupancy >= soft_pages:
+                    delay = self.throttle_penalty_ns
+                    slot["delayed"] += 1
+                    if bus.active:
+                        bus.mark(SERVICE_THROTTLE,
+                                 {"shard": self.shard_index, "tenant": name,
+                                  "delay_ns": delay})
+            if batch_len == 0:
+                batch_start_ns = clock
+            address = page * page_bytes
+            clock += delay
+            if is_write:
+                flushes_before = metrics.flushes
+                if self.stamp_payloads:
+                    self._stamp += 1
+                    payload = self._stamp.to_bytes(_WORD, "little")
+                else:
+                    payload = _WORD_PAYLOAD
+                ns = write(address, payload)
+                if metrics.flushes != flushes_before:
+                    # The write stalled on a flush; it also waited for
+                    # the background operation already in flight.
+                    ns += self._overdraft_ns
+                    self._overdraft_ns = 0
+                clock += ns
+                slot["writes"] += 1
+                slot["write_latency"].record(clock - arrival)
+            else:
+                _, ns = read_timed(address, _WORD)
+                clock += ns
+                slot["reads"] += 1
+                slot["read_latency"].record(clock - arrival)
+            completions.append(clock)
+            batch_len += 1
+            if batch_len >= self.batch_pages:
+                close_batch()
+        close_batch()
+
+        for slot in per_tenant.values():
+            slot["read_latency"] = slot["read_latency"].state_dict()
+            slot["write_latency"] = slot["write_latency"].state_dict()
+        return {
+            "shard": self.shard_index,
+            "clock_ns": clock,
+            "tenants": per_tenant,
+            "rejected_queue": rejected_queue,
+            "rejected_shed": rejected_shed,
+            "batches": batches,
+            "max_batch_pages": max_batch,
+            "coalesced_writes": metrics.buffer_hits - base_hits,
+            "flushes": metrics.flushes,
+            "clean_copies": metrics.clean_copies,
+            "erases": metrics.erases,
+            "wear_swaps": metrics.wear_swaps,
+        }
+
+
+def build_shard_controller(spec: Mapping, shard_index: int,
+                           store_data: Optional[bool] = None
+                           ) -> EnvyController:
+    """One shard's controller from a picklable service spec.
+
+    ``spec`` carries the per-shard array geometry (``num_segments``,
+    ``pages_per_segment``, ``utilization``, ``policy``) plus the service
+    seed; the shard is prewarmed to cleaning steady state with its own
+    :func:`~repro.perf.sweep.derive_seed` stream, so shard ``i`` of an
+    N-shard service always starts from the same state regardless of
+    which process builds it.
+    """
+    from ..core.config import EnvyConfig
+
+    if store_data is None:
+        store_data = bool(spec.get("store_data", False))
+    config = EnvyConfig.scaled(
+        num_segments=spec["num_segments"],
+        pages_per_segment=spec["pages_per_segment"],
+        max_utilization=spec["utilization"],
+        cleaning_policy=spec["policy"])
+    controller = EnvyController(config, store_data=store_data)
+    turnovers = spec.get("prewarm_turnovers", 3.0)
+    if turnovers > 0:
+        prewarm_shard(controller, turnovers,
+                      seed=derive_seed(spec["seed"], 1000 + shard_index))
+    return controller
+
+
+def service_shard_point(point: Mapping) -> Dict:
+    """Sweep worker: build, prewarm and run one shard.
+
+    Dispatched by dotted name
+    (``"repro.service.executor:service_shard_point"``) so worker
+    processes import it fresh; the point carries everything the shard
+    needs and the return value is the executor's picklable stats dict.
+    """
+    shard_index = point["shard_index"]
+    controller = build_shard_controller(point, shard_index)
+    executor = ShardExecutor(
+        controller, shard_index,
+        tenant_names=point["tenant_names"],
+        queue_capacity=point["queue_capacity"],
+        batch_pages=point["batch_pages"],
+        soft_watermark=point["soft_watermark"],
+        hard_watermark=point["hard_watermark"],
+        throttle_penalty_ns=point["throttle_penalty_ns"],
+        stamp_payloads=point.get("stamp_payloads", False))
+    return executor.run(point["requests"])

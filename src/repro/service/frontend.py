@@ -1,0 +1,470 @@
+"""The eNVy storage service: many banks, many tenants, one front door.
+
+:class:`EnvyService` turns the single-controller library into a
+concurrent storage *service*: N independent eNVy shards (one controller
+— bus, SRAM buffer, page table, cleaner — each) behind a
+:class:`~repro.service.shard.ShardRouter`, fed by the deterministic
+:class:`~repro.service.loadgen.LoadGenerator` and guarded by two layers
+of admission control (per-tenant token buckets at the front door,
+per-shard queue bounds and cleaner-debt backpressure at each bank).
+
+Execution model — determinism before everything
+-----------------------------------------------
+
+A run has two phases with a clean cut between them:
+
+1. **Schedule** (always in-process, serial): the load generator builds
+   the merged request schedule and applies tenant rate limits.  The
+   schedule is a pure function of ``(tenants, duration, seed)``.
+2. **Execute** (parallelizable): the schedule is partitioned by shard —
+   shards share no pages, so their slices are independent — and each
+   slice runs through :func:`~repro.service.executor.
+   service_shard_point` via :func:`~repro.perf.run_sweep`.  Results
+   come back in shard order and merge by exact histogram addition.
+
+Because phase 2's inputs are fully determined by phase 1 and shards
+never interact, the service-level metrics are identical for any
+``jobs`` setting (``ENVY_JOBS`` honoured, as everywhere else) and for
+repeated runs with the same seed — including every admission-control
+rejection, which :meth:`EnvyService.health_report` counts.
+
+The service front-end publishes ``service.*`` events on its own
+:class:`~repro.obs.events.EventBus` (schedule-time throttling, per-shard
+completion summaries); per-request shard events (``service.reject``,
+``service.throttle``, ``service.batch``) appear on each shard
+controller's bus when shards are driven in-process (see
+:class:`~repro.service.executor.ShardExecutor`).
+
+Direct access — transactions stay on one shard
+----------------------------------------------
+
+For interactive use (and the Section 6 hardware extensions) the service
+can materialise its shards in-process: :meth:`read` / :meth:`write`
+route single-page operations, and :meth:`transaction` opens a hardware
+shadow-copy transaction *confined to one shard* — eNVy's transaction
+mechanism is per-controller state (shadow locations in that bank's
+SRAM), so a transaction spanning shards has no hardware story and
+raises :class:`~repro.service.shard.CrossShardError` instead of
+pretending otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import EnvyConfig
+from ..core.controller import EnvyController
+from ..obs.events import SERVICE_RUN, SERVICE_SHARD, EventBus
+from ..perf.sweep import run_sweep
+from .loadgen import LoadGenerator, Request
+from .shard import CrossShardError, ShardRouter
+from .tenant import TenantSpec, TenantStats
+
+__all__ = ["ServiceConfig", "ServiceStats", "EnvyService",
+           "ServiceTransaction"]
+
+#: Dotted worker name resolved inside each sweep process.
+_SHARD_WORKER = "repro.service.executor:service_shard_point"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Geometry and admission knobs of a sharded eNVy service.
+
+    Each shard is an independent bank with ``num_segments`` segments of
+    ``pages_per_segment`` pages and its own segment-sized SRAM write
+    buffer; the service address space is the striped union of the
+    shards' logical pages.  See docs/SERVICE.md for knob guidance.
+    """
+
+    num_shards: int = 4
+    num_segments: int = 32
+    pages_per_segment: int = 64
+    utilization: float = 0.80
+    policy: str = "hybrid"
+    page_bytes: int = 256
+    #: Requests a shard will hold (waiting + in service) before
+    #: rejecting new arrivals.
+    queue_capacity: int = 256
+    #: Batch-boundary cap for the write-batching accounting.
+    batch_pages: int = 16
+    #: Write-buffer occupancy (fraction) past which writes are delayed.
+    soft_watermark: float = 0.85
+    #: Occupancy at which writes are shed outright (cleaner has lost).
+    hard_watermark: float = 0.97
+    #: Delay applied to each soft-throttled write, in nanoseconds.
+    throttle_penalty_ns: int = 2000
+    #: Free-space turnovers of untimed prewarm per shard (0 = none).
+    prewarm_turnovers: float = 3.0
+    #: Shards keep page payloads (needed for transactions and chaos).
+    store_data: bool = False
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        if not 0.0 < self.soft_watermark <= self.hard_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 < soft <= hard <= 1")
+        # Shard geometry is validated by EnvyConfig.scaled below.
+        self.shard_config()
+
+    def shard_config(self) -> EnvyConfig:
+        """The :class:`EnvyConfig` every shard is built from."""
+        return EnvyConfig.scaled(
+            num_segments=self.num_segments,
+            pages_per_segment=self.pages_per_segment,
+            page_bytes=self.page_bytes,
+            max_utilization=self.utilization,
+            cleaning_policy=self.policy)
+
+    @property
+    def pages_per_shard(self) -> int:
+        return self.shard_config().logical_pages
+
+    def make_router(self) -> ShardRouter:
+        return ShardRouter(self.num_shards, self.pages_per_shard,
+                           self.page_bytes)
+
+    def shard_point_base(self) -> Dict:
+        """The picklable spec shared by every shard's sweep point."""
+        return {
+            "num_segments": self.num_segments,
+            "pages_per_segment": self.pages_per_segment,
+            "utilization": self.utilization,
+            "policy": self.policy,
+            "queue_capacity": self.queue_capacity,
+            "batch_pages": self.batch_pages,
+            "soft_watermark": self.soft_watermark,
+            "hard_watermark": self.hard_watermark,
+            "throttle_penalty_ns": self.throttle_penalty_ns,
+            "prewarm_turnovers": self.prewarm_turnovers,
+            "store_data": self.store_data,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Service-level outcome of one :meth:`EnvyService.run`."""
+
+    num_shards: int
+    duration_s: float
+    requests_offered: int = 0
+    requests_throttled: int = 0
+    requests_admitted: int = 0
+    requests_rejected_queue: int = 0
+    requests_rejected_shed: int = 0
+    accesses_served: int = 0
+    #: Makespan: the slowest shard's final simulated clock.
+    simulated_ns: int = 1
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+    shards: List[Dict] = field(default_factory=list)
+
+    @property
+    def requests_rejected(self) -> int:
+        return self.requests_rejected_queue + self.requests_rejected_shed
+
+    @property
+    def accesses_per_simulated_s(self) -> float:
+        """Served accesses per simulated second (the scaling metric)."""
+        return self.accesses_served * 1e9 / max(1, self.simulated_ns)
+
+    def as_dict(self) -> dict:
+        """Flat, JSON-serialisable, machine-independent summary.
+
+        Two runs with the same seed (any ``jobs``) produce identical
+        dicts — the determinism tests compare exactly this.
+        """
+        return {
+            "num_shards": self.num_shards,
+            "duration_s": self.duration_s,
+            "requests_offered": self.requests_offered,
+            "requests_throttled": self.requests_throttled,
+            "requests_admitted": self.requests_admitted,
+            "requests_rejected_queue": self.requests_rejected_queue,
+            "requests_rejected_shed": self.requests_rejected_shed,
+            "accesses_served": self.accesses_served,
+            "simulated_ns": self.simulated_ns,
+            "accesses_per_simulated_s": round(
+                self.accesses_per_simulated_s, 1),
+            "tenants": {name: stats.as_dict()
+                        for name, stats in self.tenants.items()},
+            "shards": [dict(summary) for summary in self.shards],
+        }
+
+
+class ServiceTransaction:
+    """A hardware transaction bound to one shard, in global pages.
+
+    Wraps one :class:`~repro.ext.transactions.Transaction` on the bound
+    shard's controller and translates global logical pages to that
+    shard's local address space.  Touching a page that lives on any
+    other shard raises :class:`CrossShardError` immediately — the
+    transaction stays open, nothing was shadowed for the foreign page.
+    As a context manager it commits on clean exit and rolls back on an
+    exception, like the underlying transaction.
+    """
+
+    def __init__(self, service: "EnvyService", shard_index: int,
+                 txn) -> None:
+        self._service = service
+        self.shard_index = shard_index
+        self._txn = txn
+
+    def _local_address(self, page: int) -> int:
+        shard, local = self._service.router.route(page)
+        if shard != self.shard_index:
+            raise CrossShardError(
+                f"page {page} lives on shard {shard}, but this "
+                f"transaction is confined to shard {self.shard_index} "
+                f"(eNVy shadow copies are one controller's SRAM state)")
+        return local * self._service.config.page_bytes
+
+    def read_page(self, page: int) -> bytes:
+        return self._txn.read(self._local_address(page),
+                              self._service.config.page_bytes)
+
+    def write_page(self, page: int, data: bytes) -> int:
+        if len(data) > self._service.config.page_bytes:
+            raise ValueError("data exceeds one page")
+        return self._txn.write(self._local_address(page), data)
+
+    def commit(self) -> None:
+        self._txn.commit()
+
+    def rollback(self) -> None:
+        self._txn.rollback()
+
+    @property
+    def state(self) -> str:
+        return self._txn.state
+
+    @property
+    def pages_shadowed(self) -> int:
+        return self._txn.pages_shadowed
+
+    def __enter__(self) -> "ServiceTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return self._txn.__exit__(exc_type, exc, tb)
+
+
+class EnvyService:
+    """A sharded, multi-tenant storage service over eNVy banks."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 tenants: Optional[Sequence[TenantSpec]] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.tenants = list(tenants) if tenants else [TenantSpec("default")]
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        self.router = self.config.make_router()
+        #: Front-end event bus (``service.*`` marks; dormant until
+        #: subscribed, like every bus in the system).
+        self.events = EventBus()
+        #: Stats of the most recent :meth:`run` (for health_report).
+        self.last_stats: Optional[ServiceStats] = None
+        # In-process shard controllers for direct access; built lazily.
+        self._shards: Optional[List[EnvyController]] = None
+        self._txn_managers: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Service runs (schedule -> shard fan-out -> merge)
+    # ------------------------------------------------------------------
+
+    def partition(self, requests: Sequence[Request]
+                  ) -> List[List[Request]]:
+        """Split the schedule into per-shard slices with local pages."""
+        num_shards = self.router.num_shards
+        slices: List[List[Request]] = [[] for _ in range(num_shards)]
+        for arrival, tenant, seq, is_write, page in requests:
+            shard, local = page % num_shards, page // num_shards
+            slices[shard].append((arrival, tenant, seq, is_write, local))
+        return slices
+
+    def run(self, duration_s: float,
+            jobs: Optional[int] = None) -> ServiceStats:
+        """Serve ``duration_s`` simulated seconds of tenant traffic.
+
+        ``jobs`` fans the shards out across worker processes (explicit
+        value > ``ENVY_JOBS`` > CPU count); results are identical for
+        every setting.
+        """
+        generator = LoadGenerator(self.tenants, self.router.num_pages,
+                                  self.config.page_bytes,
+                                  seed=self.config.seed)
+        schedule, accounting = generator.generate(duration_s)
+        bus = self.events
+        if bus.active:
+            bus.mark(SERVICE_RUN, {"requests": len(schedule),
+                                   "shards": self.router.num_shards,
+                                   "tenants": len(self.tenants)})
+        slices = self.partition(schedule)
+        tenant_names = [t.name for t in self.tenants]
+        base = self.config.shard_point_base()
+        points = [dict(base, shard_index=index, requests=slices[index],
+                       tenant_names=tenant_names)
+                  for index in range(self.router.num_shards)]
+        results = run_sweep(_SHARD_WORKER, points, jobs=jobs)
+
+        stats = ServiceStats(num_shards=self.router.num_shards,
+                             duration_s=duration_s)
+        for spec in self.tenants:
+            tstats = TenantStats(spec.name)
+            tstats.offered = accounting[spec.name]["offered"]
+            tstats.throttled = accounting[spec.name]["throttled"]
+            stats.tenants[spec.name] = tstats
+        stats.requests_offered = sum(t.offered
+                                     for t in stats.tenants.values())
+        stats.requests_throttled = sum(t.throttled
+                                       for t in stats.tenants.values())
+        stats.requests_admitted = len(schedule)
+        for shard_result in results:
+            for name, slice_stats in shard_result["tenants"].items():
+                stats.tenants[name].merge_shard(slice_stats)
+            stats.requests_rejected_queue += shard_result["rejected_queue"]
+            stats.requests_rejected_shed += shard_result["rejected_shed"]
+            if shard_result["clock_ns"] > stats.simulated_ns:
+                stats.simulated_ns = shard_result["clock_ns"]
+            summary = {key: shard_result[key]
+                       for key in ("shard", "clock_ns", "rejected_queue",
+                                   "rejected_shed", "batches",
+                                   "max_batch_pages", "coalesced_writes",
+                                   "flushes", "clean_copies", "erases",
+                                   "wear_swaps")}
+            summary["accesses"] = sum(
+                s["reads"] + s["writes"]
+                for s in shard_result["tenants"].values())
+            stats.shards.append(summary)
+            if bus.active:
+                bus.mark(SERVICE_SHARD, dict(summary))
+        stats.accesses_served = sum(t.served
+                                    for t in stats.tenants.values())
+        self.last_stats = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health_report(self) -> dict:
+        """Flat service-health snapshot (deterministic per seed).
+
+        Admission-control outcomes — token-bucket throttles, queue-full
+        rejections and cleaner-debt sheds — are first-class counters
+        here: with the same tenants, duration and seed, two runs (at any
+        ``jobs`` setting) report identical numbers.
+        """
+        report = {
+            "num_shards": self.router.num_shards,
+            "pages_per_shard": self.router.pages_per_shard,
+            "service_pages": self.router.num_pages,
+            "tenants": len(self.tenants),
+            "seed": self.config.seed,
+        }
+        stats = self.last_stats
+        if stats is None:
+            report["last_run"] = False
+            return report
+        report["last_run"] = True
+        report.update({
+            "requests_offered": stats.requests_offered,
+            "requests_throttled": stats.requests_throttled,
+            "requests_admitted": stats.requests_admitted,
+            "requests_rejected_queue": stats.requests_rejected_queue,
+            "requests_rejected_shed": stats.requests_rejected_shed,
+            "requests_rejected": stats.requests_rejected,
+            "accesses_served": stats.accesses_served,
+            "simulated_ns": stats.simulated_ns,
+            "accesses_per_simulated_s": round(
+                stats.accesses_per_simulated_s, 1),
+        })
+        for name, tstats in stats.tenants.items():
+            for key, value in tstats.as_dict().items():
+                report[f"tenant_{name}_{key}"] = value
+        for summary in stats.shards:
+            prefix = f"shard_{summary['shard']}_"
+            for key in ("accesses", "rejected_queue", "rejected_shed",
+                        "flushes", "clean_copies", "erases"):
+                report[prefix + key] = summary[key]
+        return report
+
+    # ------------------------------------------------------------------
+    # Direct access (in-process shards)
+    # ------------------------------------------------------------------
+
+    def shard(self, index: int) -> EnvyController:
+        """The in-process controller for shard ``index`` (lazy).
+
+        Direct-access shards are independent of :meth:`run` (which
+        builds fresh, prewarmed shard state inside its workers) — they
+        exist for interactive use, transactions and chaos drills.
+        """
+        if not 0 <= index < self.router.num_shards:
+            raise IndexError(f"no shard {index}")
+        if self._shards is None:
+            self._shards = [None] * self.router.num_shards
+        if self._shards[index] is None:
+            self._shards[index] = EnvyController(
+                self.config.shard_config(),
+                store_data=self.config.store_data)
+        return self._shards[index]
+
+    def read_page(self, page: int) -> bytes:
+        """Read one global logical page through its shard."""
+        shard, local = self.router.route(page)
+        controller = self.shard(shard)
+        return controller.read(local * self.config.page_bytes,
+                               self.config.page_bytes)
+
+    def write_page(self, page: int, data: bytes) -> int:
+        """Write one global logical page; returns nanoseconds taken."""
+        if len(data) > self.config.page_bytes:
+            raise ValueError("data exceeds one page")
+        shard, local = self.router.route(page)
+        controller = self.shard(shard)
+        return controller.write(local * self.config.page_bytes, data)
+
+    def transaction(self, pages: Sequence[int]):
+        """Open a hardware transaction confined to one shard.
+
+        ``pages`` are the global logical pages the transaction intends
+        to touch; they must all live on the same shard (eNVy's shadow
+        mechanism is per-controller SRAM state).  Pages spanning shards
+        raise :class:`CrossShardError` naming the shards involved.
+        """
+        if not pages:
+            raise ValueError("transaction needs at least one page")
+        if not self.config.store_data:
+            raise ValueError(
+                "transactions need store_data=True shards (the shadow "
+                "mechanism snapshots page payloads)")
+        shards = []
+        for page in pages:
+            shard = self.router.shard_of(page)
+            if shard not in shards:
+                shards.append(shard)
+        if len(shards) > 1:
+            raise CrossShardError(
+                f"transaction touches pages on shards {sorted(shards)}; "
+                f"eNVy hardware transactions are confined to one shard "
+                f"(one controller's shadow SRAM)")
+        index = shards[0]
+        manager = self._txn_managers.get(index)
+        if manager is None:
+            from ..ext.transactions import TransactionManager
+
+            manager = TransactionManager(self.shard(index))
+            self._txn_managers[index] = manager
+        return ServiceTransaction(self, index, manager.transaction())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EnvyService({self.router.num_shards} shards x "
+                f"{self.router.pages_per_shard} pages, "
+                f"{len(self.tenants)} tenants)")

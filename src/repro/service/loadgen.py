@@ -1,0 +1,170 @@
+"""Deterministic multi-tenant load generator on the discrete-event clock.
+
+Simulating "thousands of concurrent clients" in Python cannot mean
+thousands of threads — it means what the paper's own evaluation does
+(Section 5.2): a discrete-event schedule of timestamped requests.  The
+generator turns a list of :class:`~repro.service.tenant.TenantSpec`\\ s
+into one merged, time-ordered request schedule:
+
+* each tenant draws from its **own** seeded RNG streams
+  (:func:`~repro.perf.sweep.derive_seed` over the tenant index, the
+  same decorrelation the sweep runner uses per point), so adding or
+  reordering tenants never perturbs another tenant's trace;
+* per-tenant **token buckets** run during generation, on arrival
+  timestamps alone — throttling decisions are part of the schedule,
+  not of execution, which keeps them identical however the shards are
+  later executed;
+* the merged schedule is sorted by ``(arrival_ns, tenant_index, seq)``
+  — a total order with a deterministic tie-break, so the request list
+  is a pure function of ``(tenants, duration, seed)``.
+
+A request is a plain tuple ``(arrival_ns, tenant_index, seq, is_write,
+global_page)`` — picklable, compact, and directly partitionable by the
+:class:`~repro.service.shard.ShardRouter`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..perf.sweep import derive_seed
+from ..workloads.uniform import UniformWorkload
+from ..workloads.zipf import ZipfWorkload
+from .tenant import TenantSpec
+
+__all__ = ["Request", "LoadGenerator"]
+
+#: One service request: (arrival_ns, tenant_index, seq, is_write, page).
+Request = Tuple[int, int, int, bool, int]
+
+
+class LoadGenerator:
+    """Builds the merged request schedule for a set of tenants."""
+
+    def __init__(self, tenants: Sequence[TenantSpec], num_pages: int,
+                 page_bytes: int = 256, seed: int = 0) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        for tenant in tenants:
+            tenant.validate()
+        if num_pages < 1:
+            raise ValueError("need at least one page")
+        self.tenants = list(tenants)
+        self.num_pages = num_pages
+        self.page_bytes = page_bytes
+        self.seed = seed
+        self._layout = None  # built lazily for TPC-A tenants
+
+    # ------------------------------------------------------------------
+    # Per-tenant streams
+    # ------------------------------------------------------------------
+
+    def _tpca_layout(self):
+        if self._layout is None:
+            from ..db.layout import TpcaLayout
+
+            self._layout = TpcaLayout.sized_for(
+                self.num_pages * self.page_bytes)
+        return self._layout
+
+    def _arrivals(self, spec: TenantSpec, rng: random.Random,
+                  end_ns: int) -> List[int]:
+        """The tenant's arrival instants (sorted, < ``end_ns``)."""
+        arrivals: List[int] = []
+        if spec.mode == "open":
+            mean_ns = 1e9 / spec.rate_tps
+            clock = 0.0
+            while True:
+                clock += rng.expovariate(1.0) * mean_ns
+                if clock >= end_ns:
+                    break
+                arrivals.append(int(clock))
+        else:
+            # Closed loop: each client alternates think time and a fixed
+            # service-time estimate.  The estimate (not execution
+            # feedback) schedules the next request, so the schedule is
+            # execution-independent — see TenantSpec.
+            for client in range(spec.clients):
+                # Stagger session starts across one think interval.
+                clock = (client * max(1, spec.think_ns)) / max(
+                    1, spec.clients)
+                while True:
+                    clock += (rng.expovariate(1.0) * spec.think_ns
+                              + spec.service_estimate_ns)
+                    if clock >= end_ns:
+                        break
+                    arrivals.append(int(clock))
+            arrivals.sort()
+        return arrivals
+
+    def _accesses(self, spec: TenantSpec, rng: random.Random,
+                  page_seed: int, arrivals: List[int]
+                  ) -> List[Tuple[int, bool, int]]:
+        """Expand arrivals into ``(arrival_ns, is_write, page)`` rows."""
+        rows: List[Tuple[int, bool, int]] = []
+        if spec.workload == "tpca":
+            from ..workloads.tpca import TpcaWorkload
+
+            layout = self._tpca_layout()
+            workload = TpcaWorkload(layout, rate_tps=max(spec.rate_tps, 1.0),
+                                    seed=page_seed)
+            last_page = self.num_pages - 1
+            for arrival in arrivals:
+                txn = workload.next_transaction()  # arrival time unused
+                for is_write, address in workload.accesses(txn):
+                    page = min(address // self.page_bytes, last_page)
+                    rows.append((arrival, is_write, page))
+            return rows
+        if spec.workload == "zipf":
+            pages = ZipfWorkload(self.num_pages, skew=spec.skew,
+                                 seed=page_seed)
+        else:
+            pages = UniformWorkload(self.num_pages, seed=page_seed)
+        write_fraction = spec.write_fraction
+        for arrival in arrivals:
+            is_write = rng.random() < write_fraction
+            rows.append((arrival, is_write, pages.next_page()))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+
+    def generate(self, duration_s: float
+                 ) -> Tuple[List[Request], Dict[str, Dict[str, int]]]:
+        """The merged schedule plus per-tenant offered/throttled counts.
+
+        Throttled accesses (token bucket empty at arrival) are counted
+        and dropped here; everything returned was *admitted* by the
+        rate-limit layer and awaits shard-level admission control.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        end_ns = int(duration_s * 1e9)
+        streams: List[List[Request]] = []
+        accounting: Dict[str, Dict[str, int]] = {}
+        for index, spec in enumerate(self.tenants):
+            arrival_rng = random.Random(derive_seed(self.seed, 2 * index))
+            page_seed = derive_seed(self.seed, 2 * index + 1)
+            bucket = spec.make_bucket()
+            arrivals = self._arrivals(spec, arrival_rng, end_ns)
+            rows = self._accesses(spec, arrival_rng, page_seed, arrivals)
+            stream: List[Request] = []
+            throttled = 0
+            for seq, (arrival, is_write, page) in enumerate(rows):
+                if bucket is not None and not bucket.allow(arrival):
+                    throttled += 1
+                    continue
+                stream.append((arrival, index, seq, is_write, page))
+            streams.append(stream)
+            accounting[spec.name] = {
+                "offered": len(rows),
+                "throttled": throttled,
+            }
+        merged = list(heapq.merge(*streams))
+        return merged, accounting

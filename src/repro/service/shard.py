@@ -1,0 +1,104 @@
+"""Shard router: one logical page space over many eNVy banks.
+
+The paper's controller fronts a single Flash array behind one memory
+bus.  Scaling past a single bank means running several independent
+controllers — each with its own bus, SRAM write buffer, page table and
+cleaner — and partitioning the logical page space across them, exactly
+as eNVy itself partitions a bank into segments.  The router implements
+that partitioning:
+
+* **Striped placement** — logical page ``p`` lives on shard
+  ``p % num_shards`` at local page ``p // num_shards``.  Striping
+  spreads any contiguous hot range (and any Zipf head, whatever the
+  scatter permutation) evenly across shards, so tenant skew degrades
+  into per-shard load imbalance only at the granularity of single
+  pages.
+* **Shard independence** — no page ever maps to two shards, so shard
+  request streams can be executed in any order, in any process, and
+  recombined deterministically (the property :mod:`repro.service.
+  frontend` builds its ``run_sweep`` fan-out on, and :mod:`repro.
+  service.chaos` its independent per-shard recovery).
+
+The router is pure arithmetic: it holds no controller references and
+pickles trivially into sweep workers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["ShardRouter", "CrossShardError"]
+
+
+class CrossShardError(ValueError):
+    """An operation touched pages living on different shards.
+
+    Raised by the service front-end for operations whose semantics are
+    confined to one controller (hardware transactions, parallel flush
+    batches).  The message names the shards involved so callers can
+    re-partition their access pattern.
+    """
+
+
+class ShardRouter:
+    """Maps the global logical page space onto shard-local pages."""
+
+    __slots__ = ("num_shards", "pages_per_shard", "page_bytes",
+                 "num_pages")
+
+    def __init__(self, num_shards: int, pages_per_shard: int,
+                 page_bytes: int = 256) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if pages_per_shard < 1:
+            raise ValueError("shards need at least one page")
+        if page_bytes < 1:
+            raise ValueError("page_bytes must be positive")
+        self.num_shards = num_shards
+        self.pages_per_shard = pages_per_shard
+        self.page_bytes = page_bytes
+        #: Logical pages presented by the whole service.
+        self.num_pages = num_shards * pages_per_shard
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.num_pages:
+            raise IndexError(
+                f"page {page} outside the {self.num_pages}-page service "
+                f"address space")
+
+    def shard_of(self, page: int) -> int:
+        """The shard holding global logical page ``page``."""
+        self._check_page(page)
+        return page % self.num_shards
+
+    def route(self, page: int) -> Tuple[int, int]:
+        """Global page -> ``(shard_index, local_page)``."""
+        self._check_page(page)
+        return page % self.num_shards, page // self.num_shards
+
+    def global_page(self, shard_index: int, local_page: int) -> int:
+        """Inverse of :meth:`route`."""
+        if not 0 <= shard_index < self.num_shards:
+            raise IndexError(f"no shard {shard_index}")
+        if not 0 <= local_page < self.pages_per_shard:
+            raise IndexError(
+                f"local page {local_page} outside shard "
+                f"{shard_index}'s {self.pages_per_shard} pages")
+        return local_page * self.num_shards + shard_index
+
+    def shard_of_address(self, address: int) -> int:
+        """The shard holding the page containing byte ``address``."""
+        return self.shard_of(address // self.page_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of linear memory presented by the whole service."""
+        return self.num_pages * self.page_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardRouter({self.num_shards} shards x "
+                f"{self.pages_per_shard} pages, striped)")

@@ -1,0 +1,182 @@
+"""Tenants: who is asking, how fast they may ask, what they observed.
+
+The service multiplexes many client populations ("tenants") over the
+shared shard pool.  A tenant bundles three things:
+
+* a **workload shape** (:class:`TenantSpec`) — Zipf / uniform page
+  streams or full TPC-A transactions, open-loop (Poisson arrivals at a
+  requested rate) or closed-loop (a fixed client population with think
+  time);
+* a **rate limit** (:class:`TokenBucket`) — the admission layer's
+  per-tenant throttle, driven purely by simulated arrival time so the
+  decision sequence is a deterministic function of the schedule;
+* **accounting** (:class:`TenantStats`) — per-tenant
+  :class:`~repro.obs.hist.LatencyHistogram`\\ s and counters, merged
+  exactly across shards (histogram merge is exact bucket addition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..obs.hist import LatencyHistogram
+
+__all__ = ["TokenBucket", "TenantSpec", "TenantStats"]
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter on the simulated clock.
+
+    ``allow(t_ns)`` must be called with non-decreasing timestamps; the
+    bucket refills continuously at ``rate_per_s`` tokens per simulated
+    second up to ``burst`` and each allowed request consumes one token.
+    Pure float arithmetic over the arrival sequence — two runs over the
+    same schedule make identical decisions.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_tokens", "_last_ns",
+                 "allowed", "throttled")
+
+    def __init__(self, rate_per_s: float, burst: float = 10.0) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_ns = 0
+        self.allowed = 0
+        self.throttled = 0
+
+    def allow(self, t_ns: int) -> bool:
+        if t_ns > self._last_ns:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (t_ns - self._last_ns) * self.rate_per_s
+                / 1e9)
+            self._last_ns = t_ns
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.allowed += 1
+            return True
+        self.throttled += 1
+        return False
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static description of one tenant's offered load.
+
+    ``workload`` selects the page-reference shape:
+
+    * ``"zipf"`` — single-page accesses, popularity skew ``skew``,
+      write probability ``write_fraction``;
+    * ``"uniform"`` — as above with uniform popularity;
+    * ``"tpca"`` — each arrival is one full TPC-A transaction (B-tree
+      probes, record reads, three balance writes) mapped onto the
+      service page space, so the read/write mix comes from the
+      transaction structure and ``write_fraction`` is ignored.
+
+    ``mode`` picks the arrival process: ``"open"`` is Poisson at
+    ``rate_tps`` arrivals per simulated second; ``"closed"`` models
+    ``clients`` independent sessions that each wait an exponential
+    think time (mean ``think_ns``) plus a fixed service-time estimate
+    between requests.  The closed-loop schedule uses the estimate
+    instead of execution feedback so the schedule — and therefore every
+    shard's input — stays independent of execution order and can be
+    fanned out across worker processes without changing results.
+
+    ``rate_limit_tps`` arms the per-tenant token bucket (``None`` =
+    unlimited); throttled arrivals are counted and never reach a shard.
+    """
+
+    name: str
+    rate_tps: float = 1000.0
+    workload: str = "zipf"
+    skew: float = 1.0
+    write_fraction: float = 0.5
+    rate_limit_tps: Optional[float] = None
+    burst: float = 64.0
+    mode: str = "open"
+    clients: int = 16
+    think_ns: int = 1_000_000
+    service_estimate_ns: int = 200
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.workload not in ("zipf", "uniform", "tpca"):
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"unknown arrival mode {self.mode!r}")
+        if self.mode == "open" and self.rate_tps <= 0:
+            raise ValueError("open-loop tenants need a positive rate")
+        if self.mode == "closed" and self.clients < 1:
+            raise ValueError("closed-loop tenants need at least one client")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.rate_limit_tps is not None and self.rate_limit_tps <= 0:
+            raise ValueError("rate_limit_tps must be positive when set")
+
+    def make_bucket(self) -> Optional[TokenBucket]:
+        if self.rate_limit_tps is None:
+            return None
+        return TokenBucket(self.rate_limit_tps, self.burst)
+
+
+class TenantStats:
+    """One tenant's service-level view of a run (mergeable)."""
+
+    __slots__ = ("name", "offered", "throttled", "rejected", "delayed",
+                 "reads", "writes", "read_latency", "write_latency")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Accesses the load generator produced for this tenant.
+        self.offered = 0
+        #: Accesses the token bucket refused before sharding.
+        self.throttled = 0
+        #: Accesses a shard's admission control rejected.
+        self.rejected = 0
+        #: Writes delayed by cleaner-debt backpressure.
+        self.delayed = 0
+        self.reads = 0
+        self.writes = 0
+        self.read_latency = LatencyHistogram()
+        self.write_latency = LatencyHistogram()
+
+    @property
+    def served(self) -> int:
+        return self.reads + self.writes
+
+    def merge_shard(self, shard_stats: Dict) -> None:
+        """Fold one shard's per-tenant slice into the aggregate."""
+        self.rejected += shard_stats["rejected"]
+        self.delayed += shard_stats["delayed"]
+        self.reads += shard_stats["reads"]
+        self.writes += shard_stats["writes"]
+        self.read_latency.merge(
+            LatencyHistogram.from_state(shard_stats["read_latency"]))
+        self.write_latency.merge(
+            LatencyHistogram.from_state(shard_stats["write_latency"]))
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly summary (histograms reduced to tails)."""
+        return {
+            "offered": self.offered,
+            "throttled": self.throttled,
+            "rejected": self.rejected,
+            "delayed": self.delayed,
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_p50_ns": self.read_latency.p50,
+            "read_p99_ns": self.read_latency.p99,
+            "write_p50_ns": self.write_latency.p50,
+            "write_p99_ns": self.write_latency.p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TenantStats({self.name}: {self.served} served, "
+                f"{self.throttled} throttled, {self.rejected} rejected)")

@@ -131,3 +131,51 @@ class TestCommands:
         assert "wear heatmap" in output
         assert "exports validated" in output
         assert (tmp_path / "observe-out" / "trace.json").exists()
+
+    def test_serve_small_run(self, capsys):
+        assert main(["serve", "--shards", "2", "--segments", "4",
+                     "--pages", "16", "--duration", "0.0001",
+                     "--rate", "2e6", "--jobs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "eNVy service: 2 shards" in output
+        assert "Service throughput" in output
+        assert "Read p99 (ns)" in output
+
+    def test_serve_custom_tenant_specs(self, capsys):
+        assert main(["serve", "--shards", "2", "--segments", "4",
+                     "--pages", "16", "--duration", "0.0001",
+                     "--jobs", "1",
+                     "--tenant", "name=solo,workload=uniform,"
+                                 "rate_tps=1e6,write_fraction=0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "solo" in output
+        assert "1 tenants" in output
+
+    def test_serve_rejects_bad_tenant_spec(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--tenant", "nonsense"])
+
+    def test_serve_smoke_validates_determinism(self, capsys):
+        assert main(["serve", "--smoke", "--jobs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke ok" in output
+        assert "rejections reproduced" in output
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 4
+        assert args.queue == 256
+        assert args.jobs is None
+        assert not args.smoke
+        assert args.tenant is None
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--shards", "8", "--tenant", "name=a",
+             "--tenant", "name=b", "--smoke", "--seed", "5"])
+        assert args.shards == 8
+        assert args.tenant == ["name=a", "name=b"]
+        assert args.smoke
+        assert args.seed == 5

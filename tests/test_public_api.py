@@ -8,7 +8,7 @@ import repro
 
 SUBPACKAGES = ["repro.core", "repro.flash", "repro.sram", "repro.cleaning",
                "repro.sim", "repro.workloads", "repro.db", "repro.ext",
-               "repro.ramdisk", "repro.analysis"]
+               "repro.ramdisk", "repro.analysis", "repro.service"]
 
 
 def test_top_level_all_resolves():

@@ -1,0 +1,261 @@
+"""Tests for the sharded service core: router, tenants, determinism."""
+
+import pytest
+
+from repro.service import (CrossShardError, EnvyService, ServiceConfig,
+                           ShardRouter, TenantSpec, TokenBucket)
+
+SMALL = ServiceConfig(num_shards=2, num_segments=8, pages_per_segment=32,
+                      seed=13)
+TENANTS = [
+    TenantSpec("hot", rate_tps=1.2e7, skew=1.0, write_fraction=0.3),
+    TenantSpec("limited", rate_tps=4e6, workload="uniform",
+               rate_limit_tps=1e6),
+]
+DURATION = 0.0002
+
+
+class TestShardRouter:
+    def test_striped_partition_is_a_bijection(self):
+        router = ShardRouter(num_shards=4, pages_per_shard=8)
+        seen = set()
+        for page in range(router.num_pages):
+            shard, local = router.route(page)
+            assert router.shard_of(page) == shard
+            assert router.global_page(shard, local) == page
+            seen.add((shard, local))
+        assert len(seen) == router.num_pages
+
+    def test_striping_spreads_contiguous_ranges(self):
+        router = ShardRouter(num_shards=4, pages_per_shard=64)
+        shards = [router.shard_of(page) for page in range(8)]
+        assert shards == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_address_routing(self):
+        router = ShardRouter(num_shards=2, pages_per_shard=4,
+                             page_bytes=256)
+        assert router.shard_of_address(0) == 0
+        assert router.shard_of_address(256) == 1
+        assert router.total_bytes == 8 * 256
+
+    def test_out_of_range_pages_raise(self):
+        router = ShardRouter(num_shards=2, pages_per_shard=4)
+        with pytest.raises(IndexError):
+            router.route(8)
+        with pytest.raises(IndexError):
+            router.route(-1)
+        with pytest.raises(IndexError):
+            router.global_page(2, 0)
+        with pytest.raises(IndexError):
+            router.global_page(0, 4)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0, 4)
+        with pytest.raises(ValueError):
+            ShardRouter(2, 0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate_per_s=1e9, burst=2.0)  # 1 token/ns
+        assert bucket.allow(0)
+        assert bucket.allow(0)
+        assert not bucket.allow(0)  # burst exhausted
+        assert bucket.allow(1)      # one token refilled after 1 ns
+        assert bucket.allowed == 3
+        assert bucket.throttled == 1
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=1e9, burst=3.0)
+        for _ in range(3):
+            assert bucket.allow(0)
+        # A long gap refills to burst, not beyond.
+        for _ in range(3):
+            assert bucket.allow(10_000)
+        assert not bucket.allow(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0.5)
+
+
+class TestTenantSpec:
+    def test_validation_catches_bad_specs(self):
+        for bad in (TenantSpec(""), TenantSpec("a", workload="lru"),
+                    TenantSpec("a", mode="sideways"),
+                    TenantSpec("a", rate_tps=0.0),
+                    TenantSpec("a", write_fraction=1.5),
+                    TenantSpec("a", rate_limit_tps=0.0)):
+            with pytest.raises(ValueError):
+                bad.validate()
+
+    def test_bucket_only_when_limited(self):
+        assert TenantSpec("a").make_bucket() is None
+        assert TenantSpec("a", rate_limit_tps=10.0).make_bucket()
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(num_shards=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_capacity=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(soft_watermark=0.99,
+                          hard_watermark=0.5).validate()
+
+    def test_router_matches_shard_geometry(self):
+        config = ServiceConfig(num_shards=3, num_segments=8,
+                               pages_per_segment=32)
+        router = config.make_router()
+        assert router.pages_per_shard == config.shard_config().logical_pages
+        assert router.num_pages == 3 * config.pages_per_shard
+
+
+class TestServiceRun:
+    def test_run_serves_and_accounts(self):
+        service = EnvyService(SMALL, TENANTS)
+        stats = service.run(DURATION, jobs=1)
+        assert stats.accesses_served > 0
+        assert stats.requests_admitted <= stats.requests_offered
+        assert stats.simulated_ns > 0
+        # Tenant accounting covers exactly the offered load.
+        for tstats in stats.tenants.values():
+            assert (tstats.served + tstats.throttled + tstats.rejected
+                    <= tstats.offered)
+        assert stats.tenants["limited"].throttled > 0
+        assert len(stats.shards) == SMALL.num_shards
+
+    def test_same_seed_same_metrics(self):
+        first = EnvyService(SMALL, TENANTS).run(DURATION, jobs=1)
+        second = EnvyService(SMALL, TENANTS).run(DURATION, jobs=1)
+        assert first.as_dict() == second.as_dict()
+
+    def test_jobs_setting_never_changes_results(self):
+        serial = EnvyService(SMALL, TENANTS).run(DURATION, jobs=1)
+        fanned = EnvyService(SMALL, TENANTS).run(DURATION, jobs=2)
+        assert serial.as_dict() == fanned.as_dict()
+
+    def test_different_seed_different_schedule(self):
+        other = ServiceConfig(num_shards=2, num_segments=8,
+                              pages_per_segment=32, seed=14)
+        first = EnvyService(SMALL, TENANTS).run(DURATION, jobs=1)
+        second = EnvyService(other, TENANTS).run(DURATION, jobs=1)
+        assert first.as_dict() != second.as_dict()
+
+    def test_rejections_counted_in_health_report(self):
+        # Saturating load: the bounded queue must reject, and the
+        # health report must expose reproducible counts.
+        hot = [TenantSpec("flood", rate_tps=1e8, write_fraction=0.5)]
+        service = EnvyService(SMALL, hot)
+        service.run(DURATION, jobs=1)
+        health = service.health_report()
+        assert health["last_run"]
+        assert health["requests_rejected"] > 0
+        assert health["requests_rejected"] == (
+            health["requests_rejected_queue"]
+            + health["requests_rejected_shed"])
+        repeat = EnvyService(SMALL, hot)
+        repeat.run(DURATION, jobs=2)
+        assert repeat.health_report() == health
+
+    def test_health_report_before_any_run(self):
+        health = EnvyService(SMALL, TENANTS).health_report()
+        assert health["last_run"] is False
+        assert health["num_shards"] == 2
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValueError):
+            EnvyService(SMALL, [TenantSpec("a"), TenantSpec("a")])
+
+    def test_service_events_on_front_bus(self):
+        service = EnvyService(SMALL, TENANTS)
+        kinds = []
+        service.events.subscribe(lambda e: kinds.append(e.kind),
+                                 prefix="service.")
+        service.run(DURATION, jobs=1)
+        assert "service.run" in kinds
+        assert kinds.count("service.shard") == SMALL.num_shards
+
+
+class TestDirectAccess:
+    def test_read_write_route_through_shards(self):
+        config = ServiceConfig(num_shards=2, num_segments=4,
+                               pages_per_segment=16, store_data=True,
+                               prewarm_turnovers=0.0)
+        service = EnvyService(config)
+        service.write_page(3, b"page three")
+        service.write_page(4, b"page four")
+        assert service.read_page(3).startswith(b"page three")
+        assert service.read_page(4).startswith(b"page four")
+        # Page 3 is odd -> shard 1; page 4 even -> shard 0.
+        assert service.shard(1).metrics.writes >= 1
+        assert service.shard(0).metrics.writes >= 1
+
+    def test_oversized_write_rejected(self):
+        service = EnvyService(ServiceConfig(num_shards=2, num_segments=4,
+                                            pages_per_segment=16))
+        with pytest.raises(ValueError):
+            service.write_page(0, b"x" * 257)
+
+    def test_shard_index_checked(self):
+        service = EnvyService(ServiceConfig(num_shards=2, num_segments=4,
+                                            pages_per_segment=16))
+        with pytest.raises(IndexError):
+            service.shard(2)
+
+    def test_cross_shard_error_is_a_value_error(self):
+        assert issubclass(CrossShardError, ValueError)
+
+
+class TestServiceBench:
+    """Gate logic of the service benchmark (no full bench run)."""
+
+    @staticmethod
+    def report(served_per_wall_s=100.0, scaling=4.0, calib=1e6,
+               fidelity=None):
+        return {
+            "mode": "smoke",
+            "calibration_ops_per_s": calib,
+            "scenarios": {
+                "zipf_canonical": {
+                    "shard_counts": {
+                        "1": {"served_per_wall_s": served_per_wall_s,
+                              "fidelity": fidelity or {"served": 10}},
+                    },
+                    "scaling_4x": scaling,
+                },
+            },
+        }
+
+    def test_scaling_gate(self):
+        from repro.service.bench import check_scaling
+        assert check_scaling(self.report(scaling=4.0)) == []
+        failures = check_scaling(self.report(scaling=1.4))
+        assert failures and "zipf_canonical" in failures[0]
+
+    def test_compare_normalizes_by_calibration(self):
+        from repro.service.bench import compare_reports
+        baseline = self.report(served_per_wall_s=100.0, calib=1e6)
+        # Half the raw speed on a half-speed machine: no regression.
+        current = self.report(served_per_wall_s=50.0, calib=5e5)
+        assert compare_reports(current, baseline) == []
+        # Half the raw speed on the same machine: regression.
+        slow = self.report(served_per_wall_s=50.0, calib=1e6)
+        assert compare_reports(slow, baseline)
+
+    def test_compare_flags_fidelity_drift(self):
+        from repro.service.bench import compare_reports
+        baseline = self.report(fidelity={"served": 10})
+        drifted = self.report(fidelity={"served": 11})
+        failures = compare_reports(drifted, baseline)
+        assert failures and "determinism" in failures[0]
+
+    def test_compare_flags_mode_mismatch(self):
+        from repro.service.bench import compare_reports
+        baseline = self.report()
+        current = dict(self.report(), mode="full")
+        assert compare_reports(current, baseline)
