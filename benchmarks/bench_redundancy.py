@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Redundancy benchmark entry point (see ``repro.service.bench_redundancy``).
+
+Measures the cost of cross-bank redundancy (mirror / parity write
+amplification), drills a whole-bank loss per policy (degraded serving,
+post-mortem recovery, online rebuild), gates the rebuild-interference
+p99 bound and the hot-page-rebalance recovery ratio, and emits
+``BENCH_REDUNDANCY.json``:
+
+    PYTHONPATH=src python benchmarks/bench_redundancy.py           # full
+    PYTHONPATH=src python benchmarks/bench_redundancy.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_redundancy.py --smoke \\
+        --output BENCH_REDUNDANCY.current.json \\
+        --compare BENCH_REDUNDANCY.smoke.json
+
+Like ``bench_service.py`` this is a plain script, not a pytest
+benchmark: CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.bench_redundancy import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

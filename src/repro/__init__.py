@@ -33,7 +33,8 @@ from .flash import FlashArray, FlashBank, FlashChip, FlashSegment
 from .obs import (EventBus, LatencyHistogram, ObsEvent, ObservabilityHub,
                   TimeSeriesSampler)
 from .ramdisk import BlockDevice, FileSystem
-from .service import (CrossShardError, EnvyService, LoadGenerator,
+from .service import (CrossShardError, DegradedModeError, EnvyService,
+                      LoadGenerator, RebuildScheduler, RedundantRouter,
                       ServiceConfig, ServiceStats, ShardRouter, TenantSpec,
                       TenantStats, TokenBucket)
 from .sim import SimStats, TimedSimulator, build_tpca_system, simulate_tpca
@@ -95,7 +96,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "ShardRouter",
+    "RedundantRouter",
+    "RebuildScheduler",
     "CrossShardError",
+    "DegradedModeError",
     "TenantSpec",
     "TenantStats",
     "TokenBucket",

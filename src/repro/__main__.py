@@ -437,6 +437,23 @@ def cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bool(value: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise SystemExit(f"bad boolean {value!r} (use true/false)")
+
+
+def _parse_page_range(value: str):
+    start, sep, end = value.strip().partition(":")
+    if not sep:
+        raise SystemExit(
+            f"bad page_range {value!r} (use 'start:end', e.g. 0:256)")
+    return int(float(start)), int(float(end))
+
+
 def _parse_tenant(spec: str):
     """``name=a,workload=zipf,rate_tps=1e6,...`` -> :class:`TenantSpec`."""
     import dataclasses
@@ -449,6 +466,10 @@ def _parse_tenant(spec: str):
             coercers[field.name] = int
         elif field.type in ("float", "Optional[float]"):
             coercers[field.name] = float
+        elif field.type in ("bool",):
+            coercers[field.name] = _parse_bool
+        elif "Tuple" in field.type:
+            coercers[field.name] = _parse_page_range
         else:
             coercers[field.name] = str
     kwargs = {}
@@ -506,8 +527,43 @@ def _print_service_dashboard(service, stats) -> None:
                        shard_rows))
 
 
+def _print_redundancy_dashboard(service, stats) -> None:
+    info = service.health_report()["redundancy"]
+    rows = [
+        ["Policy / placement", f"{info['policy']} / {info['placement']}"],
+        ["Write fanout", f"{info['write_fanout']}x"],
+        ["Survivable bank losses", f"{info['survivable_bank_losses']}"],
+        ["Degraded", "yes" if info["degraded"] else "no"],
+        ["Degraded reads / writes",
+         f"{stats.degraded_reads:,} / {stats.degraded_writes:,}"],
+        ["Replica / rebuild accesses",
+         f"{stats.replica_accesses:,} / {stats.rebuild_accesses:,}"],
+        ["Remapped pages", f"{info['remapped_pages']:,}"],
+    ]
+    for bank in info["banks"]:
+        state = bank["state"]
+        rebuild = bank["rebuild"]
+        if rebuild:
+            state += (f" ({rebuild['pages_done']:,}/"
+                      f"{rebuild['pages_total']:,} pages, "
+                      f"{rebuild['progress'] * 100:.1f}%)")
+        rows.append([f"Bank {bank['bank']}", state])
+    print(format_table(["Redundancy", "Value"], rows))
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import EnvyService, ServiceConfig, TenantSpec
+
+    if args.kill_bank is not None:
+        if args.smoke:
+            raise SystemExit("--kill-bank is not available with --smoke")
+        if args.redundancy == "none":
+            raise SystemExit("--kill-bank needs --redundancy "
+                             "mirror|mirror:K|parity (a plain service "
+                             "cannot survive a bank loss)")
+        if not 0 <= args.kill_bank < args.shards:
+            raise SystemExit(f"--kill-bank {args.kill_bank} out of range "
+                             f"for {args.shards} shards")
 
     if args.smoke:
         config = ServiceConfig(num_shards=2, num_segments=8,
@@ -529,6 +585,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                utilization=args.utilization,
                                policy=args.policy,
                                queue_capacity=args.queue,
+                               redundancy=args.redundancy,
+                               placement=args.placement,
+                               retry_limit=args.retry_limit,
                                seed=args.seed)
         if args.tenant:
             tenants = [_parse_tenant(spec) for spec in args.tenant]
@@ -554,6 +613,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
                  f"{len(tenants)} tenants"))
     _print_service_dashboard(service, stats)
     if not args.smoke:
+        if args.redundancy != "none" or args.placement != "striped":
+            print()
+            _print_redundancy_dashboard(service, stats)
+        if args.kill_bank is not None:
+            bank = args.kill_bank
+            print()
+            print(banner(f"bank {bank} lost: serving degraded"))
+            service.kill_bank(bank)
+            degraded = service.run(duration, jobs=args.jobs)
+            _print_service_dashboard(service, degraded)
+            print()
+            _print_redundancy_dashboard(service, degraded)
+            print()
+            print(banner(f"bank {bank} replaced: rebuilding online"))
+            scheduler = service.replace_bank(bank)
+            rebuilt = service.run(duration, jobs=args.jobs)
+            _print_service_dashboard(service, rebuilt)
+            if scheduler.done:
+                scheduler.finish(verify=True)
+                print(f"\nrebuild of bank {bank} complete: "
+                      f"{scheduler.total:,} pages verified, bank healthy")
+            else:
+                print(f"\nrebuild of bank {bank} still running: "
+                      f"{scheduler.position:,}/{scheduler.total:,} pages "
+                      f"({scheduler.progress:.0%}) — longer --duration "
+                      f"finishes it")
+            print()
+            _print_redundancy_dashboard(service, rebuilt)
         return 0
 
     # Smoke mode proves the determinism contract: identical metrics —
@@ -711,6 +798,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="zipf skew of the hot default tenant")
     serve.add_argument("--queue", type=int, default=256,
                        help="per-shard bounded queue capacity")
+    serve.add_argument("--redundancy", default="none",
+                       help="cross-bank redundancy policy: none, mirror, "
+                            "mirror:K, or parity (default: %(default)s)")
+    serve.add_argument("--placement", choices=["striped", "ranged"],
+                       default="striped",
+                       help="logical page placement across banks")
+    serve.add_argument("--retry-limit", type=int, default=0,
+                       dest="retry_limit",
+                       help="bounded deterministic retries for queue-full "
+                            "rejections (default: %(default)s)")
+    serve.add_argument("--kill-bank", type=int, default=None,
+                       dest="kill_bank", metavar="BANK",
+                       help="availability demo: lose this whole bank after "
+                            "the healthy run, serve degraded, then rebuild "
+                            "online (needs --redundancy)")
     serve.add_argument("--tenant", action="append", metavar="SPEC",
                        help="tenant spec 'name=a,workload=zipf,"
                             "rate_tps=1e6,...' (repeatable; replaces "

@@ -61,6 +61,19 @@ Event taxonomy (kind strings, hierarchical by prefix):
                         data: shard, tenant, reason)
 ``service.throttle``    cleaner-debt backpressure delayed a write
                         (instant; data: shard, tenant, delay_ns)
+``service.retry``       queue-full rejection converted into a delayed
+                        retry (instant; data: shard, tenant, attempt)
+``redundancy.replica``  extra program/read charged for a replica or
+                        parity placement (instant; data: bank, kind)
+``redundancy.kill``     a whole bank was declared dead (instant; data:
+                        bank)
+``redundancy.degraded`` a request was served degraded — redirected to
+                        a mirror or reconstructed from parity (instant;
+                        data: page, bank, source)
+``redundancy.rebuild``  one rebuild batch copied onto a replacement
+                        bank (span; data: bank, pages, done, total)
+``redundancy.rebalance``a hot logical page was remapped to another
+                        bank (instant; data: page, from, to)
 ======================  ================================================
 """
 
@@ -76,7 +89,9 @@ __all__ = [
     "RETRY_ERASE", "FAULT_PREFIX", "CHECKPOINT_BEGIN", "CHECKPOINT_COMMIT",
     "CHECKPOINT_DISABLED", "WEAR_SWAP", "CHAOS_KILL",
     "SERVICE_RUN", "SERVICE_SHARD", "SERVICE_BATCH", "SERVICE_REJECT",
-    "SERVICE_THROTTLE",
+    "SERVICE_THROTTLE", "SERVICE_RETRY",
+    "REDUNDANCY_REPLICA", "REDUNDANCY_KILL", "REDUNDANCY_DEGRADED",
+    "REDUNDANCY_REBUILD", "REDUNDANCY_REBALANCE",
 ]
 
 HOST_READ = "host.read"
@@ -99,6 +114,12 @@ SERVICE_SHARD = "service.shard"
 SERVICE_BATCH = "service.batch"
 SERVICE_REJECT = "service.reject"
 SERVICE_THROTTLE = "service.throttle"
+SERVICE_RETRY = "service.retry"
+REDUNDANCY_REPLICA = "redundancy.replica"
+REDUNDANCY_KILL = "redundancy.kill"
+REDUNDANCY_DEGRADED = "redundancy.degraded"
+REDUNDANCY_REBUILD = "redundancy.rebuild"
+REDUNDANCY_REBALANCE = "redundancy.rebalance"
 
 #: Store-observer event names -> bus kinds (the store predates the bus
 #: and keeps its compact names; the controller translates).

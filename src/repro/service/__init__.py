@@ -12,23 +12,39 @@ service:
 * :class:`LoadGenerator` — deterministic open/closed-loop multi-tenant
   schedules on the discrete-event clock
   (:mod:`repro.service.loadgen`);
-* :class:`ShardExecutor` — bounded queue, admission control and write
-  batching per shard (:mod:`repro.service.executor`);
+* :class:`ShardExecutor` — bounded queue, admission control, bounded
+  deterministic retry and write batching per shard
+  (:mod:`repro.service.executor`);
 * :class:`EnvyService` — the front door: schedule, fan out over
   ``run_sweep``, merge (:mod:`repro.service.frontend`);
+* :class:`RedundancyPolicy` and friends — cross-bank mirroring and
+  rotated single parity so the service survives whole-bank loss,
+  plus :class:`RebuildScheduler` (online rebuild) and
+  :func:`plan_rebalance` (hot-page remapping)
+  (:mod:`repro.service.redundancy`);
 * :func:`run_service_chaos` / :func:`service_chaos_sweep` — kill a
-  shard mid-batch and recover every shard independently
-  (:mod:`repro.service.chaos`).
+  shard mid-batch and recover every shard independently;
+  :func:`run_redundancy_chaos` / :func:`redundancy_chaos_sweep` —
+  kill a whole *bank* mid-write and prove degraded serving, online
+  rebuild and post-mortem recovery (:mod:`repro.service.chaos`).
 
-Drive it from the CLI with ``python -m repro serve`` and benchmark it
-with ``benchmarks/bench_service.py``; docs/SERVICE.md is the guide.
+Drive it from the CLI with ``python -m repro serve`` (see
+``--redundancy`` / ``--kill-bank``) and benchmark it with
+``benchmarks/bench_service.py`` and ``benchmarks/bench_redundancy.py``;
+docs/SERVICE.md is the guide.
 """
 
-from .chaos import ServiceChaosReport, run_service_chaos, service_chaos_sweep
+from .chaos import (RedundancyChaosReport, ServiceChaosReport,
+                    redundancy_chaos_sweep, run_redundancy_chaos,
+                    run_service_chaos, service_chaos_sweep)
 from .executor import ShardExecutor, prewarm_shard, service_shard_point
 from .frontend import (EnvyService, ServiceConfig, ServiceStats,
                        ServiceTransaction)
 from .loadgen import LoadGenerator, Request
+from .redundancy import (BANK_DEAD, BANK_HEALTHY, BANK_REBUILDING,
+                         DegradedModeError, MirrorPolicy, NoRedundancy,
+                         ParityPolicy, RebuildScheduler, RedundancyPolicy,
+                         RedundantRouter, make_policy, plan_rebalance)
 from .shard import CrossShardError, ShardRouter
 from .tenant import TenantSpec, TenantStats, TokenBucket
 
@@ -47,7 +63,22 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "ServiceTransaction",
+    "DegradedModeError",
+    "RedundancyPolicy",
+    "NoRedundancy",
+    "MirrorPolicy",
+    "ParityPolicy",
+    "make_policy",
+    "RedundantRouter",
+    "RebuildScheduler",
+    "plan_rebalance",
+    "BANK_HEALTHY",
+    "BANK_DEAD",
+    "BANK_REBUILDING",
     "ServiceChaosReport",
     "run_service_chaos",
     "service_chaos_sweep",
+    "RedundancyChaosReport",
+    "run_redundancy_chaos",
+    "redundancy_chaos_sweep",
 ]

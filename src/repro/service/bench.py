@@ -120,7 +120,11 @@ def _service_for(spec: Dict[str, Any], num_shards: int) -> EnvyService:
         num_shards=num_shards,
         num_segments=spec["total_segments"] // num_shards,
         pages_per_segment=spec["pages_per_segment"],
-        seed=spec["seed"])
+        seed=spec["seed"],
+        redundancy=spec.get("redundancy", "none"),
+        placement=spec.get("placement", "striped"),
+        retry_limit=spec.get("retry_limit", 0),
+        retry_backoff_ns=spec.get("retry_backoff_ns", 4000))
     tenants = [TenantSpec(**kwargs) for kwargs in spec["tenants"]]
     return EnvyService(config, tenants)
 

@@ -1,0 +1,499 @@
+"""Redundancy benchmark: write-amp, degraded serving, rebuild, rebalance.
+
+``benchmarks/bench_redundancy.py`` and the CI ``redundancy-chaos`` job
+land here.  Four scenario families make the availability claims of the
+redundancy layer (:mod:`repro.service.redundancy`) executable and
+regression-gated, the same way :mod:`repro.service.bench` gates shard
+scaling:
+
+* **overhead** — the same tenant mix under ``none`` / ``mirror`` /
+  ``parity``: the cost of protection as served throughput plus the
+  replica/parity traffic charged to the overhead pseudo-tenant
+  (mirroring doubles programs; parity turns every small write into the
+  RAID read-modify-write).
+* **degraded** — one :func:`~repro.service.chaos.run_redundancy_chaos`
+  drill per policy: a whole bank dies mid-batch and **every** logical
+  page must read its committed bytes from mirrors or parity
+  reconstruction, the dead array must recover its committed prefix,
+  and the online rebuild must converge to a peer-verified replacement
+  while probe reads keep serving.  The gate is ``report.ok``.
+* **rebuild** — a foreground tenant served while a replacement bank
+  rebuilds at ``rebuild_rate_pps`` through the cost model; gates that
+  the rebuild makes progress inside the run and that the foreground
+  p99 stays within a bounded factor of the healthy run.
+* **rebalance** — the pathological layout (ranged placement, one
+  0.99-zipf tenant with a contiguous hot head pinned to one bank)
+  repaired by :meth:`~repro.service.frontend.EnvyService.rebalance`;
+  gates that the rebalanced throughput recovers at least
+  ``--min-rebalance`` (default 0.8×) of the no-skew throughput.
+
+As in the service bench, wall-clock numbers are calibration-normalized
+against the committed baseline while every simulated number must match
+it exactly — the scenarios are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..perf.bench import calibrate
+from .chaos import run_redundancy_chaos
+from .frontend import EnvyService, ServiceConfig
+from .tenant import TenantSpec
+
+__all__ = ["SCENARIOS", "run_bench", "check_gates", "compare_reports",
+           "main"]
+
+SCHEMA = "envy-bench-redundancy/1"
+
+#: Scenario specs in (full, smoke) variants.
+SCENARIOS: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "overhead": {
+        "full": dict(
+            num_shards=4, num_segments=16, pages_per_segment=64,
+            duration_s=0.0005, seed=21,
+            policies=["none", "mirror", "parity"],
+            tenants=[dict(name="mixed", rate_tps=2e7, skew=0.9,
+                          write_fraction=0.5)]),
+        "smoke": dict(
+            num_shards=4, num_segments=8, pages_per_segment=32,
+            duration_s=0.0002, seed=21,
+            policies=["none", "mirror", "parity"],
+            tenants=[dict(name="mixed", rate_tps=1e7, skew=0.9,
+                          write_fraction=0.5)]),
+    },
+    "degraded": {
+        "full": dict(
+            num_shards=3, num_segments=4, pages_per_segment=16,
+            duration_s=0.0004, seed=5, victim=1, kill_fraction=0.5,
+            policies=["mirror", "parity"]),
+        "smoke": dict(
+            num_shards=3, num_segments=4, pages_per_segment=16,
+            duration_s=0.0002, seed=5, victim=1, kill_fraction=0.5,
+            policies=["mirror", "parity"]),
+    },
+    "rebuild": {
+        "full": dict(
+            num_shards=3, num_segments=8, pages_per_segment=32,
+            duration_s=0.0005, seed=11, redundancy="mirror", victim=2,
+            rebuild_rate_pps=2e5, max_p99_ratio=3.0,
+            tenants=[dict(name="fg", rate_tps=1e7, skew=0.8,
+                          write_fraction=0.3)]),
+        "smoke": dict(
+            num_shards=3, num_segments=4, pages_per_segment=32,
+            duration_s=0.0002, seed=11, redundancy="mirror", victim=2,
+            rebuild_rate_pps=2e5, max_p99_ratio=3.0,
+            tenants=[dict(name="fg", rate_tps=1e7, skew=0.8,
+                          write_fraction=0.3)]),
+    },
+    "rebalance": {
+        "full": dict(
+            num_shards=4, num_segments=8, pages_per_segment=64,
+            duration_s=0.0005, seed=33, rate_tps=2e7,
+            write_fraction=0.3, skew=0.99, max_moves=96,
+            tolerance=1.05),
+        "smoke": dict(
+            num_shards=4, num_segments=4, pages_per_segment=32,
+            duration_s=0.0002, seed=33, rate_tps=2e7,
+            write_fraction=0.3, skew=0.99, max_moves=96,
+            tolerance=1.05),
+    },
+}
+
+
+def _config(spec: Dict[str, Any], **overrides: Any) -> ServiceConfig:
+    return ServiceConfig(
+        num_shards=spec["num_shards"],
+        num_segments=spec["num_segments"],
+        pages_per_segment=spec["pages_per_segment"],
+        seed=spec["seed"], **overrides)
+
+
+def _tenants(spec: Dict[str, Any]) -> List[TenantSpec]:
+    return [TenantSpec(**kwargs) for kwargs in spec["tenants"]]
+
+
+def _run_overhead(spec: Dict[str, Any],
+                  jobs: Optional[int]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"policies": {}}
+    start = time.perf_counter()
+    served = 0
+    for policy in spec["policies"]:
+        service = EnvyService(_config(spec, redundancy=policy),
+                              _tenants(spec))
+        stats = service.run(spec["duration_s"], jobs=jobs)
+        served += stats.accesses_served
+        foreground_writes = sum(t.writes for t in stats.tenants.values())
+        entry["policies"][policy] = {
+            "fidelity": {
+                "logical_pages": service.router.num_pages,
+                "write_fanout": getattr(service.router, "policy",
+                                        None).write_fanout
+                if hasattr(service.router, "policy") else 1,
+                "requests_admitted": stats.requests_admitted,
+                "accesses_served": stats.accesses_served,
+                "foreground_writes": foreground_writes,
+                "replica_accesses": stats.replica_accesses,
+                "simulated_ns": stats.simulated_ns,
+                "accesses_per_simulated_s": round(
+                    stats.accesses_per_simulated_s, 1),
+                "tenants": {name: tstats.as_dict()
+                            for name, tstats in stats.tenants.items()},
+            },
+        }
+    wall_s = time.perf_counter() - start
+    entry["wall_s"] = round(wall_s, 4)
+    entry["served_per_wall_s"] = round(served / wall_s, 1)
+    return entry
+
+
+def _run_degraded(spec: Dict[str, Any]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"policies": {}}
+    start = time.perf_counter()
+    served = 0
+    for policy in spec["policies"]:
+        config = _config(spec, redundancy=policy)
+        dry = run_redundancy_chaos(config, duration_s=spec["duration_s"],
+                                   victim=spec["victim"], kill_at=None)
+        kill_at = max(1, int(dry.ops_seen * spec["kill_fraction"]))
+        report = run_redundancy_chaos(config,
+                                      duration_s=spec["duration_s"],
+                                      victim=spec["victim"],
+                                      kill_at=kill_at)
+        served += report.stamped_writes
+        entry["policies"][policy] = {
+            "fidelity": {
+                "ops_seen_dry": dry.ops_seen,
+                "kill_at": kill_at,
+                "interrupted": report.interrupted,
+                "stamped_writes": report.stamped_writes,
+                "degraded_pages_checked": report.degraded_pages_checked,
+                "degraded_mismatches": len(report.degraded_mismatches),
+                "serving_mismatches": len(report.serving_mismatches),
+                "recovery_mismatches": len(report.recovery_mismatches),
+                "recovery": report.shards,
+                "rebuilt_pages": report.rebuilt_pages,
+                "rebuild_verified": report.rebuild_verified,
+                "probe_mismatches": report.probe_mismatches,
+                "final_mismatches": len(report.final_mismatches),
+                "ok": report.ok,
+            },
+        }
+    wall_s = time.perf_counter() - start
+    entry["wall_s"] = round(wall_s, 4)
+    entry["served_per_wall_s"] = round(served / wall_s, 1)
+    return entry
+
+
+def _p99(stats, name: str) -> int:
+    tenant = stats.tenants[name]
+    return max(tenant.read_latency.p99, tenant.write_latency.p99)
+
+
+def _run_rebuild(spec: Dict[str, Any],
+                 jobs: Optional[int]) -> Dict[str, Any]:
+    start = time.perf_counter()
+    config = _config(spec, redundancy=spec["redundancy"],
+                     rebuild_rate_pps=spec["rebuild_rate_pps"])
+    tenants = _tenants(spec)
+    healthy = EnvyService(config, tenants)
+    healthy_stats = healthy.run(spec["duration_s"], jobs=jobs)
+
+    rebuilding = EnvyService(config, tenants)
+    rebuilding.kill_bank(spec["victim"])
+    scheduler = rebuilding.replace_bank(spec["victim"])
+    stats = rebuilding.run(spec["duration_s"], jobs=jobs)
+    status = rebuilding.rebuild_status()[spec["victim"]]
+    wall_s = time.perf_counter() - start
+
+    name = tenants[0].name
+    healthy_p99 = _p99(healthy_stats, name)
+    rebuild_p99 = _p99(stats, name)
+    entry = {
+        "wall_s": round(wall_s, 4),
+        "served_per_wall_s": round(
+            (healthy_stats.accesses_served + stats.accesses_served)
+            / wall_s, 1),
+        "max_p99_ratio": spec["max_p99_ratio"],
+        "fidelity": {
+            "healthy_p99_ns": healthy_p99,
+            "rebuild_p99_ns": rebuild_p99,
+            "p99_ratio": round(rebuild_p99 / max(1, healthy_p99), 3),
+            "rebuild_accesses": stats.rebuild_accesses,
+            "degraded_reads": stats.degraded_reads,
+            "degraded_writes": stats.degraded_writes,
+            "rebuild_pages_done": status["pages_done"],
+            "rebuild_pages_total": status["pages_total"],
+            "rebuild_progress": status["progress"],
+            "scheduler_done": scheduler.done,
+            "accesses_served": stats.accesses_served,
+            "simulated_ns": stats.simulated_ns,
+            "tenants": {tname: tstats.as_dict()
+                        for tname, tstats in stats.tenants.items()},
+        },
+    }
+    return entry
+
+
+def _run_rebalance(spec: Dict[str, Any],
+                   jobs: Optional[int]) -> Dict[str, Any]:
+    start = time.perf_counter()
+    base = dict(rate_tps=spec["rate_tps"],
+                write_fraction=spec["write_fraction"])
+    uniform = EnvyService(
+        _config(spec, placement="ranged"),
+        [TenantSpec("t", workload="uniform", **base)])
+    uniform_stats = uniform.run(spec["duration_s"], jobs=jobs)
+
+    # The pathological layout: ranged placement + a contiguous zipf hot
+    # head (scatter off) pins the whole head onto bank 0.
+    skewed = EnvyService(
+        _config(spec, placement="ranged"),
+        [TenantSpec("t", workload="zipf", skew=spec["skew"],
+                    scatter=False, **base)])
+    skew_stats = skewed.run(spec["duration_s"], jobs=jobs)
+    plan = skewed.rebalance(spec["duration_s"],
+                            max_moves=spec["max_moves"],
+                            tolerance=spec["tolerance"])
+    rebal_stats = skewed.run(spec["duration_s"], jobs=jobs)
+    wall_s = time.perf_counter() - start
+
+    tput_uniform = uniform_stats.accesses_per_simulated_s
+    tput_skew = skew_stats.accesses_per_simulated_s
+    tput_rebal = rebal_stats.accesses_per_simulated_s
+    return {
+        "wall_s": round(wall_s, 4),
+        "served_per_wall_s": round(
+            (uniform_stats.accesses_served + skew_stats.accesses_served
+             + rebal_stats.accesses_served) / wall_s, 1),
+        "fidelity": {
+            "tput_uniform": round(tput_uniform, 1),
+            "tput_skewed": round(tput_skew, 1),
+            "tput_rebalanced": round(tput_rebal, 1),
+            "skew_ratio": round(tput_skew / max(1.0, tput_uniform), 4),
+            "recovered_ratio": round(
+                tput_rebal / max(1.0, tput_uniform), 4),
+            "swaps": plan["swaps"],
+            "remapped_pages": plan["remapped_pages"],
+            "imbalance_before": plan["imbalance_before"],
+            "imbalance_after": plan["imbalance_after"],
+            "bank_loads_before": plan["bank_loads_before"],
+            "bank_loads_after": plan["bank_loads_after"],
+        },
+    }
+
+
+def run_bench(smoke: bool = False,
+              jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run every scenario and build the report."""
+    mode = "smoke" if smoke else "full"
+    report: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "timestamp": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "calibration_ops_per_s": round(calibrate(), 1),
+        "scenarios": {
+            "overhead": _run_overhead(SCENARIOS["overhead"][mode], jobs),
+            "degraded": _run_degraded(SCENARIOS["degraded"][mode]),
+            "rebuild": _run_rebuild(SCENARIOS["rebuild"][mode], jobs),
+            "rebalance": _run_rebalance(SCENARIOS["rebalance"][mode],
+                                        jobs),
+        },
+    }
+    return report
+
+
+def check_gates(report: Dict[str, Any],
+                min_rebalance: float = 0.8) -> List[str]:
+    """The availability gates; returns human-readable failures."""
+    failures: List[str] = []
+    scenarios = report.get("scenarios", {})
+
+    for policy, point in scenarios.get("overhead", {}).get(
+            "policies", {}).items():
+        fid = point["fidelity"]
+        if policy != "none" and fid["replica_accesses"] == 0:
+            failures.append(
+                f"overhead/{policy}: no replica traffic was charged — "
+                f"redundancy writes are not flowing through the cost "
+                f"model")
+
+    for policy, point in scenarios.get("degraded", {}).get(
+            "policies", {}).items():
+        fid = point["fidelity"]
+        if not fid["ok"]:
+            failures.append(
+                f"degraded/{policy}: whole-bank-loss drill failed "
+                f"(degraded={fid['degraded_mismatches']}, "
+                f"recovery={fid['recovery_mismatches']}, "
+                f"final={fid['final_mismatches']}, "
+                f"rebuild_verified={fid['rebuild_verified']})")
+
+    rebuild = scenarios.get("rebuild")
+    if rebuild:
+        fid = rebuild["fidelity"]
+        if fid["rebuild_pages_done"] == 0:
+            failures.append(
+                "rebuild: the in-run rebuild made no progress")
+        if fid["p99_ratio"] > rebuild["max_p99_ratio"]:
+            failures.append(
+                f"rebuild: foreground p99 blew up {fid['p99_ratio']}x "
+                f"under rebuild (limit {rebuild['max_p99_ratio']}x)")
+
+    rebalance = scenarios.get("rebalance")
+    if rebalance:
+        fid = rebalance["fidelity"]
+        if fid["recovered_ratio"] < min_rebalance:
+            failures.append(
+                f"rebalance: recovered only "
+                f"{fid['recovered_ratio']:.0%} of the no-skew "
+                f"throughput (need {min_rebalance:.0%})")
+    return failures
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    max_regression: float = 0.25) -> List[str]:
+    """Regression check vs a committed report; returns failures.
+
+    Wall throughput is calibration-normalized; every ``fidelity`` block
+    must match the baseline exactly (deterministic per seed).
+    """
+    failures: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: current={current.get('mode')} "
+            f"baseline={baseline.get('mode')} (run with the same "
+            f"--smoke setting as the committed baseline)")
+        return failures
+    cur_calib = current.get("calibration_ops_per_s") or 1.0
+    base_calib = baseline.get("calibration_ops_per_s") or 1.0
+
+    def points(entry: Dict[str, Any]):
+        if "policies" in entry:
+            for policy, point in entry["policies"].items():
+                yield policy, point
+        else:
+            yield "", entry
+
+    for name, base_entry in baseline.get("scenarios", {}).items():
+        cur_entry = current.get("scenarios", {}).get(name)
+        if cur_entry is None:
+            failures.append(f"scenario {name!r} missing from current run")
+            continue
+        cur_norm = cur_entry["served_per_wall_s"] / cur_calib
+        base_norm = base_entry["served_per_wall_s"] / base_calib
+        ratio = cur_norm / base_norm if base_norm else 0.0
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: normalized throughput fell to {ratio:.0%} of "
+                f"baseline ({cur_entry['served_per_wall_s']:,.0f}/s vs "
+                f"{base_entry['served_per_wall_s']:,.0f}/s)")
+        base_points = dict(points(base_entry))
+        cur_points = dict(points(cur_entry))
+        for key, base_point in base_points.items():
+            cur_point = cur_points.get(key)
+            label = f"{name}/{key}" if key else name
+            if cur_point is None:
+                failures.append(f"{label} missing from current run")
+                continue
+            if cur_point["fidelity"] != base_point["fidelity"]:
+                failures.append(
+                    f"{label}: seeded outputs changed — determinism "
+                    f"break")
+    return failures
+
+
+def _format_report(report: Dict[str, Any]) -> str:
+    lines = [f"redundancy bench ({report['mode']}, python "
+             f"{report['python']}, {report['cpu_count']} cpus, "
+             f"calibration {report['calibration_ops_per_s']:,.0f} ops/s)"]
+    scenarios = report["scenarios"]
+    for policy, point in scenarios["overhead"]["policies"].items():
+        fid = point["fidelity"]
+        lines.append(
+            f"  overhead   {policy:<8} "
+            f"{fid['accesses_per_simulated_s']:>14,.0f} acc/sim-s  "
+            f"{fid['replica_accesses']:>8,} replica accesses "
+            f"(fanout {fid['write_fanout']})")
+    for policy, point in scenarios["degraded"]["policies"].items():
+        fid = point["fidelity"]
+        lines.append(
+            f"  degraded   {policy:<8} kill@{fid['kill_at']:<6} "
+            f"{fid['degraded_pages_checked']} pages checked, "
+            f"{fid['degraded_mismatches']} degraded mismatches, "
+            f"rebuild {'ok' if fid['rebuild_verified'] else 'FAILED'}, "
+            f"{'OK' if fid['ok'] else 'FAILED'}")
+    fid = scenarios["rebuild"]["fidelity"]
+    lines.append(
+        f"  rebuild    mirror   p99 {fid['rebuild_p99_ns']:,}ns vs "
+        f"{fid['healthy_p99_ns']:,}ns healthy ({fid['p99_ratio']}x), "
+        f"{fid['rebuild_pages_done']}/{fid['rebuild_pages_total']} "
+        f"pages rebuilt in-run")
+    fid = scenarios["rebalance"]["fidelity"]
+    lines.append(
+        f"  rebalance  ranged   skew {fid['skew_ratio']:.0%} -> "
+        f"rebalanced {fid['recovered_ratio']:.0%} of no-skew "
+        f"throughput ({fid['swaps']} swaps, imbalance "
+        f"{fid['imbalance_before']} -> {fid['imbalance_after']})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_redundancy",
+        description="eNVy redundancy benchmark (write-amp, degraded "
+                    "serving, online rebuild, hot-page rebalancing)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenarios for CI")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="shard fan-out workers (default: ENVY_JOBS "
+                             "or CPU count); never changes results")
+    parser.add_argument("--output", default="BENCH_REDUNDANCY.json",
+                        help="write the JSON report here "
+                             "(default: %(default)s)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="fail on regression vs this committed report")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated normalized-throughput drop "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-rebalance", type=float, default=0.8,
+                        dest="min_rebalance",
+                        help="required rebalanced/no-skew throughput "
+                             "ratio (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke, jobs=args.jobs)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(_format_report(report))
+    print(f"report written to {args.output}")
+
+    failures = check_gates(report, args.min_rebalance)
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures += compare_reports(report, baseline,
+                                    max_regression=args.max_regression)
+    if failures:
+        print("\nREDUNDANCY BENCH FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if args.compare:
+        print(f"no regression vs {args.compare} "
+              f"(tolerance {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -25,6 +25,15 @@ as a single-server queue on the simulated clock:
   controller's flusher/cleaner exactly as in :class:`~repro.sim.
   engine.TimedSimulator`, with the same overdraft rule (a flush chain
   started late in a gap completes across the boundary).
+* **bounded retry** — with ``retry_limit > 0``, a queue-full rejection
+  is converted into a deferred retry at ``arrival +
+  retry_backoff_ns * 2^attempt`` instead of surfacing to the tenant.
+  Retries live on a schedule-time heap merged with the arrival stream
+  by ``(time, tenant, seq)``, so the replay order — and therefore
+  every metric — is a pure function of the slice, bit-identical
+  across reruns and ``jobs`` settings.  A request that exhausts its
+  retries is rejected as before; latency is measured from the
+  *original* arrival, so retried requests honestly fatten the tail.
 
 Everything the executor returns is a plain picklable dict, because
 :func:`service_shard_point` is the ``"module:function"`` worker
@@ -34,12 +43,14 @@ results must cross a process boundary and merge deterministically.
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.controller import EnvyController
-from ..obs.events import SERVICE_BATCH, SERVICE_REJECT, SERVICE_THROTTLE
+from ..obs.events import (SERVICE_BATCH, SERVICE_REJECT, SERVICE_RETRY,
+                          SERVICE_THROTTLE)
 from ..obs.hist import LatencyHistogram
 from ..perf.sweep import derive_seed
 from .loadgen import Request
@@ -89,7 +100,10 @@ class ShardExecutor:
                  soft_watermark: float = 0.85,
                  hard_watermark: float = 0.97,
                  throttle_penalty_ns: int = 2000,
-                 stamp_payloads: bool = False) -> None:
+                 stamp_payloads: bool = False,
+                 stamp_mode: str = "counter",
+                 retry_limit: int = 0,
+                 retry_backoff_ns: int = 4000) -> None:
         if queue_capacity < 1:
             raise ValueError("queue needs capacity for at least one request")
         if batch_pages < 1:
@@ -97,6 +111,12 @@ class ShardExecutor:
         if not 0.0 < soft_watermark <= hard_watermark <= 1.0:
             raise ValueError(
                 "watermarks must satisfy 0 < soft <= hard <= 1")
+        if stamp_mode not in ("counter", "explicit"):
+            raise ValueError(f"unknown stamp_mode {stamp_mode!r}")
+        if retry_limit < 0:
+            raise ValueError("retry_limit cannot be negative")
+        if retry_limit and retry_backoff_ns < 1:
+            raise ValueError("retries need a positive backoff")
         self.controller = controller
         self.shard_index = shard_index
         self.tenant_names = list(tenant_names)
@@ -106,8 +126,17 @@ class ShardExecutor:
         self.hard_watermark = hard_watermark
         self.throttle_penalty_ns = throttle_penalty_ns
         #: Write a distinct 8-byte stamp per write (the chaos oracle
-        #: needs distinguishable committed payloads).
+        #: needs distinguishable committed payloads).  ``counter`` mode
+        #: stamps a per-executor running counter; ``explicit`` mode
+        #: takes the stamp from the request's sixth field, so replica
+        #: copies of one logical write carry identical bytes on every
+        #: bank (the redundancy chaos drills depend on that).
         self.stamp_payloads = stamp_payloads
+        self.stamp_mode = stamp_mode
+        #: Queue-full rejections each request may absorb as deferred
+        #: retries before it is surfaced as rejected (0 = off).
+        self.retry_limit = retry_limit
+        self.retry_backoff_ns = retry_backoff_ns
         self._overdraft_ns = 0
         self._stamp = 0
 
@@ -177,7 +206,30 @@ class ShardExecutor:
                                "pages": batch_len})
             batch_len = 0
 
-        for arrival, tenant_index, _seq, is_write, page in requests:
+        explicit = self.stamp_mode == "explicit"
+        retry_limit = self.retry_limit
+        backoff_ns = self.retry_backoff_ns
+        # Deferred retries: (due_ns, tenant, seq, is_write, page, stamp,
+        # original_arrival, attempt), merged with the arrival stream by
+        # (time, tenant, seq) so the replay order is schedule-determined.
+        retries: List = []
+        retried = 0
+        index = 0
+        total = len(requests)
+        while index < total or retries:
+            if retries and (index >= total
+                            or retries[0][:3] <= (requests[index][0],
+                                                  requests[index][1],
+                                                  requests[index][2])):
+                (arrival, tenant_index, seq, is_write, page, stamp,
+                 orig_arrival, attempt) = heapq.heappop(retries)
+            else:
+                request = requests[index]
+                index += 1
+                arrival, tenant_index, seq, is_write, page = request[:5]
+                stamp = request[5] if explicit else None
+                orig_arrival = arrival
+                attempt = 0
             name = self.tenant_names[tenant_index]
             slot = per_tenant[name]
             while completions and completions[0] <= arrival:
@@ -191,6 +243,19 @@ class ShardExecutor:
             # Bounded queue: depth counts requests still waiting or in
             # service when this one arrives.
             if len(completions) >= self.queue_capacity:
+                if attempt < retry_limit:
+                    due = arrival + backoff_ns * (1 << attempt)
+                    heapq.heappush(retries,
+                                   (due, tenant_index, seq, is_write,
+                                    page, stamp, orig_arrival,
+                                    attempt + 1))
+                    retried += 1
+                    if bus.active:
+                        bus.mark(SERVICE_RETRY,
+                                 {"shard": self.shard_index,
+                                  "tenant": name,
+                                  "attempt": attempt + 1})
+                    continue
                 slot["rejected"] += 1
                 rejected_queue += 1
                 if bus.active:
@@ -224,8 +289,11 @@ class ShardExecutor:
             if is_write:
                 flushes_before = metrics.flushes
                 if self.stamp_payloads:
-                    self._stamp += 1
-                    payload = self._stamp.to_bytes(_WORD, "little")
+                    if stamp is not None:
+                        payload = stamp.to_bytes(_WORD, "little")
+                    else:
+                        self._stamp += 1
+                        payload = self._stamp.to_bytes(_WORD, "little")
                 else:
                     payload = _WORD_PAYLOAD
                 ns = write(address, payload)
@@ -236,12 +304,12 @@ class ShardExecutor:
                     self._overdraft_ns = 0
                 clock += ns
                 slot["writes"] += 1
-                slot["write_latency"].record(clock - arrival)
+                slot["write_latency"].record(clock - orig_arrival)
             else:
                 _, ns = read_timed(address, _WORD)
                 clock += ns
                 slot["reads"] += 1
-                slot["read_latency"].record(clock - arrival)
+                slot["read_latency"].record(clock - orig_arrival)
             completions.append(clock)
             batch_len += 1
             if batch_len >= self.batch_pages:
@@ -257,6 +325,7 @@ class ShardExecutor:
             "tenants": per_tenant,
             "rejected_queue": rejected_queue,
             "rejected_shed": rejected_shed,
+            "retried": retried,
             "batches": batches,
             "max_batch_pages": max_batch,
             "coalesced_writes": metrics.buffer_hits - base_hits,
@@ -314,5 +383,8 @@ def service_shard_point(point: Mapping) -> Dict:
         soft_watermark=point["soft_watermark"],
         hard_watermark=point["hard_watermark"],
         throttle_penalty_ns=point["throttle_penalty_ns"],
-        stamp_payloads=point.get("stamp_payloads", False))
+        stamp_payloads=point.get("stamp_payloads", False),
+        stamp_mode=point.get("stamp_mode", "counter"),
+        retry_limit=point.get("retry_limit", 0),
+        retry_backoff_ns=point.get("retry_backoff_ns", 4000))
     return executor.run(point["requests"])

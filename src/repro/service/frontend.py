@@ -51,18 +51,29 @@ pretending otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import EnvyConfig
 from ..core.controller import EnvyController
-from ..obs.events import SERVICE_RUN, SERVICE_SHARD, EventBus
+from ..obs.events import (REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
+                          REDUNDANCY_REBALANCE, REDUNDANCY_REBUILD,
+                          REDUNDANCY_REPLICA, SERVICE_RUN, SERVICE_SHARD,
+                          EventBus)
 from ..perf.sweep import run_sweep
 from .loadgen import LoadGenerator, Request
+from .redundancy import (BANK_DEAD, BANK_HEALTHY, BANK_REBUILDING,
+                         DegradedModeError, ParityPolicy, RebuildScheduler,
+                         RedundantRouter, make_policy, plan_rebalance)
 from .shard import CrossShardError, ShardRouter
 from .tenant import TenantSpec, TenantStats
 
 __all__ = ["ServiceConfig", "ServiceStats", "EnvyService",
            "ServiceTransaction"]
+
+#: Pseudo-tenant names carrying redundancy / rebuild overhead traffic
+#: through the shard executors without polluting tenant accounting.
+_REDUNDANCY_TENANT = "__redundancy__"
+_REBUILD_TENANT = "__rebuild__"
 
 #: Dotted worker name resolved inside each sweep process.
 _SHARD_WORKER = "repro.service.executor:service_shard_point"
@@ -100,6 +111,20 @@ class ServiceConfig:
     #: Shards keep page payloads (needed for transactions and chaos).
     store_data: bool = False
     seed: int = 0
+    #: Cross-bank redundancy: ``none``, ``mirror``, ``mirror:<k>`` or
+    #: ``parity`` (see :mod:`repro.service.redundancy`).
+    redundancy: str = "none"
+    #: Page placement: ``striped`` (default) or ``ranged`` (contiguous
+    #: per-bank ranges; pairs with hot-page rebalancing).
+    placement: str = "striped"
+    #: Queue-full rejections a request may absorb as deferred retries
+    #: before being surfaced to the tenant (0 = off).
+    retry_limit: int = 0
+    #: Base backoff of a deferred retry; doubles per attempt.
+    retry_backoff_ns: int = 4000
+    #: Copy rate charged into runs while a bank rebuilds (pages per
+    #: simulated second) — the rebuild/foreground interference knob.
+    rebuild_rate_pps: float = 200_000.0
 
     def validate(self) -> None:
         if self.num_shards < 1:
@@ -108,6 +133,15 @@ class ServiceConfig:
             raise ValueError("queue_capacity must be positive")
         if not 0.0 < self.soft_watermark <= self.hard_watermark <= 1.0:
             raise ValueError("watermarks must satisfy 0 < soft <= hard <= 1")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit cannot be negative")
+        if self.retry_limit and self.retry_backoff_ns < 1:
+            raise ValueError("retries need a positive backoff")
+        if self.rebuild_rate_pps <= 0:
+            raise ValueError("rebuild_rate_pps must be positive")
+        # Raises on malformed redundancy specs / placements, and on
+        # geometry the policy cannot cover (validated in make_router).
+        self.make_router()
         # Shard geometry is validated by EnvyConfig.scaled below.
         self.shard_config()
 
@@ -125,8 +159,15 @@ class ServiceConfig:
         return self.shard_config().logical_pages
 
     def make_router(self) -> ShardRouter:
-        return ShardRouter(self.num_shards, self.pages_per_shard,
-                           self.page_bytes)
+        policy = make_policy(self.redundancy)
+        if policy.name == "none" and self.placement == "striped":
+            # The PR-6 router, byte-for-byte: plain striping keeps the
+            # raw-arithmetic partition fast path.
+            return ShardRouter(self.num_shards, self.pages_per_shard,
+                               self.page_bytes)
+        return RedundantRouter(self.num_shards, self.pages_per_shard,
+                               self.page_bytes, placement=self.placement,
+                               policy=policy)
 
     def shard_point_base(self) -> Dict:
         """The picklable spec shared by every shard's sweep point."""
@@ -143,6 +184,8 @@ class ServiceConfig:
             "prewarm_turnovers": self.prewarm_turnovers,
             "store_data": self.store_data,
             "seed": self.seed,
+            "retry_limit": self.retry_limit,
+            "retry_backoff_ns": self.retry_backoff_ns,
         }
 
 
@@ -160,6 +203,18 @@ class ServiceStats:
     accesses_served: int = 0
     #: Makespan: the slowest shard's final simulated clock.
     simulated_ns: int = 1
+    #: Queue-full rejections absorbed as deferred retries.
+    requests_retried: int = 0
+    #: Tenant reads served from a mirror / parity reconstruction
+    #: because the primary bank was dead.
+    degraded_reads: int = 0
+    #: Tenant writes whose primary bank was dead (redirected).
+    degraded_writes: int = 0
+    #: Extra replica/parity programs and reconstruction reads charged
+    #: to the redundancy overhead pseudo-tenant.
+    replica_accesses: int = 0
+    #: Rebuild copy traffic (peer reads + replacement programs).
+    rebuild_accesses: int = 0
     tenants: Dict[str, TenantStats] = field(default_factory=dict)
     shards: List[Dict] = field(default_factory=list)
 
@@ -190,6 +245,11 @@ class ServiceStats:
             "simulated_ns": self.simulated_ns,
             "accesses_per_simulated_s": round(
                 self.accesses_per_simulated_s, 1),
+            "requests_retried": self.requests_retried,
+            "degraded_reads": self.degraded_reads,
+            "degraded_writes": self.degraded_writes,
+            "replica_accesses": self.replica_accesses,
+            "rebuild_accesses": self.rebuild_accesses,
             "tenants": {name: stats.as_dict()
                         for name, stats in self.tenants.items()},
             "shards": [dict(summary) for summary in self.shards],
@@ -273,20 +333,214 @@ class EnvyService:
         # In-process shard controllers for direct access; built lazily.
         self._shards: Optional[List[EnvyController]] = None
         self._txn_managers: Dict[int, object] = {}
+        # Redundancy layer state: per-bank lifecycle, dead controllers
+        # kept for post-mortem recovery, live rebuild schedulers, and
+        # the expansion bookkeeping of the most recent partition.
+        self._bank_states: List[str] = (
+            [BANK_HEALTHY] * self.router.num_shards)
+        self._dead_shards: Dict[int, EnvyController] = {}
+        self._rebuilds: Dict[int, RebuildScheduler] = {}
+        self._last_expansion: Optional[Dict[str, int]] = None
+        self._stamp_oracle: Optional[Dict[int, int]] = None
+        self._inject_rebuild_ns = 0
+        self._last_chaos: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Service runs (schedule -> shard fan-out -> merge)
     # ------------------------------------------------------------------
 
-    def partition(self, requests: Sequence[Request]
-                  ) -> List[List[Request]]:
-        """Split the schedule into per-shard slices with local pages."""
+    def _plain_routing(self) -> bool:
+        """True when partitioning may use the raw striped arithmetic:
+        no redundancy, no remap, no ranged placement, no sick banks."""
+        router = self.router
+        if isinstance(router, RedundantRouter) and not router.is_plain:
+            return False
+        return all(state == BANK_HEALTHY for state in self._bank_states)
+
+    def partition(self, requests: Sequence[Request],
+                  stamped: bool = False) -> List[List[Request]]:
+        """Split the schedule into per-shard slices with local pages.
+
+        With redundancy, remapping, degraded banks or an active
+        rebuild, each logical request expands into its placement set
+        (replica programs, parity maintenance, degraded redirections,
+        rebuild copy traffic) with overhead rows attributed to pseudo
+        tenants — every extra flash operation is charged through the
+        same cost model as foreground traffic.  ``stamped`` appends a
+        per-logical-write stamp to every row (identical across copies)
+        and records the write oracle for the chaos drills.
+        """
         num_shards = self.router.num_shards
         slices: List[List[Request]] = [[] for _ in range(num_shards)]
+        if not stamped and self._plain_routing():
+            self._last_expansion = None
+            for arrival, tenant, seq, is_write, page in requests:
+                shard, local = page % num_shards, page // num_shards
+                slices[shard].append((arrival, tenant, seq, is_write,
+                                      local))
+            return slices
+        return self._partition_expanded(requests, slices, stamped)
+
+    def _partition_expanded(self, requests: Sequence[Request],
+                            slices: List[List[Request]],
+                            stamped: bool) -> List[List[Request]]:
+        router = self.router
+        states = self._bank_states
+        num_shards = router.num_shards
+        redundant = isinstance(router, RedundantRouter)
+        parity = redundant and isinstance(router.policy, ParityPolicy)
+        pseudo_red = len(self.tenants)       # __redundancy__
+        pseudo_reb = pseudo_red + 1          # __rebuild__
+        counters = {"degraded_reads": 0, "degraded_writes": 0,
+                    "replica_accesses": 0, "rebuild_accesses": 0}
+        oracle: Optional[Dict[int, int]] = {} if stamped else None
+        stamp = 0
+        bus = self.events
+
+        def emit(bank: int, tenant_index: int, seq: int, is_write: bool,
+                 local: int, row_stamp: int) -> None:
+            if stamped:
+                slices[bank].append((arrival, tenant_index, seq,
+                                     is_write, local, row_stamp))
+            else:
+                slices[bank].append((arrival, tenant_index, seq,
+                                     is_write, local))
+
         for arrival, tenant, seq, is_write, page in requests:
-            shard, local = page % num_shards, page // num_shards
-            slices[shard].append((arrival, tenant, seq, is_write, local))
+            if redundant:
+                placements = router.placements(page)
+            else:
+                placements = [router.route(page)]
+            primary_bank, primary_local = placements[0]
+            if is_write:
+                if stamped:
+                    stamp += 1
+                    oracle[page] = stamp
+                live = [slot for slot in placements
+                        if states[slot[0]] != BANK_DEAD]
+                if not live:
+                    raise DegradedModeError(
+                        f"page {page}: every placement {placements} is "
+                        f"on a dead bank — redundancy exhausted")
+                primary_dead = states[primary_bank] == BANK_DEAD
+                if primary_dead:
+                    counters["degraded_writes"] += 1
+                    if bus.active:
+                        bus.mark(REDUNDANCY_DEGRADED,
+                                 {"page": page, "bank": primary_bank,
+                                  "source": "write"})
+                if parity:
+                    if primary_dead:
+                        # Degraded parity write: fold the update into
+                        # parity by reading every surviving data member
+                        # of the stripe.
+                        parity_bank = live[0][0]
+                        for peer in range(num_shards):
+                            if (peer in (primary_bank, parity_bank)
+                                    or states[peer] == BANK_DEAD):
+                                continue
+                            counters["replica_accesses"] += 1
+                            emit(peer, pseudo_red, seq, False,
+                                 primary_local, 0)
+                    elif len(live) > 1:
+                        # RAID small write: read old data + old parity
+                        # before programming both.
+                        for bank, local in live:
+                            counters["replica_accesses"] += 1
+                            emit(bank, pseudo_red, seq, False, local, 0)
+                first = True
+                for bank, local in live:
+                    if first:
+                        emit(bank, tenant, seq, True, local, stamp)
+                        first = False
+                        continue
+                    counters["replica_accesses"] += 1
+                    if bus.active:
+                        bus.mark(REDUNDANCY_REPLICA,
+                                 {"bank": bank, "kind": "program"})
+                    emit(bank, pseudo_red, seq, True, local, stamp)
+                continue
+            # Reads: primary if healthy, else the first fully-healthy
+            # fallback group (one mirror slot, or a whole parity
+            # stripe XORed together).  A rebuilding bank takes writes
+            # but is not trusted for reads until its rebuild verifies.
+            if states[primary_bank] == BANK_HEALTHY:
+                emit(primary_bank, tenant, seq, False, primary_local, 0)
+                continue
+            served = False
+            for group in (router.read_groups(page) if redundant else []):
+                if any(states[bank] != BANK_HEALTHY
+                       for bank, _ in group):
+                    continue
+                counters["degraded_reads"] += 1
+                if bus.active:
+                    bus.mark(REDUNDANCY_DEGRADED,
+                             {"page": page, "bank": primary_bank,
+                              "source": "read"})
+                first = True
+                for bank, local in group:
+                    if first:
+                        emit(bank, tenant, seq, False, local, 0)
+                        first = False
+                        continue
+                    counters["replica_accesses"] += 1
+                    emit(bank, pseudo_red, seq, False, local, 0)
+                served = True
+                break
+            if not served:
+                raise DegradedModeError(
+                    f"page {page}: primary bank {primary_bank} is dead "
+                    f"and no fallback group survives — redundancy "
+                    f"exhausted")
+
+        needs_sort = self._inject_rebuild(slices, states, pseudo_reb,
+                                          counters, stamped)
+        if needs_sort:
+            for entry in slices:
+                entry.sort()
+        self._last_expansion = counters
+        self._stamp_oracle = oracle
         return slices
+
+    def _inject_rebuild(self, slices: List[List[Request]],
+                        states: List[str], pseudo_reb: int,
+                        counters: Dict[str, int],
+                        stamped: bool) -> bool:
+        """Charge rate-limited rebuild copy traffic into the slices."""
+        if stamped or not self._inject_rebuild_ns:
+            return False
+        gap_ns = max(1, int(1e9 / self.config.rebuild_rate_pps))
+        budget = self._inject_rebuild_ns // gap_ns
+        bus = self.events
+        injected = False
+        for bank in range(len(states)):
+            if states[bank] != BANK_REBUILDING:
+                continue
+            scheduler = self._rebuilds.get(bank)
+            if scheduler is None or scheduler.done:
+                continue
+            entries = scheduler.take(budget)
+            for index, entry in enumerate(entries):
+                arrival = index * gap_ns
+                for src_bank, src_local in entry["sources"]:
+                    if states[src_bank] == BANK_DEAD:
+                        continue
+                    counters["rebuild_accesses"] += 1
+                    slices[src_bank].append(
+                        (arrival, pseudo_reb, index, False, src_local))
+                    if entry["op"] == "copy":
+                        break  # any one mirror copy suffices
+                counters["rebuild_accesses"] += 1
+                slices[bank].append(
+                    (arrival, pseudo_reb, index, True, entry["local"]))
+            if entries:
+                injected = True
+                if bus.active:
+                    bus.mark(REDUNDANCY_REBUILD,
+                             {"bank": bank, "pages": len(entries),
+                              "done": scheduler.position,
+                              "total": scheduler.total})
+        return injected
 
     def run(self, duration_s: float,
             jobs: Optional[int] = None) -> ServiceStats:
@@ -305,8 +559,16 @@ class EnvyService:
             bus.mark(SERVICE_RUN, {"requests": len(schedule),
                                    "shards": self.router.num_shards,
                                    "tenants": len(self.tenants)})
-        slices = self.partition(schedule)
+        self._inject_rebuild_ns = int(duration_s * 1e9)
+        try:
+            slices = self.partition(schedule)
+        finally:
+            self._inject_rebuild_ns = 0
+        expansion = self._last_expansion
         tenant_names = [t.name for t in self.tenants]
+        if expansion is not None:
+            tenant_names = tenant_names + [_REDUNDANCY_TENANT,
+                                           _REBUILD_TENANT]
         base = self.config.shard_point_base()
         points = [dict(base, shard_index=index, requests=slices[index],
                        tenant_names=tenant_names)
@@ -327,27 +589,198 @@ class EnvyService:
         stats.requests_admitted = len(schedule)
         for shard_result in results:
             for name, slice_stats in shard_result["tenants"].items():
+                if name.startswith("__"):
+                    continue  # overhead pseudo-tenants, counted below
                 stats.tenants[name].merge_shard(slice_stats)
             stats.requests_rejected_queue += shard_result["rejected_queue"]
             stats.requests_rejected_shed += shard_result["rejected_shed"]
+            stats.requests_retried += shard_result["retried"]
             if shard_result["clock_ns"] > stats.simulated_ns:
                 stats.simulated_ns = shard_result["clock_ns"]
             summary = {key: shard_result[key]
                        for key in ("shard", "clock_ns", "rejected_queue",
-                                   "rejected_shed", "batches",
+                                   "rejected_shed", "retried", "batches",
                                    "max_batch_pages", "coalesced_writes",
                                    "flushes", "clean_copies", "erases",
                                    "wear_swaps")}
             summary["accesses"] = sum(
                 s["reads"] + s["writes"]
-                for s in shard_result["tenants"].values())
+                for name, s in shard_result["tenants"].items()
+                if not name.startswith("__"))
+            summary["overhead_accesses"] = sum(
+                s["reads"] + s["writes"]
+                for name, s in shard_result["tenants"].items()
+                if name.startswith("__"))
             stats.shards.append(summary)
             if bus.active:
                 bus.mark(SERVICE_SHARD, dict(summary))
         stats.accesses_served = sum(t.served
                                     for t in stats.tenants.values())
+        if expansion is not None:
+            stats.degraded_reads = expansion["degraded_reads"]
+            stats.degraded_writes = expansion["degraded_writes"]
+            stats.replica_accesses = expansion["replica_accesses"]
+            stats.rebuild_accesses = expansion["rebuild_accesses"]
         self.last_stats = stats
         return stats
+
+    # ------------------------------------------------------------------
+    # Bank lifecycle (redundancy layer)
+    # ------------------------------------------------------------------
+
+    def bank_state(self, bank: int) -> str:
+        """``healthy`` / ``dead`` / ``rebuilding`` for one bank."""
+        if not 0 <= bank < self.router.num_shards:
+            raise IndexError(f"no bank {bank}")
+        return self._bank_states[bank]
+
+    @property
+    def degraded(self) -> bool:
+        """True while any bank is dead or rebuilding."""
+        return any(state != BANK_HEALTHY for state in self._bank_states)
+
+    def kill_bank(self, bank: int) -> None:
+        """Declare a whole bank lost.
+
+        The bank's in-process controller (if any) moves to the dead
+        pool — direct access will no longer touch it, but chaos drills
+        can still recover its Flash array post mortem via
+        :meth:`dead_bank_controller`.  Serving continues from mirrors
+        or parity; operations whose redundancy is exhausted raise
+        :class:`DegradedModeError` when attempted, not here.
+        """
+        if not 0 <= bank < self.router.num_shards:
+            raise IndexError(f"no bank {bank}")
+        if self._bank_states[bank] == BANK_DEAD:
+            return
+        self._bank_states[bank] = BANK_DEAD
+        self._rebuilds.pop(bank, None)
+        if self._shards is not None and self._shards[bank] is not None:
+            self._dead_shards[bank] = self._shards[bank]
+            self._shards[bank] = None
+        if self.events.active:
+            self.events.mark(REDUNDANCY_KILL, {"bank": bank})
+
+    def dead_bank_controller(self, bank: int) -> EnvyController:
+        """The controller a killed bank left behind (for post-mortem
+        recovery of its Flash array)."""
+        if bank not in self._dead_shards:
+            raise KeyError(f"bank {bank} left no dead controller")
+        return self._dead_shards[bank]
+
+    def replace_bank(self, bank: int,
+                     controller: Optional[EnvyController] = None,
+                     pages_per_step: int = 32) -> RebuildScheduler:
+        """Install a blank replacement for a dead bank; start rebuild.
+
+        The bank enters the ``rebuilding`` state: reads keep being
+        served degraded (the replacement is not trusted until the
+        rebuild verifies), while writes also program the replacement
+        so rebuilt pages never go stale.  Returns the
+        :class:`RebuildScheduler`; drive it with :meth:`~
+        RebuildScheduler.step` (in-process) or let :meth:`run` charge
+        its copy traffic at ``rebuild_rate_pps``, then call
+        :meth:`~RebuildScheduler.finish`.
+        """
+        if self.bank_state(bank) != BANK_DEAD:
+            raise ValueError(
+                f"bank {bank} is {self._bank_states[bank]}, only dead "
+                f"banks can be replaced")
+        scheduler = RebuildScheduler(self, bank,
+                                     pages_per_step=pages_per_step)
+        if self._shards is None:
+            self._shards = [None] * self.router.num_shards
+        self._shards[bank] = controller or EnvyController(
+            self.config.shard_config(),
+            store_data=self.config.store_data)
+        self._bank_states[bank] = BANK_REBUILDING
+        self._rebuilds[bank] = scheduler
+        return scheduler
+
+    def mark_bank_healthy(self, bank: int) -> None:
+        """Return a rebuilt (or wrongly-killed) bank to service."""
+        if not 0 <= bank < self.router.num_shards:
+            raise IndexError(f"no bank {bank}")
+        self._bank_states[bank] = BANK_HEALTHY
+        self._rebuilds.pop(bank, None)
+        self._dead_shards.pop(bank, None)
+
+    def rebuild_status(self) -> Dict[int, dict]:
+        """Progress of every active rebuild, keyed by bank."""
+        return {bank: {"progress": round(scheduler.progress, 4),
+                       "pages_done": scheduler.position,
+                       "pages_total": scheduler.total}
+                for bank, scheduler in sorted(self._rebuilds.items())}
+
+    # ------------------------------------------------------------------
+    # Hot-page rebalancing
+    # ------------------------------------------------------------------
+
+    def rebalance(self, duration_s: float, max_moves: int = 64,
+                  tolerance: float = 1.10) -> dict:
+        """Flatten per-bank load skew by remapping hot logical pages.
+
+        The load profile is measured from the *deterministic* schedule
+        the tenants would offer over ``duration_s`` (same generator,
+        same seed — no sampling noise), attributed to banks through
+        the current routing.  :func:`~repro.service.redundancy.
+        plan_rebalance` picks hot/cold swaps; each swap remaps both
+        pages (SoftWear-style — a table update, no hardware support)
+        and, when in-process data-bearing banks exist, migrates the
+        payloads through the normal write path so replicas and parity
+        stay consistent.
+        """
+        router = self.router
+        if not isinstance(router, RedundantRouter):
+            raise ValueError(
+                "rebalancing needs a redundancy-aware router — set "
+                "placement='ranged' or any redundancy in ServiceConfig")
+        generator = LoadGenerator(self.tenants, router.num_pages,
+                                  self.config.page_bytes,
+                                  seed=self.config.seed)
+        schedule, _ = generator.generate(duration_s)
+        page_loads: Dict[int, int] = {}
+        for _, _, _, _, page in schedule:
+            page_loads[page] = page_loads.get(page, 0) + 1
+
+        def bank_loads() -> List[int]:
+            loads = [0] * router.num_shards
+            for page, load in page_loads.items():
+                loads[router.route(page)[0]] += load
+            return loads
+
+        def imbalance(loads: List[int]) -> float:
+            mean = sum(loads) / len(loads)
+            return max(loads) / mean if mean else 1.0
+
+        before = bank_loads()
+        swaps = plan_rebalance(router, page_loads, max_moves=max_moves,
+                               tolerance=tolerance)
+        migrate = (self._shards is not None
+                   and self.config.store_data)
+        bus = self.events
+        for hot, cold in swaps:
+            if migrate:
+                hot_bytes = self.read_page(hot)
+                cold_bytes = self.read_page(cold)
+                router.swap(hot, cold)
+                self.write_page(hot, hot_bytes)
+                self.write_page(cold, cold_bytes)
+            else:
+                router.swap(hot, cold)
+            if bus.active:
+                bus.mark(REDUNDANCY_REBALANCE,
+                         {"page": hot, "from": router.route(cold)[0],
+                          "to": router.route(hot)[0]})
+        after = bank_loads()
+        return {
+            "swaps": len(swaps),
+            "remapped_pages": router.remapped_pages,
+            "bank_loads_before": before,
+            "bank_loads_after": after,
+            "imbalance_before": round(imbalance(before), 4),
+            "imbalance_after": round(imbalance(after), 4),
+        }
 
     # ------------------------------------------------------------------
     # Health
@@ -361,13 +794,31 @@ class EnvyService:
         here: with the same tenants, duration and seed, two runs (at any
         ``jobs`` setting) report identical numbers.
         """
+        policy = getattr(self.router, "policy", None)
+        rebuilds = self.rebuild_status()
         report = {
             "num_shards": self.router.num_shards,
             "pages_per_shard": self.router.pages_per_shard,
             "service_pages": self.router.num_pages,
             "tenants": len(self.tenants),
             "seed": self.config.seed,
+            "redundancy": {
+                "policy": policy.name if policy else "none",
+                "placement": self.router.placement,
+                "write_fanout": policy.write_fanout if policy else 1,
+                "survivable_bank_losses": (policy.survivable
+                                           if policy else 0),
+                "degraded": self.degraded,
+                "remapped_pages": getattr(self.router,
+                                          "remapped_pages", 0),
+                "banks": [
+                    {"bank": bank, "state": state,
+                     "rebuild": rebuilds.get(bank)}
+                    for bank, state in enumerate(self._bank_states)],
+            },
         }
+        if self._last_chaos is not None:
+            report["recovery"] = self._last_chaos
         stats = self.last_stats
         if stats is None:
             report["last_run"] = False
@@ -380,10 +831,15 @@ class EnvyService:
             "requests_rejected_queue": stats.requests_rejected_queue,
             "requests_rejected_shed": stats.requests_rejected_shed,
             "requests_rejected": stats.requests_rejected,
+            "requests_retried": stats.requests_retried,
             "accesses_served": stats.accesses_served,
             "simulated_ns": stats.simulated_ns,
             "accesses_per_simulated_s": round(
                 stats.accesses_per_simulated_s, 1),
+            "degraded_reads": stats.degraded_reads,
+            "degraded_writes": stats.degraded_writes,
+            "replica_accesses": stats.replica_accesses,
+            "rebuild_accesses": stats.rebuild_accesses,
         })
         for name, tstats in stats.tenants.items():
             for key, value in tstats.as_dict().items():
@@ -391,9 +847,23 @@ class EnvyService:
         for summary in stats.shards:
             prefix = f"shard_{summary['shard']}_"
             for key in ("accesses", "rejected_queue", "rejected_shed",
-                        "flushes", "clean_copies", "erases"):
+                        "retried", "flushes", "clean_copies", "erases"):
                 report[prefix + key] = summary[key]
         return report
+
+    def record_chaos_report(self, report) -> None:
+        """Fold a chaos drill's per-shard recovery outcome into
+        :meth:`health_report` (its ``recovery`` section).
+
+        Accepts a :class:`~repro.service.chaos.ServiceChaosReport` or
+        any object with ``shards`` / ``ok`` / ``kill_at`` attributes.
+        """
+        self._last_chaos = {
+            "ok": bool(report.ok),
+            "kill_at": report.kill_at,
+            "interrupted": bool(getattr(report, "interrupted", False)),
+            "shards": [dict(entry) for entry in report.shards],
+        }
 
     # ------------------------------------------------------------------
     # Direct access (in-process shards)
@@ -408,6 +878,10 @@ class EnvyService:
         """
         if not 0 <= index < self.router.num_shards:
             raise IndexError(f"no shard {index}")
+        if self._bank_states[index] == BANK_DEAD:
+            raise DegradedModeError(
+                f"bank {index} is dead; serve through the redundancy "
+                f"layer (read_page/write_page) or replace_bank() it")
         if self._shards is None:
             self._shards = [None] * self.router.num_shards
         if self._shards[index] is None:
@@ -416,20 +890,114 @@ class EnvyService:
                 store_data=self.config.store_data)
         return self._shards[index]
 
+    def _read_slot(self, slot: Tuple[int, int]) -> bytes:
+        bank, local = slot
+        return self.shard(bank).read(local * self.config.page_bytes,
+                                     self.config.page_bytes)
+
+    def _reconstruct_read(self, page: int, primary_bank: int) -> bytes:
+        """Serve a read whose primary bank is dead from redundancy."""
+        router = self.router
+        states = self._bank_states
+        parity = (isinstance(router, RedundantRouter)
+                  and isinstance(router.policy, ParityPolicy))
+        groups = (router.read_groups(page)
+                  if isinstance(router, RedundantRouter) else [])
+        for group in groups:
+            # Only fully-healthy groups serve reads: a rebuilding bank
+            # takes writes but is not trusted as a read source until
+            # its rebuild verifies.
+            if any(states[bank] != BANK_HEALTHY for bank, _ in group):
+                continue
+            if self.events.active:
+                self.events.mark(REDUNDANCY_DEGRADED,
+                                 {"page": page, "bank": primary_bank,
+                                  "source": "read"})
+            if not parity:
+                return self._read_slot(group[0])
+            value = bytearray(self.config.page_bytes)
+            for slot in group:
+                for i, byte in enumerate(self._read_slot(slot)):
+                    value[i] ^= byte
+            return bytes(value)
+        raise DegradedModeError(
+            f"page {page}: primary bank {primary_bank} is dead and no "
+            f"fallback group survives — redundancy exhausted")
+
     def read_page(self, page: int) -> bytes:
-        """Read one global logical page through its shard."""
-        shard, local = self.router.route(page)
-        controller = self.shard(shard)
-        return controller.read(local * self.config.page_bytes,
-                               self.config.page_bytes)
+        """Read one global logical page through its shard.
+
+        While the primary bank is dead — or rebuilding, and therefore
+        not yet trusted — the read is served transparently from a
+        mirror copy or a parity reconstruction; only exhausted
+        redundancy raises :class:`DegradedModeError`.
+        """
+        bank, local = self.router.route(page)
+        if self._bank_states[bank] != BANK_HEALTHY:
+            return self._reconstruct_read(page, bank)
+        return self.shard(bank).read(local * self.config.page_bytes,
+                                     self.config.page_bytes)
 
     def write_page(self, page: int, data: bytes) -> int:
-        """Write one global logical page; returns nanoseconds taken."""
-        if len(data) > self.config.page_bytes:
+        """Write one global logical page; returns nanoseconds taken.
+
+        With redundancy enabled the write programs every live
+        placement (mirror copies, or data + XOR parity maintained
+        read-modify-write); a dead primary redirects into the
+        surviving placements, and only exhausted redundancy raises
+        :class:`DegradedModeError`.
+        """
+        page_bytes = self.config.page_bytes
+        if len(data) > page_bytes:
             raise ValueError("data exceeds one page")
-        shard, local = self.router.route(page)
-        controller = self.shard(shard)
-        return controller.write(local * self.config.page_bytes, data)
+        router = self.router
+        if not isinstance(router, RedundantRouter):
+            bank, local = router.route(page)
+            return self.shard(bank).write(local * page_bytes, data)
+        states = self._bank_states
+        placements = router.placements(page)
+        live = [slot for slot in placements
+                if states[slot[0]] != BANK_DEAD]
+        if not live:
+            raise DegradedModeError(
+                f"page {page}: every placement {placements} is on a "
+                f"dead bank — redundancy exhausted")
+        primary_bank, primary_local = placements[0]
+        primary_dead = states[primary_bank] == BANK_DEAD
+        if primary_dead and self.events.active:
+            self.events.mark(REDUNDANCY_DEGRADED,
+                             {"page": page, "bank": primary_bank,
+                              "source": "write"})
+        if not isinstance(router.policy, ParityPolicy):
+            spent_ns = 0
+            for bank, local in live:
+                spent_ns += self.shard(bank).write(local * page_bytes,
+                                                   data)
+            return spent_ns
+        # Parity: maintain real XOR parity.  The new page content is
+        # the old content overlaid with ``data`` (controller writes
+        # are read-modify-write at sub-page granularity), and
+        # new_parity = old_parity ^ old_content ^ new_content.
+        parity_slot = placements[1]
+        parity_alive = states[parity_slot[0]] != BANK_DEAD
+        # The old content must be trustworthy: a rebuilding primary may
+        # still hold stale slots, so anything short of healthy
+        # reconstructs the old value from the surviving stripe.
+        old = (self._read_slot(placements[0])
+               if states[primary_bank] == BANK_HEALTHY
+               else self._reconstruct_read(page, primary_bank))
+        new = data + old[len(data):]
+        spent_ns = 0
+        if not primary_dead:
+            spent_ns += self.shard(primary_bank).write(
+                primary_local * page_bytes, data)
+        if parity_alive:
+            old_parity = self._read_slot(parity_slot)
+            new_parity = bytes(p ^ o ^ n for p, o, n
+                               in zip(old_parity, old, new))
+            spent_ns += self.shard(parity_slot[0]).write(
+                parity_slot[1] * page_bytes, new_parity)
+        return spent_ns
 
     def transaction(self, pages: Sequence[int]):
         """Open a hardware transaction confined to one shard.

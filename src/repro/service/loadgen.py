@@ -120,15 +120,24 @@ class LoadGenerator:
                     page = min(address // self.page_bytes, last_page)
                     rows.append((arrival, is_write, page))
             return rows
+        base = 0
+        span = self.num_pages
+        if spec.page_range is not None:
+            base, end = spec.page_range
+            if end > self.num_pages:
+                raise ValueError(
+                    f"tenant {spec.name!r} page_range {spec.page_range} "
+                    f"exceeds the {self.num_pages}-page service space")
+            span = end - base
         if spec.workload == "zipf":
-            pages = ZipfWorkload(self.num_pages, skew=spec.skew,
-                                 seed=page_seed)
+            pages = ZipfWorkload(span, skew=spec.skew, seed=page_seed,
+                                 scatter=spec.scatter)
         else:
-            pages = UniformWorkload(self.num_pages, seed=page_seed)
+            pages = UniformWorkload(span, seed=page_seed)
         write_fraction = spec.write_fraction
         for arrival in arrivals:
             is_write = rng.random() < write_fraction
-            rows.append((arrival, is_write, pages.next_page()))
+            rows.append((arrival, is_write, base + pages.next_page()))
         return rows
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ shared shard pool.  A tenant bundles three things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..obs.hist import LatencyHistogram
 
@@ -90,6 +90,14 @@ class TenantSpec:
 
     ``rate_limit_tps`` arms the per-tenant token bucket (``None`` =
     unlimited); throttled arrivals are counted and never reach a shard.
+
+    ``page_range`` confines the tenant to a half-open ``[start, end)``
+    slice of the service page space (``None`` = the whole space) —
+    under ranged placement this is how a tenant ends up owning (and
+    hammering) a single bank.  ``scatter`` keeps the Zipf scatter
+    permutation (default); turning it off makes popularity rank equal
+    page number, so the hot head is a *contiguous* prefix — the
+    pathological layout the rebalancer exists to repair.
     """
 
     name: str
@@ -103,6 +111,8 @@ class TenantSpec:
     clients: int = 16
     think_ns: int = 1_000_000
     service_estimate_ns: int = 200
+    page_range: Optional[Tuple[int, int]] = None
+    scatter: bool = True
 
     def validate(self) -> None:
         if not self.name:
@@ -119,6 +129,15 @@ class TenantSpec:
             raise ValueError("write_fraction must be in [0, 1]")
         if self.rate_limit_tps is not None and self.rate_limit_tps <= 0:
             raise ValueError("rate_limit_tps must be positive when set")
+        if self.page_range is not None:
+            start, end = self.page_range
+            if start < 0 or end <= start:
+                raise ValueError(
+                    "page_range must be a non-empty [start, end) span")
+            if self.workload == "tpca":
+                raise ValueError(
+                    "page_range applies to zipf/uniform tenants only "
+                    "(tpca lays out its own tables)")
 
     def make_bucket(self) -> Optional[TokenBucket]:
         if self.rate_limit_tps is None:

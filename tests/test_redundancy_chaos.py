@@ -1,0 +1,138 @@
+"""Whole-bank-loss drills: degraded serving, recovery, online rebuild."""
+
+import pytest
+
+from repro.core.chaos import attach_commit_oracle
+from repro.core.config import EnvyConfig
+from repro.core.controller import EnvyController
+from repro.core.recovery import recover_banks
+from repro.service import ServiceConfig, TenantSpec
+from repro.service.chaos import (redundancy_chaos_sweep,
+                                 run_redundancy_chaos)
+from repro.service.frontend import EnvyService
+
+MIRROR = ServiceConfig(num_shards=3, num_segments=4, pages_per_segment=16,
+                       redundancy="mirror", seed=5)
+PARITY = ServiceConfig(num_shards=3, num_segments=4, pages_per_segment=16,
+                       redundancy="parity", seed=5)
+DURATION = 0.0004
+
+
+@pytest.fixture(scope="module")
+def dry():
+    """Uninterrupted drill sizing the victim bank's kill-point space."""
+    return run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                kill_at=None)
+
+
+class TestRedundancyChaos:
+    def test_dry_run_sees_flash_ops(self, dry):
+        assert dry.ops_seen > 10
+        assert dry.stamped_writes > 0
+        assert not dry.interrupted
+        assert dry.ok
+
+    @pytest.mark.parametrize("config", [MIRROR, PARITY],
+                             ids=["mirror", "parity"])
+    def test_mid_write_bank_loss_survives_end_to_end(self, config, dry):
+        report = run_redundancy_chaos(config, duration_s=DURATION,
+                                      victim=1,
+                                      kill_at=max(1, dry.ops_seen // 2))
+        assert report.interrupted
+        assert report.ok, (report.serving_mismatches,
+                           report.degraded_mismatches,
+                           report.final_mismatches)
+        # Degraded serving covered the whole logical space.
+        assert report.degraded_pages_checked > 0
+        assert not report.degraded_mismatches
+        # The dead bank's own array recovered its committed prefix.
+        assert report.shards and report.shards[0]["mismatches"] == 0
+        # Online rebuild repopulated and verified the replacement.
+        assert report.rebuilt_pages > 0
+        assert report.rebuild_verified is True
+        assert not report.final_mismatches
+
+    def test_clean_loss_after_the_batch(self, dry):
+        report = run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                      kill_at=dry.ops_seen + 1)
+        assert not report.interrupted
+        assert report.ok
+
+    def test_torn_program_on_the_victim(self, dry):
+        report = run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                      kill_at=max(1, dry.ops_seen // 3),
+                                      tear=True)
+        assert report.interrupted
+        assert report.ok
+
+    def test_determinism(self, dry):
+        kill_at = max(1, dry.ops_seen // 2)
+        first = run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                     kill_at=kill_at)
+        second = run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                      kill_at=kill_at)
+        assert first.ops_seen == second.ops_seen
+        assert first.stamped_writes == second.stamped_writes
+        assert first.shards == second.shards
+        assert first.rebuilt_pages == second.rebuilt_pages
+
+    def test_plain_config_rejected(self):
+        plain = ServiceConfig(num_shards=2, num_segments=4,
+                              pages_per_segment=16)
+        with pytest.raises(ValueError):
+            run_redundancy_chaos(plain, duration_s=DURATION)
+
+    def test_bad_victim_rejected(self):
+        with pytest.raises(IndexError):
+            run_redundancy_chaos(MIRROR, duration_s=DURATION, victim=9)
+
+
+class TestRedundancyChaosSweep:
+    def test_sweep_survives_every_sampled_kill_point(self):
+        reports = redundancy_chaos_sweep(MIRROR, duration_s=0.0002,
+                                         stride=60, tear=True)
+        assert reports
+        bad = [r.kill_at for r in reports if not r.ok]
+        assert not bad, f"redundancy drill failed at kill points {bad}"
+
+
+class TestRecoverBanks:
+    def test_recovers_each_bank_against_its_oracle(self):
+        config = EnvyConfig.scaled(num_segments=4, pages_per_segment=16)
+        controllers, oracles = [], []
+        for bank in range(2):
+            ctrl = EnvyController(config, store_data=True)
+            ctrl.store.preserve_flushed_copies = True
+            oracles.append(attach_commit_oracle(ctrl))
+            for page in range(6):
+                ctrl.write(page * config.page_bytes,
+                           bytes([bank * 16 + page + 1] * 8))
+            for _ in range(6):
+                ctrl.flush_one()
+            controllers.append(ctrl)
+        recovered, summaries, mismatches = recover_banks(
+            [ctrl.array for ctrl in controllers], config, oracles=oracles)
+        assert not mismatches
+        assert len(recovered) == len(summaries) == 2
+        for entry in summaries:
+            assert entry["mismatches"] == 0
+            assert entry["committed_pages"] == 6
+
+    def test_oracle_count_must_match(self):
+        config = EnvyConfig.scaled(num_segments=4, pages_per_segment=16)
+        ctrl = EnvyController(config, store_data=True)
+        with pytest.raises(ValueError):
+            recover_banks([ctrl.array], config, oracles=[{}, {}])
+
+
+class TestHealthReportRecoverySection:
+    def test_drill_report_lands_in_health_report(self, dry):
+        report = run_redundancy_chaos(MIRROR, duration_s=DURATION,
+                                      kill_at=max(1, dry.ops_seen // 2))
+        service = EnvyService(MIRROR, [TenantSpec("t", rate_tps=1e6)])
+        assert "recovery" not in service.health_report()
+        service.record_chaos_report(report)
+        recovery = service.health_report()["recovery"]
+        assert recovery["ok"] is True
+        assert recovery["kill_at"] == report.kill_at
+        assert recovery["shards"]

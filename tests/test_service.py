@@ -79,7 +79,21 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(0.0)
         with pytest.raises(ValueError):
+            TokenBucket(-5.0)
+        with pytest.raises(ValueError):
             TokenBucket(1.0, burst=0.5)
+
+    def test_burst_exceeding_offered_load_never_throttles(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1000.0)
+        assert all(bucket.allow(t) for t in range(100))
+        assert bucket.throttled == 0
+
+    def test_trickle_rate_throttles_between_refills(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)  # 1 token/s
+        assert bucket.allow(0)
+        assert not bucket.allow(500_000_000)   # half a second: no token
+        assert bucket.allow(1_000_000_000)
+        assert bucket.throttled == 1
 
 
 class TestTenantSpec:
@@ -88,13 +102,28 @@ class TestTenantSpec:
                     TenantSpec("a", mode="sideways"),
                     TenantSpec("a", rate_tps=0.0),
                     TenantSpec("a", write_fraction=1.5),
-                    TenantSpec("a", rate_limit_tps=0.0)):
+                    TenantSpec("a", rate_limit_tps=0.0),
+                    TenantSpec("a", page_range=(-1, 4)),
+                    TenantSpec("a", page_range=(8, 8)),
+                    TenantSpec("a", workload="tpca",
+                               page_range=(0, 16))):
             with pytest.raises(ValueError):
                 bad.validate()
 
     def test_bucket_only_when_limited(self):
         assert TenantSpec("a").make_bucket() is None
         assert TenantSpec("a", rate_limit_tps=10.0).make_bucket()
+
+    def test_single_shard_tenant_stays_on_its_bank(self):
+        config = ServiceConfig(num_shards=2, num_segments=8,
+                               pages_per_segment=32, placement="ranged",
+                               seed=13)
+        solo = TenantSpec("solo", rate_tps=6e6, write_fraction=0.3,
+                          page_range=(0, config.pages_per_shard),
+                          scatter=False)
+        stats = EnvyService(config, [solo]).run(DURATION)
+        assert stats.shards[0]["accesses"] > 0
+        assert stats.shards[1]["accesses"] == 0
 
 
 class TestServiceConfig:
