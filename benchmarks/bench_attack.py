@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Adversarial multi-tenancy benchmark entry point
+(see ``repro.service.bench_attack``).
+
+Runs each wear-attack family (targeted wear-out, cleaning-pressure
+amplification, buffer squatting) through baseline -> attack ->
+mitigated phases, gates detection accuracy (attacker flagged, zero
+honest false positives) and the mitigation SLOs (honest p99 <= 2x and
+projected lifetime >= 0.5x the no-attack baseline), and emits
+``BENCH_ATTACK.json``:
+
+    PYTHONPATH=src python benchmarks/bench_attack.py            # full
+    PYTHONPATH=src python benchmarks/bench_attack.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_attack.py --smoke \\
+        --output BENCH_ATTACK.current.json \\
+        --compare BENCH_ATTACK.smoke.json
+
+Like ``bench_service.py`` this is a plain script, not a pytest
+benchmark: CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.bench_attack import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -437,55 +437,19 @@ def cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_bool(value: str) -> bool:
-    lowered = value.strip().lower()
-    if lowered in ("1", "true", "yes", "on"):
-        return True
-    if lowered in ("0", "false", "no", "off"):
-        return False
-    raise SystemExit(f"bad boolean {value!r} (use true/false)")
-
-
-def _parse_page_range(value: str):
-    start, sep, end = value.strip().partition(":")
-    if not sep:
-        raise SystemExit(
-            f"bad page_range {value!r} (use 'start:end', e.g. 0:256)")
-    return int(float(start)), int(float(end))
-
-
 def _parse_tenant(spec: str):
-    """``name=a,workload=zipf,rate_tps=1e6,...`` -> :class:`TenantSpec`."""
-    import dataclasses
+    """``name=a,workload=zipf,rate_tps=1e6,...`` -> :class:`TenantSpec`.
 
+    Thin CLI wrapper over :meth:`TenantSpec.parse` — the one tenant-spec
+    grammar shared with the benchmarks — translating ``ValueError`` to
+    the usage-error exit argparse callers expect.
+    """
     from .service import TenantSpec
 
-    coercers = {}
-    for field in dataclasses.fields(TenantSpec):
-        if field.type in ("int",):
-            coercers[field.name] = int
-        elif field.type in ("float", "Optional[float]"):
-            coercers[field.name] = float
-        elif field.type in ("bool",):
-            coercers[field.name] = _parse_bool
-        elif "Tuple" in field.type:
-            coercers[field.name] = _parse_page_range
-        else:
-            coercers[field.name] = str
-    kwargs = {}
-    for part in spec.split(","):
-        key, sep, value = part.partition("=")
-        key = key.strip()
-        if not sep or key not in coercers:
-            raise SystemExit(
-                f"bad tenant spec item {part!r}; keys: "
-                f"{', '.join(sorted(coercers))}")
-        coerce = coercers[key]
-        kwargs[key] = coerce(float(value)) if coerce is int else \
-            coerce(value.strip())
-    tenant = TenantSpec(**kwargs)
-    tenant.validate()
-    return tenant
+    try:
+        return TenantSpec.parse(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _print_service_dashboard(service, stats) -> None:
@@ -551,9 +515,95 @@ def _print_redundancy_dashboard(service, stats) -> None:
     print(format_table(["Redundancy", "Value"], rows))
 
 
+def _print_security_dashboard(service, report) -> None:
+    rows = [["Flagged", ", ".join(report["flagged"]) or "none"],
+            ["Quarantined", ", ".join(sorted(service.quarantined)) or
+             "none"]]
+    for name, entry in report["tenants"].items():
+        signals = entry["signals"]
+        evidence = ", ".join(
+            f"{key}={signals[key]}"
+            for key in ("concentration_ratio", "flush_per_write",
+                        "occupancy_fraction", "residency_z")
+            if key in signals)
+        flags = ",".join(entry["flags"]) or "-"
+        rows.append([f"Tenant {name}", f"[{flags}] {evidence}"])
+    print(format_table(["Security", "Value"], rows))
+
+
+def _run_attack_demo(args, config, tenants) -> int:
+    """``serve --attack KIND [--mitigate]``: wear-attack demo.
+
+    Without ``--mitigate``: run the honest mix plus the attacker with
+    wear attribution on, and show what the detector sees.  With it:
+    the full baseline -> attack -> mitigated comparison from
+    :func:`repro.service.adversary.run_attack_scenario`.
+    """
+    from .service import attack_tenant, project_lifetime, run_attack_scenario
+    from .service.frontend import EnvyService
+
+    attacker = attack_tenant(args.attack, config, rate_tps=args.rate / 2)
+    duration = args.duration
+    if args.mitigate:
+        print(f"attack demo: {args.attack} attacker vs "
+              f"{len(tenants)} honest tenants, three phases "
+              f"(baseline / attack / mitigated), "
+              f"{duration * 1e3:g} ms simulated each...")
+        scenario = run_attack_scenario(config, tenants, attacker,
+                                       duration, jobs=args.jobs)
+        print(banner(f"wear attack: {args.attack}, mitigated"))
+        rows = [["Attacker", f"{scenario['attacker']} "
+                 f"({scenario['attack_workload']})"],
+                ["Flagged (attack phase)",
+                 ", ".join(scenario["attack"]["flagged"]) or "none"],
+                ["Wear budget applied", str(scenario["wear_budget"])],
+                ["Hot pages scattered",
+                 str(scenario["hot_pages_scattered"])]]
+        print(format_table(["Scenario", "Value"], rows))
+        print()
+        phase_rows = []
+        for phase in ("baseline", "attack", "mitigated"):
+            entry = scenario[phase]
+            honest_p99 = max(
+                (entry["tenants"][name]["write_p99_ns"]
+                 for name in scenario["honest"]), default=0)
+            phase_rows.append([
+                phase, f"{entry['lifetime_days']:,}",
+                f"{entry['wear_concentration']:.3f}",
+                f"{entry['cleaning_cost']:.3f}",
+                f"{honest_p99:,}",
+                ", ".join(entry["flagged"]) or "none"])
+        print(format_table(["Phase", "Lifetime (days)", "Wear conc",
+                            "Clean cost", "Honest write p99 (ns)",
+                            "Flagged"], phase_rows))
+        return 0
+    import dataclasses
+
+    config = dataclasses.replace(config, attribute_wear=True)
+    service = EnvyService(config, list(tenants) + [attacker])
+    print(f"attack demo: {args.attack} attacker joins {len(tenants)} "
+          f"honest tenants, wear attribution on, "
+          f"{duration * 1e3:g} ms simulated (no mitigation — "
+          f"add --mitigate)...")
+    stats = service.run(duration, jobs=args.jobs)
+    report = service.detect_attacks()
+    life = project_lifetime(service)
+    print(banner(f"wear attack: {args.attack}, unmitigated"))
+    _print_service_dashboard(service, stats)
+    print()
+    _print_security_dashboard(service, report)
+    print(f"\nprojected lifetime under attack: {life.days:,.1f} days "
+          f"(wear concentration {life.concentration:.3f})")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import EnvyService, ServiceConfig, TenantSpec
 
+    if args.attack and args.smoke:
+        raise SystemExit("--attack is not available with --smoke")
+    if args.mitigate and not args.attack:
+        raise SystemExit("--mitigate needs --attack KIND")
     if args.kill_bank is not None:
         if args.smoke:
             raise SystemExit("--kill-bank is not available with --smoke")
@@ -604,6 +654,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            rate_limit_tps=args.rate / 8),
             ]
         duration = args.duration
+    if args.attack:
+        return _run_attack_demo(args, config, tenants)
     service = EnvyService(config, tenants)
     print(f"serving {len(tenants)} tenants over {config.num_shards} "
           f"shards for {duration * 1e3:g} ms simulated "
@@ -817,6 +869,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tenant spec 'name=a,workload=zipf,"
                             "rate_tps=1e6,...' (repeatable; replaces "
                             "the default mix)")
+    serve.add_argument("--attack",
+                       choices=["targeted-wear", "clean-amp", "squat"],
+                       default=None,
+                       help="wear-attack demo: add this adversarial "
+                            "tenant at half the aggregate rate, turn "
+                            "on per-tenant wear attribution and show "
+                            "the detector's verdict")
+    serve.add_argument("--mitigate", action="store_true",
+                       help="with --attack: run the full baseline/"
+                            "attack/mitigated comparison (quarantine + "
+                            "wear budget + hot-page scatter)")
     serve.add_argument("--seed", type=int, default=0,
                        help="service seed (schedule + shard prewarm)")
     serve.add_argument("--jobs", type=int, default=None,

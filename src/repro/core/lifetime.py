@@ -30,17 +30,33 @@ DAYS_PER_YEAR = 365.25
 
 @dataclass(frozen=True)
 class LifetimeEstimate:
-    """Result of the Section 5.5 lifetime calculation."""
+    """Result of the Section 5.5 lifetime calculation.
+
+    ``concentration`` generalizes the paper's uniform-wear assumption to
+    adversarially skewed traffic: it is the normalized Herfindahl index
+    of the per-segment program distribution
+    (:func:`~repro.core.metrics.wear_concentration` — 1.0 for uniform
+    wear, ``num_segments`` for a single-segment hammer).  The array is
+    only as durable as its hottest segments, so the effective write
+    capacity is divided by the factor: a tenant that lands every
+    program in one of ``S`` segments cuts projected lifetime to
+    ``1/S`` of the uniform projection — the closed-form bound the
+    adversarial tests check.
+    """
 
     array_pages: int
     endurance_cycles: int
     page_flush_rate: float
     cleaning_cost: float
+    #: Wear-concentration factor (>= 1.0; 1.0 = the paper's uniform
+    #: wear-leveled assumption).
+    concentration: float = 1.0
 
     @property
     def write_capacity_pages(self) -> float:
         """Total page programs the array can absorb in its lifetime."""
-        return float(self.array_pages) * self.endurance_cycles
+        return (float(self.array_pages) * self.endurance_cycles
+                / max(1.0, self.concentration))
 
     @property
     def page_write_rate(self) -> float:
@@ -69,6 +85,21 @@ class LifetimeEstimate:
             endurance_cycles=self.endurance_cycles,
             page_flush_rate=self.page_flush_rate,
             cleaning_cost=self.cleaning_cost,
+            concentration=self.concentration,
+        )
+
+    def with_concentration(self, factor: float) -> "LifetimeEstimate":
+        """The same workload with measured wear concentration ``factor``
+        (>= 1.0; see :func:`~repro.core.metrics.wear_concentration`)."""
+        if factor < 1.0:
+            raise ValueError(
+                "wear concentration cannot beat uniform (factor >= 1)")
+        return LifetimeEstimate(
+            array_pages=self.array_pages,
+            endurance_cycles=self.endurance_cycles,
+            page_flush_rate=self.page_flush_rate,
+            cleaning_cost=self.cleaning_cost,
+            concentration=factor,
         )
 
     def __str__(self) -> str:
@@ -77,17 +108,27 @@ class LifetimeEstimate:
 
 
 def estimate_lifetime(config: EnvyConfig, page_flush_rate: float,
-                      cleaning_cost: float) -> LifetimeEstimate:
-    """Lifetime of ``config`` under a measured flush rate and cost."""
+                      cleaning_cost: float,
+                      concentration: float = 1.0) -> LifetimeEstimate:
+    """Lifetime of ``config`` under a measured flush rate and cost.
+
+    ``concentration`` folds in a measured per-segment wear skew (1.0 =
+    the paper's uniform-wear assumption, ``num_segments`` = every
+    program in one segment).
+    """
     if page_flush_rate < 0:
         raise ValueError("page_flush_rate cannot be negative")
     if cleaning_cost < 0:
         raise ValueError("cleaning_cost cannot be negative")
+    if concentration < 1.0:
+        raise ValueError(
+            "wear concentration cannot beat uniform (factor >= 1)")
     return LifetimeEstimate(
         array_pages=config.total_pages,
         endurance_cycles=config.flash.endurance_cycles,
         page_flush_rate=page_flush_rate,
         cleaning_cost=cleaning_cost,
+        concentration=concentration,
     )
 
 

@@ -21,7 +21,29 @@ from typing import Dict
 
 from ..obs.hist import LatencyHistogram
 
-__all__ = ["LatencyStat", "ControllerMetrics"]
+__all__ = ["LatencyStat", "ControllerMetrics", "wear_concentration"]
+
+
+def wear_concentration(counts) -> float:
+    """Normalized Herfindahl index of a wear distribution.
+
+    ``counts`` are per-segment program (or erase) counts.  The result is
+    ``n * sum(share_i^2)`` — 1.0 for perfectly uniform wear over the
+    ``n`` segments, ``n`` when every program lands in a single segment.
+    It is exactly the factor by which concentrated wear shortens the
+    Section 5.5 lifetime projection: the array dies when its hottest
+    segments exhaust their endurance, so effective write capacity scales
+    with ``1 / concentration`` (see
+    :meth:`~repro.core.lifetime.LifetimeEstimate.with_concentration`).
+
+    Empty or all-zero inputs return 1.0 (no wear is uniform wear).
+    """
+    counts = list(counts)
+    total = float(sum(counts))
+    if not counts or total <= 0:
+        return 1.0
+    hhi = sum((c / total) ** 2 for c in counts)
+    return hhi * len(counts)
 
 
 class LatencyStat(LatencyHistogram):

@@ -74,6 +74,13 @@ Event taxonomy (kind strings, hierarchical by prefix):
                         bank (span; data: bank, pages, done, total)
 ``redundancy.rebalance``a hot logical page was remapped to another
                         bank (instant; data: page, from, to)
+``security.flag``       the attack detector flagged a tenant (instant;
+                        data: tenant, signals)
+``security.quarantine`` a tenant's token bucket was degraded (instant;
+                        data: tenant, rate_tps)
+``security.remap``      a flagged tenant's hot page was scattered to a
+                        randomized placement (instant; data: tenant,
+                        page, peer)
 ======================  ================================================
 """
 
@@ -92,6 +99,7 @@ __all__ = [
     "SERVICE_THROTTLE", "SERVICE_RETRY",
     "REDUNDANCY_REPLICA", "REDUNDANCY_KILL", "REDUNDANCY_DEGRADED",
     "REDUNDANCY_REBUILD", "REDUNDANCY_REBALANCE",
+    "SECURITY_FLAG", "SECURITY_QUARANTINE", "SECURITY_REMAP",
 ]
 
 HOST_READ = "host.read"
@@ -120,6 +128,9 @@ REDUNDANCY_KILL = "redundancy.kill"
 REDUNDANCY_DEGRADED = "redundancy.degraded"
 REDUNDANCY_REBUILD = "redundancy.rebuild"
 REDUNDANCY_REBALANCE = "redundancy.rebalance"
+SECURITY_FLAG = "security.flag"
+SECURITY_QUARANTINE = "security.quarantine"
+SECURITY_REMAP = "security.remap"
 
 #: Store-observer event names -> bus kinds (the store predates the bus
 #: and keeps its compact names; the controller translates).

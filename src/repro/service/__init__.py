@@ -26,7 +26,11 @@ service:
   shard mid-batch and recover every shard independently;
   :func:`run_redundancy_chaos` / :func:`redundancy_chaos_sweep` —
   kill a whole *bank* mid-write and prove degraded serving, online
-  rebuild and post-mortem recovery (:mod:`repro.service.chaos`).
+  rebuild and post-mortem recovery (:mod:`repro.service.chaos`);
+* :class:`AttackDetector` / :func:`attack_tenant` /
+  :func:`run_attack_scenario` — hostile-tenant wear attacks, per-tenant
+  wear attribution, detection and quarantine-and-throttle mitigation
+  (:mod:`repro.service.adversary`).
 
 Drive it from the CLI with ``python -m repro serve`` (see
 ``--redundancy`` / ``--kill-bank``) and benchmark it with
@@ -34,6 +38,8 @@ Drive it from the CLI with ``python -m repro serve`` (see
 docs/SERVICE.md is the guide.
 """
 
+from .adversary import (ATTACK_KINDS, AttackDetector, attack_tenant,
+                        project_lifetime, run_attack_scenario)
 from .chaos import (RedundancyChaosReport, ServiceChaosReport,
                     redundancy_chaos_sweep, run_redundancy_chaos,
                     run_service_chaos, service_chaos_sweep)
@@ -81,4 +87,9 @@ __all__ = [
     "RedundancyChaosReport",
     "run_redundancy_chaos",
     "redundancy_chaos_sweep",
+    "ATTACK_KINDS",
+    "AttackDetector",
+    "attack_tenant",
+    "project_lifetime",
+    "run_attack_scenario",
 ]

@@ -125,7 +125,7 @@ def _service_for(spec: Dict[str, Any], num_shards: int) -> EnvyService:
         placement=spec.get("placement", "striped"),
         retry_limit=spec.get("retry_limit", 0),
         retry_backoff_ns=spec.get("retry_backoff_ns", 4000))
-    tenants = [TenantSpec(**kwargs) for kwargs in spec["tenants"]]
+    tenants = [TenantSpec.from_spec(kwargs) for kwargs in spec["tenants"]]
     return EnvyService(config, tenants)
 
 

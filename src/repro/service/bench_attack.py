@@ -1,0 +1,334 @@
+"""Attack benchmark: wear attacks, detection accuracy, mitigation SLOs.
+
+``benchmarks/bench_attack.py`` and the CI ``attack-smoke`` job land
+here.  For each attack family (targeted wear-out, cleaning-pressure
+amplification, buffer squatting) the harness runs the three-phase
+:func:`~repro.service.adversary.run_attack_scenario` — honest baseline,
+attack, mitigated — and gates on the adversarial-isolation claims:
+
+* **detection** — the attacker is flagged by name in the attack phase,
+  and *no honest tenant* (zipf, uniform or TPC-A) is ever flagged in
+  any phase: zero false positives;
+* **p99 containment** — with mitigation on, every honest tenant's read
+  and write p99 stay within ``--max-p99-factor`` (default 2×) of the
+  no-attack baseline;
+* **lifetime containment** — the mitigated run's projected array
+  lifetime (Section 5.5 with the measured wear concentration folded
+  in) stays at least ``--min-lifetime-factor`` (default 0.5×) of the
+  no-attack baseline;
+* **determinism** — every simulated number in the report is a pure
+  function of the scenario seed; ``--compare`` against the committed
+  baseline fails on *any* drift, and wall-clock throughput is
+  calibration-normalized exactly as in :mod:`repro.service.bench`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..perf.bench import calibrate
+from .adversary import attack_tenant, run_attack_scenario
+from .frontend import ServiceConfig
+from .tenant import TenantSpec
+
+__all__ = ["SCENARIOS", "run_bench", "check_gates", "compare_reports",
+           "main"]
+
+SCHEMA = "envy-bench-attack/1"
+
+#: One scenario per attack family, in (full, smoke) variants.  Honest
+#: mixes cover all three declared-honest shapes (zipf, uniform, tpca)
+#: so the zero-false-positive gate means something.  Unlike the
+#: throughput bench, honest tenants here run *below* saturation —
+#: wear attribution and tail latencies are only meaningful when the
+#: victims' writes actually get served; the attacker supplies the
+#: pressure.
+SCENARIOS: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "targeted_wear": {
+        "full": dict(
+            num_shards=4, num_segments=12, pages_per_segment=32,
+            duration_s=0.02, seed=4242, attack="targeted-wear",
+            attack_rate_tps=3e5,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.1,
+                     write_fraction=0.4),
+                dict(name="uni", rate_tps=1e5, workload="uniform",
+                     write_fraction=0.4),
+            ]),
+        "smoke": dict(
+            num_shards=2, num_segments=12, pages_per_segment=16,
+            duration_s=0.02, seed=4242, attack="targeted-wear",
+            attack_rate_tps=1.5e5,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.1,
+                     write_fraction=0.4),
+                dict(name="uni", rate_tps=1e5, workload="uniform",
+                     write_fraction=0.4),
+            ]),
+    },
+    # The sweep attacker turns every admitted write into a flush, so
+    # its lifetime damage scales directly with the quarantined rate —
+    # throttle it harder than the default.
+    "clean_amp": {
+        "full": dict(
+            num_shards=4, num_segments=12, pages_per_segment=32,
+            duration_s=0.02, seed=97, attack="clean-amp",
+            attack_rate_tps=3e5, quarantine_tps=2e4,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.0,
+                     write_fraction=0.4),
+                dict(name="txn", rate_tps=5e3, workload="tpca"),
+            ]),
+        "smoke": dict(
+            num_shards=2, num_segments=12, pages_per_segment=16,
+            duration_s=0.02, seed=97, attack="clean-amp",
+            attack_rate_tps=1.5e5, quarantine_tps=2e4,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.0,
+                     write_fraction=0.4),
+                dict(name="txn", rate_tps=5e3, workload="tpca"),
+            ]),
+    },
+    # The squatter's damage is buffer occupancy, so its quarantine is
+    # tighter than the wear attacks': residual admitted writes keep
+    # FIFO slots pinned even at modest rates.
+    "squat": {
+        "full": dict(
+            num_shards=4, num_segments=12, pages_per_segment=32,
+            duration_s=0.02, seed=555, attack="squat",
+            attack_rate_tps=3e5, quarantine_tps=2e4,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.1,
+                     write_fraction=0.4),
+                dict(name="uni", rate_tps=1e5, workload="uniform",
+                     write_fraction=0.4),
+            ]),
+        "smoke": dict(
+            num_shards=2, num_segments=12, pages_per_segment=16,
+            duration_s=0.02, seed=555, attack="squat",
+            attack_rate_tps=1.5e5, quarantine_tps=2e4,
+            tenants=[
+                dict(name="zipfy", rate_tps=1.5e5, skew=1.1,
+                     write_fraction=0.4),
+                dict(name="uni", rate_tps=1e5, workload="uniform",
+                     write_fraction=0.4),
+            ]),
+    },
+}
+
+
+def _run_scenario(spec: Dict[str, Any],
+                  jobs: Optional[int]) -> Dict[str, Any]:
+    config = ServiceConfig(
+        num_shards=spec["num_shards"],
+        num_segments=spec["num_segments"],
+        pages_per_segment=spec["pages_per_segment"],
+        quarantine_tps=spec.get("quarantine_tps", 50_000.0),
+        seed=spec["seed"])
+    honest = [TenantSpec.from_spec(kwargs) for kwargs in spec["tenants"]]
+    attacker = attack_tenant(spec["attack"], config,
+                             rate_tps=spec["attack_rate_tps"])
+    start = time.perf_counter()
+    scenario = run_attack_scenario(config, honest, attacker,
+                                   spec["duration_s"], jobs=jobs)
+    wall_s = time.perf_counter() - start
+    served = sum(
+        t["reads"] + t["writes"]
+        for phase in ("baseline", "attack", "mitigated")
+        for t in scenario[phase]["tenants"].values())
+    return {
+        "wall_s": round(wall_s, 4),
+        "served_per_wall_s": round(served / wall_s, 1),
+        # Everything under fidelity is simulated and seed-determined.
+        "fidelity": scenario,
+    }
+
+
+def run_bench(smoke: bool = False,
+              jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run every attack scenario and build the report."""
+    mode = "smoke" if smoke else "full"
+    report: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "timestamp": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "calibration_ops_per_s": round(calibrate(), 1),
+        "scenarios": {},
+    }
+    for name, variants in SCENARIOS.items():
+        report["scenarios"][name] = _run_scenario(variants[mode], jobs)
+    return report
+
+
+#: Latency p99s come out of log-bucketed histograms, so a baseline in
+#: the lowest microsecond reads a one-bucket shift as a 2x jump.  The
+#: factor gate compares against ``max(baseline, floor)`` to measure
+#: real degradation instead of bucket granularity.
+_P99_FLOOR_NS = 2000
+
+
+def check_gates(report: Dict[str, Any], max_p99_factor: float = 2.0,
+                min_lifetime_factor: float = 0.5) -> List[str]:
+    """The adversarial-isolation gates (see the module docstring)."""
+    failures: List[str] = []
+    for name, entry in report.get("scenarios", {}).items():
+        scenario = entry["fidelity"]
+        attacker = scenario["attacker"]
+        honest = set(scenario["honest"])
+        if attacker not in scenario["attack"]["flagged"]:
+            failures.append(
+                f"{name}: attacker {attacker!r} not flagged in the "
+                f"attack phase (flagged: {scenario['attack']['flagged']})")
+        for phase in ("baseline", "attack", "mitigated"):
+            false_positives = honest & set(scenario[phase]["flagged"])
+            if false_positives:
+                failures.append(
+                    f"{name}: honest tenants {sorted(false_positives)} "
+                    f"flagged in the {phase} phase (zero false "
+                    f"positives required)")
+        baseline = scenario["baseline"]["tenants"]
+        mitigated = scenario["mitigated"]["tenants"]
+        for tenant in sorted(honest):
+            for metric in ("read_p99_ns", "write_p99_ns"):
+                base = baseline.get(tenant, {}).get(metric, 0)
+                cur = mitigated.get(tenant, {}).get(metric, 0)
+                allowed = max_p99_factor * max(base, _P99_FLOOR_NS)
+                if base and cur > allowed:
+                    failures.append(
+                        f"{name}: {tenant} {metric} is {cur:,}ns "
+                        f"mitigated vs {base:,}ns baseline "
+                        f"(> {max_p99_factor}x)")
+        base_life = scenario["baseline"]["lifetime_days"]
+        mit_life = scenario["mitigated"]["lifetime_days"]
+        if base_life and mit_life < min_lifetime_factor * base_life:
+            failures.append(
+                f"{name}: mitigated lifetime {mit_life} days fell "
+                f"below {min_lifetime_factor}x the no-attack baseline "
+                f"({base_life} days)")
+    return failures
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    max_regression: float = 0.25) -> List[str]:
+    """Regression check vs a committed report; returns failures.
+
+    Wall throughput is calibration-normalized; the fidelity block must
+    match the baseline exactly — any drift is a determinism break.
+    """
+    failures: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: current={current.get('mode')} "
+            f"baseline={baseline.get('mode')} (run with the same "
+            f"--smoke setting as the committed baseline)")
+        return failures
+    cur_calib = current.get("calibration_ops_per_s") or 1.0
+    base_calib = baseline.get("calibration_ops_per_s") or 1.0
+    for name, base_entry in baseline.get("scenarios", {}).items():
+        cur_entry = current.get("scenarios", {}).get(name)
+        if cur_entry is None:
+            failures.append(f"scenario {name!r} missing from current run")
+            continue
+        cur_norm = cur_entry["served_per_wall_s"] / cur_calib
+        base_norm = base_entry["served_per_wall_s"] / base_calib
+        ratio = cur_norm / base_norm if base_norm else 0.0
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: normalized throughput fell to {ratio:.0%} of "
+                f"baseline ({cur_entry['served_per_wall_s']:,.0f}/s vs "
+                f"{base_entry['served_per_wall_s']:,.0f}/s)")
+        if cur_entry["fidelity"] != base_entry["fidelity"]:
+            failures.append(
+                f"{name}: seeded attack-scenario outputs changed — "
+                f"determinism break")
+    return failures
+
+
+def _format_report(report: Dict[str, Any]) -> str:
+    lines = [f"attack bench ({report['mode']}, python "
+             f"{report['python']}, {report['cpu_count']} cpus, "
+             f"calibration {report['calibration_ops_per_s']:,.0f} ops/s)"]
+    for name, entry in report["scenarios"].items():
+        scenario = entry["fidelity"]
+        lines.append(
+            f"  {name:<14} attacker={scenario['attacker']} "
+            f"flagged={scenario['attack']['flagged']} "
+            f"budget={scenario['wear_budget']} "
+            f"scattered={scenario['hot_pages_scattered']}")
+        for phase in ("baseline", "attack", "mitigated"):
+            p = scenario[phase]
+            p99s = ", ".join(
+                f"{tn} w-p99 {t['write_p99_ns']:,}ns"
+                for tn, t in p["tenants"].items()
+                if tn in scenario["honest"])
+            lines.append(
+                f"    {phase:<10} lifetime {p['lifetime_days']:>10,.2f}d "
+                f"conc {p['wear_concentration']:>7.3f}  [{p99s}]")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_attack",
+        description="eNVy adversarial multi-tenancy benchmark "
+                    "(wear attacks, detection, mitigation SLOs)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenarios for CI")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="shard fan-out workers (default: ENVY_JOBS "
+                             "or CPU count); never changes results")
+    parser.add_argument("--output", default="BENCH_ATTACK.json",
+                        help="write the JSON report here "
+                             "(default: %(default)s)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="fail on regression vs this committed report")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated normalized-throughput drop "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-p99-factor", type=float, default=2.0,
+                        dest="max_p99_factor",
+                        help="honest p99 allowance under mitigation vs "
+                             "the no-attack baseline (default: "
+                             "%(default)s)")
+    parser.add_argument("--min-lifetime-factor", type=float, default=0.5,
+                        dest="min_lifetime_factor",
+                        help="required mitigated/baseline projected-"
+                             "lifetime ratio (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke, jobs=args.jobs)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(_format_report(report))
+    print(f"report written to {args.output}")
+
+    failures = check_gates(report, args.max_p99_factor,
+                           args.min_lifetime_factor)
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures += compare_reports(report, baseline,
+                                    max_regression=args.max_regression)
+    if failures:
+        print("\nATTACK BENCH FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if args.compare:
+        print(f"no regression vs {args.compare} "
+              f"(tolerance {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -116,7 +116,7 @@ def _config(spec: Dict[str, Any], **overrides: Any) -> ServiceConfig:
 
 
 def _tenants(spec: Dict[str, Any]) -> List[TenantSpec]:
-    return [TenantSpec(**kwargs) for kwargs in spec["tenants"]]
+    return [TenantSpec.from_spec(kwargs) for kwargs in spec["tenants"]]
 
 
 def _run_overhead(spec: Dict[str, Any],

@@ -103,7 +103,11 @@ class ShardExecutor:
                  stamp_payloads: bool = False,
                  stamp_mode: str = "counter",
                  retry_limit: int = 0,
-                 retry_backoff_ns: int = 4000) -> None:
+                 retry_backoff_ns: int = 4000,
+                 attribute_wear: bool = False,
+                 attribution_window_ns: int = 50_000,
+                 wear_budgets: Optional[Sequence[Optional[int]]] = None
+                 ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue needs capacity for at least one request")
         if batch_pages < 1:
@@ -137,6 +141,29 @@ class ShardExecutor:
         #: retries before it is surfaced as rejected (0 = off).
         self.retry_limit = retry_limit
         self.retry_backoff_ns = retry_backoff_ns
+        if attribution_window_ns < 1:
+            raise ValueError("attribution windows need positive length")
+        if wear_budgets is not None:
+            if len(wear_budgets) != len(self.tenant_names):
+                raise ValueError(
+                    "wear_budgets must align with tenant_names")
+            if all(budget is None for budget in wear_budgets):
+                wear_budgets = None
+        #: Per-tenant wear attribution (repro.service.adversary): track
+        #: which tenant owns each buffered page, attribute every flush
+        #: program (and the cleaning it induces) to the owner's segment
+        #: histogram, and integrate per-tenant buffer residency over
+        #: windows of ``attribution_window_ns``.  Purely observational —
+        #: the replay, its timing and every existing metric are
+        #: bit-identical with attribution on or off.
+        self.attribute_wear = attribute_wear
+        self.attribution_window_ns = attribution_window_ns
+        #: Per-tenant cap on admitted writes per logical page (aligned
+        #: with ``tenant_names``; None entries are unlimited).  Enforced
+        #: at admission: a write past the cap is rejected with reason
+        #: ``wear_budget`` before it can reach Flash.
+        self.wear_budgets = (list(wear_budgets)
+                             if wear_budgets is not None else None)
         self._overdraft_ns = 0
         self._stamp = 0
 
@@ -180,6 +207,7 @@ class ShardExecutor:
 
         per_tenant = {
             name: {"rejected": 0, "delayed": 0, "reads": 0, "writes": 0,
+                   "retried": 0, "rejected_wear": 0,
                    "read_latency": LatencyHistogram(),
                    "write_latency": LatencyHistogram()}
             for name in self.tenant_names
@@ -188,10 +216,96 @@ class ShardExecutor:
         clock = 0
         rejected_queue = 0
         rejected_shed = 0
+        rejected_wear = 0
         batches = 0
         batch_len = 0
         batch_start_ns = 0
         max_batch = 0
+
+        # --- wear attribution / budgets (adversarial multi-tenancy) ---
+        attributing = self.attribute_wear
+        budgets = self.wear_budgets
+        budget_writes: Dict[int, Dict[int, int]] = {}
+        if budgets is not None:
+            for t_index, budget in enumerate(budgets):
+                if budget is not None:
+                    budget_writes[t_index] = {}
+        wear_slots: List[Dict] = []
+        buffer_owner: Dict[int, int] = {}
+        owner_count: Dict[int, int] = {}
+        segment_programs: Dict[int, int] = {}
+        window_ns = self.attribution_window_ns
+        current_window: List[int] = []
+        accrue_clock = 0
+        orig_flush = controller.flush_one
+        store = controller.store
+
+        if attributing:
+            wear_slots = [
+                {"flushes": 0, "induced_clean_copies": 0,
+                 "flush_segments": {}, "page_writes": {},
+                 "residency_ns": 0, "residency_windows": []}
+                for _ in self.tenant_names]
+            current_window = [0] * len(self.tenant_names)
+
+            def accrue(now: int) -> None:
+                # Integrate per-tenant buffered-page counts over
+                # [accrue_clock, now), split at window boundaries.
+                nonlocal accrue_clock
+                while accrue_clock < now:
+                    window_end = (accrue_clock // window_ns + 1) * window_ns
+                    step_end = min(now, window_end)
+                    dt = step_end - accrue_clock
+                    for t_index, count in owner_count.items():
+                        if count:
+                            wear_slots[t_index]["residency_ns"] += \
+                                count * dt
+                            current_window[t_index] += count * dt
+                    accrue_clock = step_end
+                    if step_end == window_end:
+                        for t_index, slot_wear in enumerate(wear_slots):
+                            slot_wear["residency_windows"].append(
+                                current_window[t_index])
+                            current_window[t_index] = 0
+
+            def attributed_flush() -> int:
+                # The FIFO tail is the page about to flush; attribute
+                # the program — and any cleaning it sets off — to the
+                # tenant whose write put it in SRAM.
+                entry = buffer.tail()
+                owner = None
+                if entry is not None:
+                    owner = buffer_owner.pop(entry.logical_page, None)
+                    if owner is not None:
+                        owner_count[owner] -= 1
+                        if not owner_count[owner]:
+                            del owner_count[owner]
+                clean_before = metrics.clean_copies
+                ns = orig_flush()
+                if entry is not None:
+                    location = store.page_location[entry.logical_page]
+                    if location is not None and location[0] >= 0:
+                        phys = store.positions[location[0]].phys
+                        segment_programs[phys] = \
+                            segment_programs.get(phys, 0) + 1
+                        if owner is not None:
+                            slot_wear = wear_slots[owner]
+                            slot_wear["flushes"] += 1
+                            segments = slot_wear["flush_segments"]
+                            segments[phys] = segments.get(phys, 0) + 1
+                            slot_wear["induced_clean_copies"] += \
+                                metrics.clean_copies - clean_before
+                return ns
+
+            # Instance attribute shadows the bound method, so the
+            # stall path inside controller.write and the background
+            # flusher both route through the attribution wrapper.
+            if getattr(controller, "_wear_wrapped", False):
+                raise RuntimeError(
+                    "controller still carries a wear-attribution hook "
+                    "from an aborted run; rebuild the shard")
+            controller._wear_wrapped = True
+            controller.flush_one = attributed_flush
 
         def close_batch() -> None:
             nonlocal batches, batch_len, max_batch
@@ -236,6 +350,11 @@ class ShardExecutor:
                 completions.popleft()
             if arrival > clock:
                 close_batch()
+                if attributing:
+                    # Integrate the idle gap with pre-flush ownership;
+                    # background flushes then shrink the counts for the
+                    # stretch that follows.
+                    accrue(arrival)
                 self._background(arrival - clock)
                 clock = arrival
                 if bus.active:
@@ -250,6 +369,7 @@ class ShardExecutor:
                                     page, stamp, orig_arrival,
                                     attempt + 1))
                     retried += 1
+                    slot["retried"] += 1
                     if bus.active:
                         bus.mark(SERVICE_RETRY,
                                  {"shard": self.shard_index,
@@ -263,6 +383,21 @@ class ShardExecutor:
                              {"shard": self.shard_index, "tenant": name,
                               "reason": "queue_full"})
                 continue
+            # Wear budget: a tenant that has already spent its per-page
+            # write allowance gets this write rejected before it can
+            # touch SRAM, let alone Flash.
+            if is_write and budgets is not None:
+                budget = budgets[tenant_index]
+                if (budget is not None
+                        and budget_writes[tenant_index].get(page, 0)
+                        >= budget):
+                    slot["rejected_wear"] += 1
+                    rejected_wear += 1
+                    if bus.active:
+                        bus.mark(SERVICE_REJECT,
+                                 {"shard": self.shard_index, "tenant": name,
+                                  "reason": "wear_budget"})
+                    continue
             delay = 0
             if is_write:
                 occupancy = len(buffer)
@@ -286,6 +421,8 @@ class ShardExecutor:
                 batch_start_ns = clock
             address = page * page_bytes
             clock += delay
+            if attributing:
+                accrue(clock)
             if is_write:
                 flushes_before = metrics.flushes
                 if self.stamp_payloads:
@@ -305,6 +442,23 @@ class ShardExecutor:
                 clock += ns
                 slot["writes"] += 1
                 slot["write_latency"].record(clock - orig_arrival)
+                if budgets is not None:
+                    counts = budget_writes.get(tenant_index)
+                    if counts is not None:
+                        counts[page] = counts.get(page, 0) + 1
+                if attributing:
+                    if page in buffer:
+                        prev = buffer_owner.get(page)
+                        if prev != tenant_index:
+                            if prev is not None:
+                                owner_count[prev] -= 1
+                                if not owner_count[prev]:
+                                    del owner_count[prev]
+                            buffer_owner[page] = tenant_index
+                            owner_count[tenant_index] = \
+                                owner_count.get(tenant_index, 0) + 1
+                    writes_map = wear_slots[tenant_index]["page_writes"]
+                    writes_map[page] = writes_map.get(page, 0) + 1
             else:
                 _, ns = read_timed(address, _WORD)
                 clock += ns
@@ -316,10 +470,23 @@ class ShardExecutor:
                 close_batch()
         close_batch()
 
+        if attributing:
+            accrue(clock)
+            if any(current_window):
+                # Final partial window, appended for every tenant so the
+                # per-tenant window series stay index-aligned.
+                for t_index, slot_wear in enumerate(wear_slots):
+                    slot_wear["residency_windows"].append(
+                        current_window[t_index])
+            del controller.flush_one  # restore the bound method
+            controller._wear_wrapped = False
+            for t_index, name in enumerate(self.tenant_names):
+                per_tenant[name]["wear"] = wear_slots[t_index]
+
         for slot in per_tenant.values():
             slot["read_latency"] = slot["read_latency"].state_dict()
             slot["write_latency"] = slot["write_latency"].state_dict()
-        return {
+        result = {
             "shard": self.shard_index,
             "clock_ns": clock,
             "tenants": per_tenant,
@@ -334,6 +501,12 @@ class ShardExecutor:
             "erases": metrics.erases,
             "wear_swaps": metrics.wear_swaps,
         }
+        if budgets is not None:
+            result["rejected_wear"] = rejected_wear
+        if attributing:
+            result["segment_programs"] = segment_programs
+            result["buffer_capacity_pages"] = capacity
+        return result
 
 
 def build_shard_controller(spec: Mapping, shard_index: int,
@@ -386,5 +559,8 @@ def service_shard_point(point: Mapping) -> Dict:
         stamp_payloads=point.get("stamp_payloads", False),
         stamp_mode=point.get("stamp_mode", "counter"),
         retry_limit=point.get("retry_limit", 0),
-        retry_backoff_ns=point.get("retry_backoff_ns", 4000))
+        retry_backoff_ns=point.get("retry_backoff_ns", 4000),
+        attribute_wear=point.get("attribute_wear", False),
+        attribution_window_ns=point.get("attribution_window_ns", 50_000),
+        wear_budgets=point.get("wear_budgets"))
     return executor.run(point["requests"])

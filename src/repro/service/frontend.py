@@ -50,6 +50,7 @@ pretending otherwise.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,9 +58,10 @@ from ..core.config import EnvyConfig
 from ..core.controller import EnvyController
 from ..obs.events import (REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
                           REDUNDANCY_REBALANCE, REDUNDANCY_REBUILD,
-                          REDUNDANCY_REPLICA, SERVICE_RUN, SERVICE_SHARD,
+                          REDUNDANCY_REPLICA, SECURITY_QUARANTINE,
+                          SECURITY_REMAP, SERVICE_RUN, SERVICE_SHARD,
                           EventBus)
-from ..perf.sweep import run_sweep
+from ..perf.sweep import derive_seed, run_sweep
 from .loadgen import LoadGenerator, Request
 from .redundancy import (BANK_DEAD, BANK_HEALTHY, BANK_REBUILDING,
                          DegradedModeError, ParityPolicy, RebuildScheduler,
@@ -77,6 +79,22 @@ _REBUILD_TENANT = "__rebuild__"
 
 #: Dotted worker name resolved inside each sweep process.
 _SHARD_WORKER = "repro.service.executor:service_shard_point"
+
+#: Canonical ``health_report`` key order: these sections first (in this
+#: order, when present), every other key sorted alphabetically after.
+#: The report's shape therefore never depends on the order in which
+#: state accumulated (fresh service vs. post-recovery vs. post-detect).
+_REPORT_HEAD = ("num_shards", "pages_per_shard", "service_pages",
+                "tenants", "seed", "redundancy", "security", "recovery",
+                "last_run")
+
+
+def _canonical_report(report: dict) -> dict:
+    ordered = {key: report[key] for key in _REPORT_HEAD if key in report}
+    for key in sorted(report):
+        if key not in ordered:
+            ordered[key] = report[key]
+    return ordered
 
 
 @dataclass(frozen=True)
@@ -125,6 +143,21 @@ class ServiceConfig:
     #: Copy rate charged into runs while a bank rebuilds (pages per
     #: simulated second) — the rebuild/foreground interference knob.
     rebuild_rate_pps: float = 200_000.0
+    #: Per-tenant wear attribution (repro.service.adversary): shards
+    #: track which tenant's writes wear which segments, how much
+    #: cleaning each tenant induces and how long its pages squat in
+    #: SRAM.  Observational only — metrics are bit-identical on or off.
+    attribute_wear: bool = False
+    #: Window length for the per-tenant buffer-residency time series.
+    attribution_window_ns: int = 50_000
+    #: Service-wide default cap on admitted writes per (tenant, page);
+    #: a TenantSpec.wear_budget overrides it per tenant.  None = off.
+    wear_budget: Optional[int] = None
+    #: Token-bucket rate a quarantined tenant is degraded to.
+    quarantine_tps: float = 50_000.0
+    #: Force a remap-capable router even without redundancy, so
+    #: flagged tenants' hot pages can be scattered (SoftWear-style).
+    remappable: bool = False
 
     def validate(self) -> None:
         if self.num_shards < 1:
@@ -139,6 +172,12 @@ class ServiceConfig:
             raise ValueError("retries need a positive backoff")
         if self.rebuild_rate_pps <= 0:
             raise ValueError("rebuild_rate_pps must be positive")
+        if self.attribution_window_ns < 1:
+            raise ValueError("attribution windows need positive length")
+        if self.wear_budget is not None and self.wear_budget < 1:
+            raise ValueError("wear_budget must allow at least one write")
+        if self.quarantine_tps <= 0:
+            raise ValueError("quarantine_tps must be positive")
         # Raises on malformed redundancy specs / placements, and on
         # geometry the policy cannot cover (validated in make_router).
         self.make_router()
@@ -160,7 +199,8 @@ class ServiceConfig:
 
     def make_router(self) -> ShardRouter:
         policy = make_policy(self.redundancy)
-        if policy.name == "none" and self.placement == "striped":
+        if (policy.name == "none" and self.placement == "striped"
+                and not self.remappable):
             # The PR-6 router, byte-for-byte: plain striping keeps the
             # raw-arithmetic partition fast path.
             return ShardRouter(self.num_shards, self.pages_per_shard,
@@ -186,6 +226,8 @@ class ServiceConfig:
             "seed": self.seed,
             "retry_limit": self.retry_limit,
             "retry_backoff_ns": self.retry_backoff_ns,
+            "attribute_wear": self.attribute_wear,
+            "attribution_window_ns": self.attribution_window_ns,
         }
 
 
@@ -215,8 +257,14 @@ class ServiceStats:
     replica_accesses: int = 0
     #: Rebuild copy traffic (peer reads + replacement programs).
     rebuild_accesses: int = 0
+    #: Writes rejected at admission because the tenant exhausted its
+    #: per-page wear budget.
+    requests_rejected_wear: int = 0
     tenants: Dict[str, TenantStats] = field(default_factory=dict)
     shards: List[Dict] = field(default_factory=list)
+    #: Service-wide per-segment program counts ("s<bank>:p<phys>" keys;
+    #: populated only when the run attributed wear).
+    segment_programs: Dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_rejected(self) -> int:
@@ -250,6 +298,7 @@ class ServiceStats:
             "degraded_writes": self.degraded_writes,
             "replica_accesses": self.replica_accesses,
             "rebuild_accesses": self.rebuild_accesses,
+            "requests_rejected_wear": self.requests_rejected_wear,
             "tenants": {name: stats.as_dict()
                         for name, stats in self.tenants.items()},
             "shards": [dict(summary) for summary in self.shards],
@@ -344,6 +393,11 @@ class EnvyService:
         self._stamp_oracle: Optional[Dict[int, int]] = None
         self._inject_rebuild_ns = 0
         self._last_chaos: Optional[dict] = None
+        #: Quarantined tenants: name -> degraded token-bucket rate,
+        #: applied at schedule time by the load generator.
+        self.quarantined: Dict[str, float] = {}
+        #: Most recent AttackDetector report (health_report: security).
+        self._last_security: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Service runs (schedule -> shard fan-out -> merge)
@@ -552,7 +606,8 @@ class EnvyService:
         """
         generator = LoadGenerator(self.tenants, self.router.num_pages,
                                   self.config.page_bytes,
-                                  seed=self.config.seed)
+                                  seed=self.config.seed,
+                                  rate_overrides=self.quarantined or None)
         schedule, accounting = generator.generate(duration_s)
         bus = self.events
         if bus.active:
@@ -570,6 +625,16 @@ class EnvyService:
             tenant_names = tenant_names + [_REDUNDANCY_TENANT,
                                            _REBUILD_TENANT]
         base = self.config.shard_point_base()
+        budgets: Optional[List[Optional[int]]] = [
+            spec.wear_budget if spec.wear_budget is not None
+            else self.config.wear_budget
+            for spec in self.tenants]
+        # Pseudo-tenants carry redundancy overhead, never budgets.
+        budgets += [None] * (len(tenant_names) - len(self.tenants))
+        if all(budget is None for budget in budgets):
+            budgets = None
+        if budgets is not None:
+            base["wear_budgets"] = budgets
         points = [dict(base, shard_index=index, requests=slices[index],
                        tenant_names=tenant_names)
                   for index in range(self.router.num_shards)]
@@ -588,13 +653,22 @@ class EnvyService:
                                        for t in stats.tenants.values())
         stats.requests_admitted = len(schedule)
         for shard_result in results:
+            shard = shard_result["shard"]
             for name, slice_stats in shard_result["tenants"].items():
                 if name.startswith("__"):
                     continue  # overhead pseudo-tenants, counted below
+                wear = slice_stats.get("wear")
+                if wear is not None:
+                    self._globalize_wear(wear, shard)
                 stats.tenants[name].merge_shard(slice_stats)
+            for phys, count in sorted(
+                    shard_result.get("segment_programs", {}).items()):
+                stats.segment_programs[f"s{shard}:p{phys}"] = count
             stats.requests_rejected_queue += shard_result["rejected_queue"]
             stats.requests_rejected_shed += shard_result["rejected_shed"]
             stats.requests_retried += shard_result["retried"]
+            stats.requests_rejected_wear += shard_result.get(
+                "rejected_wear", 0)
             if shard_result["clock_ns"] > stats.simulated_ns:
                 stats.simulated_ns = shard_result["clock_ns"]
             summary = {key: shard_result[key]
@@ -623,6 +697,26 @@ class EnvyService:
             stats.rebuild_accesses = expansion["rebuild_accesses"]
         self.last_stats = stats
         return stats
+
+    def _globalize_wear(self, wear: Dict, shard: int) -> None:
+        """Rewrite one shard slice's wear keys into service-global terms
+        (in place, before the cross-shard merge): local page numbers
+        become global logical pages and physical segments become
+        ``s<bank>:p<phys>`` strings, so merging never conflates two
+        banks' resources."""
+        router = self.router
+        page_writes = {}
+        for local, count in wear["page_writes"].items():
+            try:
+                page_writes[router.global_page(shard, local)] = count
+            except IndexError:
+                # Non-primary slot (degraded redirect): no global
+                # primary inverse; keep a shard-scoped key instead.
+                page_writes[f"s{shard}:l{local}"] = count
+        wear["page_writes"] = page_writes
+        wear["flush_segments"] = {
+            f"s{shard}:p{phys}": count
+            for phys, count in wear["flush_segments"].items()}
 
     # ------------------------------------------------------------------
     # Bank lifecycle (redundancy layer)
@@ -783,6 +877,107 @@ class EnvyService:
         }
 
     # ------------------------------------------------------------------
+    # Security (adversarial multi-tenancy)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, name: str,
+                   rate_tps: Optional[float] = None) -> None:
+        """Degrade one tenant's token bucket to the quarantine rate.
+
+        Quarantine acts at schedule time (the load generator swaps in a
+        bucket at ``rate_tps``, never relaxing the tenant's own limit),
+        so a quarantined tenant's traffic is throttled identically
+        across reruns and ``jobs`` settings.  ``release`` undoes it.
+        """
+        if name not in {t.name for t in self.tenants}:
+            raise ValueError(f"unknown tenant {name!r}")
+        rate = float(rate_tps if rate_tps is not None
+                     else self.config.quarantine_tps)
+        if rate <= 0:
+            raise ValueError("quarantine rate must be positive")
+        self.quarantined[name] = rate
+        if self.events.active:
+            self.events.mark(SECURITY_QUARANTINE,
+                             {"tenant": name, "rate_tps": rate})
+
+    def release(self, name: str) -> None:
+        """Lift a tenant's quarantine (no-op if not quarantined)."""
+        self.quarantined.pop(name, None)
+
+    def detect_attacks(self) -> dict:
+        """Run the :class:`~repro.service.adversary.AttackDetector`
+        over the last run's attributed wear; the report lands in
+        ``health_report()["security"]``.
+
+        Needs a run with ``attribute_wear=True`` — the detector's
+        signals (wear concentration, cleaning amplification, buffer
+        residency) only exist when shards attributed them.
+        """
+        from .adversary import AttackDetector
+
+        if self.last_stats is None:
+            raise ValueError("run the service before detecting attacks")
+        report = AttackDetector(self).analyze(self.last_stats)
+        self._last_security = report
+        return report
+
+    def scatter_hot_pages(self, name: str, max_pages: int = 16,
+                          stats: Optional[ServiceStats] = None) -> dict:
+        """Remap a flagged tenant's hottest pages to seeded random
+        peers (SoftWear-style table swaps — no data moves in the
+        simulated hardware, the pages just land on other banks /
+        segments from the next run on).
+
+        Needs a remap-capable router (``remappable=True``, any
+        redundancy, or ranged placement) and a run with attributed wear
+        to rank the tenant's pages by — the last run by default, or an
+        explicit ``stats`` (e.g. the attack run's wear applied to a
+        fresh mitigated service).
+        """
+        router = self.router
+        if not isinstance(router, RedundantRouter):
+            raise ValueError(
+                "hot-page scatter needs a remap-capable router — set "
+                "remappable=True (or any redundancy) in ServiceConfig")
+        names = [t.name for t in self.tenants]
+        if name not in names:
+            raise ValueError(f"unknown tenant {name!r}")
+        stats = stats if stats is not None else self.last_stats
+        wear = (stats.tenants[name].wear
+                if stats is not None and name in stats.tenants else None)
+        if not wear or not wear.get("page_writes"):
+            raise ValueError(
+                f"no attributed wear for {name!r} — run with "
+                f"attribute_wear=True first")
+        page_writes = {page: count
+                       for page, count in wear["page_writes"].items()
+                       if isinstance(page, int)}
+        hot = sorted(page_writes.items(),
+                     key=lambda item: (-item[1], item[0]))[:max_pages]
+        rng = random.Random(
+            derive_seed(self.config.seed, 7000 + names.index(name)))
+        taken = {page for page, _ in hot}
+        bus = self.events
+        swaps: List[Tuple[int, int]] = []
+        for page, _ in hot:
+            peer = None
+            for _ in range(32):
+                candidate = rng.randrange(router.num_pages)
+                if candidate not in taken:
+                    peer = candidate
+                    break
+            if peer is None:
+                continue
+            taken.add(peer)
+            router.swap(page, peer)
+            swaps.append((page, peer))
+            if bus.active:
+                bus.mark(SECURITY_REMAP,
+                         {"tenant": name, "page": page, "peer": peer})
+        return {"tenant": name, "swaps": swaps,
+                "remapped_pages": router.remapped_pages}
+
+    # ------------------------------------------------------------------
     # Health
     # ------------------------------------------------------------------
 
@@ -817,12 +1012,20 @@ class EnvyService:
                     for bank, state in enumerate(self._bank_states)],
             },
         }
+        security = {
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "wear_budget": self.config.wear_budget,
+            "flagged": [],
+        }
+        if self._last_security is not None:
+            security.update(self._last_security)
+        report["security"] = security
         if self._last_chaos is not None:
             report["recovery"] = self._last_chaos
         stats = self.last_stats
         if stats is None:
             report["last_run"] = False
-            return report
+            return _canonical_report(report)
         report["last_run"] = True
         report.update({
             "requests_offered": stats.requests_offered,
@@ -832,6 +1035,7 @@ class EnvyService:
             "requests_rejected_shed": stats.requests_rejected_shed,
             "requests_rejected": stats.requests_rejected,
             "requests_retried": stats.requests_retried,
+            "requests_rejected_wear": stats.requests_rejected_wear,
             "accesses_served": stats.accesses_served,
             "simulated_ns": stats.simulated_ns,
             "accesses_per_simulated_s": round(
@@ -849,7 +1053,7 @@ class EnvyService:
             for key in ("accesses", "rejected_queue", "rejected_shed",
                         "retried", "flushes", "clean_copies", "erases"):
                 report[prefix + key] = summary[key]
-        return report
+        return _canonical_report(report)
 
     def record_chaos_report(self, report) -> None:
         """Fold a chaos drill's per-shard recovery outcome into

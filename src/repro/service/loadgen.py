@@ -26,13 +26,14 @@ global_page)`` — picklable, compact, and directly partitionable by the
 from __future__ import annotations
 
 import heapq
+import math
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.sweep import derive_seed
 from ..workloads.uniform import UniformWorkload
 from ..workloads.zipf import ZipfWorkload
-from .tenant import TenantSpec
+from .tenant import TenantSpec, TokenBucket
 
 __all__ = ["Request", "LoadGenerator"]
 
@@ -44,7 +45,9 @@ class LoadGenerator:
     """Builds the merged request schedule for a set of tenants."""
 
     def __init__(self, tenants: Sequence[TenantSpec], num_pages: int,
-                 page_bytes: int = 256, seed: int = 0) -> None:
+                 page_bytes: int = 256, seed: int = 0,
+                 rate_overrides: Optional[Mapping[str, float]] = None
+                 ) -> None:
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -54,10 +57,25 @@ class LoadGenerator:
             tenant.validate()
         if num_pages < 1:
             raise ValueError("need at least one page")
+        if rate_overrides:
+            unknown = set(rate_overrides) - set(names)
+            if unknown:
+                raise ValueError(
+                    f"rate overrides for unknown tenants {sorted(unknown)}")
+            for name, rate in rate_overrides.items():
+                if rate <= 0:
+                    raise ValueError(
+                        f"rate override for {name!r} must be positive")
         self.tenants = list(tenants)
         self.num_pages = num_pages
         self.page_bytes = page_bytes
         self.seed = seed
+        #: Quarantine hook (repro.service.adversary): a tenant listed
+        #: here gets a token bucket at the given rate regardless of its
+        #: own ``rate_limit_tps``, applied at schedule time like every
+        #: other admission decision — so a quarantined tenant's traffic
+        #: is degraded identically across reruns and ``jobs`` settings.
+        self.rate_overrides = dict(rate_overrides or {})
         self._layout = None  # built lazily for TPC-A tenants
 
     # ------------------------------------------------------------------
@@ -129,12 +147,49 @@ class LoadGenerator:
                     f"tenant {spec.name!r} page_range {spec.page_range} "
                     f"exceeds the {self.num_pages}-page service space")
             span = end - base
+        write_fraction = spec.write_fraction
+        if spec.workload in ("hammer", "squat", "clean_amp"):
+            # Attack shapes are pure functions of the access index plus
+            # one seeded placement draw, so an attack replays
+            # bit-identically — the property the detector benchmarks
+            # and the mitigation gates depend on.
+            placement_rng = random.Random(page_seed)
+            if spec.workload == "clean_amp":
+                # Golden-ratio stride, bumped to the next value coprime
+                # with the span: a full-period sweep with maximal
+                # distance between consecutive writes.  Nothing dwells
+                # in SRAM long enough to coalesce and no segment ever
+                # looks cold to a locality cleaner — close to the
+                # worst-case cleaning cost per admitted byte.
+                stride = max(1, round(span * 0.6180339887498949))
+                while math.gcd(stride, span) != 1:
+                    stride += 1
+                offset = placement_rng.randrange(span)
+                for index, arrival in enumerate(arrivals):
+                    is_write = rng.random() < write_fraction
+                    page = base + (offset + index * stride) % span
+                    rows.append((arrival, is_write, page))
+                return rows
+            # hammer / squat: cycle over a contiguous run of
+            # ``attack_pages`` pages.  Contiguous global pages stripe
+            # round-robin across shards, so the run splits evenly into
+            # per-shard working sets: sized just past one buffer's
+            # coalescing reach it becomes targeted wear-out (every
+            # write misses SRAM and flushes back toward the same few
+            # segments); sized to the buffer capacity itself it becomes
+            # occupancy squatting (the cycle pins every FIFO slot).
+            working_set = max(1, min(spec.attack_pages, span))
+            start = placement_rng.randrange(span - working_set + 1)
+            for index, arrival in enumerate(arrivals):
+                is_write = rng.random() < write_fraction
+                page = base + start + index % working_set
+                rows.append((arrival, is_write, page))
+            return rows
         if spec.workload == "zipf":
             pages = ZipfWorkload(span, skew=spec.skew, seed=page_seed,
                                  scatter=spec.scatter)
         else:
             pages = UniformWorkload(span, seed=page_seed)
-        write_fraction = spec.write_fraction
         for arrival in arrivals:
             is_write = rng.random() < write_fraction
             rows.append((arrival, is_write, base + pages.next_page()))
@@ -160,7 +215,15 @@ class LoadGenerator:
         for index, spec in enumerate(self.tenants):
             arrival_rng = random.Random(derive_seed(self.seed, 2 * index))
             page_seed = derive_seed(self.seed, 2 * index + 1)
-            bucket = spec.make_bucket()
+            override = self.rate_overrides.get(spec.name)
+            if override is not None:
+                # Quarantine: the degraded bucket replaces (never
+                # relaxes) the tenant's own rate limit.
+                if spec.rate_limit_tps is not None:
+                    override = min(override, spec.rate_limit_tps)
+                bucket = TokenBucket(override, spec.burst)
+            else:
+                bucket = spec.make_bucket()
             arrivals = self._arrivals(spec, arrival_rng, end_ns)
             rows = self._accesses(spec, arrival_rng, page_seed, arrivals)
             stream: List[Request] = []

@@ -17,12 +17,20 @@ shared shard pool.  A tenant bundles three things:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..obs.hist import LatencyHistogram
 
-__all__ = ["TokenBucket", "TenantSpec", "TenantStats"]
+__all__ = ["TokenBucket", "TenantSpec", "TenantStats",
+           "ATTACK_WORKLOADS"]
+
+#: Workload shapes that model a hostile tenant (repro.service.adversary).
+#: They generate through the same seeded LoadGenerator streams as honest
+#: shapes, so an attack replays bit-identically across reruns and jobs.
+ATTACK_WORKLOADS = ("hammer", "clean_amp", "squat")
+
+_HONEST_WORKLOADS = ("zipf", "uniform", "tpca")
 
 
 class TokenBucket:
@@ -98,6 +106,27 @@ class TenantSpec:
     permutation (default); turning it off makes popularity rank equal
     page number, so the hot head is a *contiguous* prefix — the
     pathological layout the rebalancer exists to repair.
+
+    Three additional shapes model a *hostile* tenant (see
+    :mod:`repro.service.adversary`):
+
+    * ``"hammer"`` — targeted wear-out: cycle writes over a contiguous
+      run of ``attack_pages`` pages.  Sized just past the SRAM buffer's
+      coalescing reach, every write misses and flushes back toward the
+      same few segments, burning their endurance.
+    * ``"clean_amp"`` — cleaning-pressure amplification: a coprime
+      stride sweep of the whole span, the pattern that defeats both
+      SRAM coalescing and locality-aware cleaning, maximizing cleaner
+      copies per admitted byte.
+    * ``"squat"`` — buffer-occupancy squatting: cycle over
+      ``attack_pages`` pages sized to the aggregate SRAM buffer, so
+      the attacker's pages pin every shard's FIFO near its watermarks
+      and neighbors fall into throttle/shed admission.
+
+    ``wear_budget`` caps how many admitted writes this tenant may land
+    on any single logical page (``None`` = the service-wide default
+    from :class:`~repro.service.frontend.ServiceConfig`); the shard
+    executors enforce it at admission.
     """
 
     name: str
@@ -113,12 +142,21 @@ class TenantSpec:
     service_estimate_ns: int = 200
     page_range: Optional[Tuple[int, int]] = None
     scatter: bool = True
+    #: Working-set size of the hammer/squat attack shapes, in pages.
+    attack_pages: int = 64
+    #: Per-page admitted-write cap enforced at shard admission
+    #: (``None`` = the ServiceConfig default, which itself defaults off).
+    wear_budget: Optional[int] = None
 
     def validate(self) -> None:
         if not self.name:
             raise ValueError("tenant needs a name")
-        if self.workload not in ("zipf", "uniform", "tpca"):
+        if self.workload not in _HONEST_WORKLOADS + ATTACK_WORKLOADS:
             raise ValueError(f"unknown workload {self.workload!r}")
+        if self.attack_pages < 1:
+            raise ValueError("attack_pages must be positive")
+        if self.wear_budget is not None and self.wear_budget < 1:
+            raise ValueError("wear_budget must be positive when set")
         if self.mode not in ("open", "closed"):
             raise ValueError(f"unknown arrival mode {self.mode!r}")
         if self.mode == "open" and self.rate_tps <= 0:
@@ -144,12 +182,129 @@ class TenantSpec:
             return None
         return TokenBucket(self.rate_limit_tps, self.burst)
 
+    # ------------------------------------------------------------------
+    # Parsing (the one tenant-spec parser; CLI and benches delegate here)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_bool(value: str) -> bool:
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"bad boolean {value!r} (use true/false)")
+
+    @staticmethod
+    def _parse_range(value: str) -> Tuple[int, int]:
+        start, sep, end = value.strip().partition(":")
+        if not sep:
+            raise ValueError(
+                f"bad page_range {value!r} (use 'start:end', e.g. 0:256)")
+        return int(float(start)), int(float(end))
+
+    @classmethod
+    def _coercers(cls) -> Dict[str, object]:
+        coercers: Dict[str, object] = {}
+        for spec_field in fields(cls):
+            if spec_field.type in ("int", "Optional[int]"):
+                coercers[spec_field.name] = int
+            elif spec_field.type in ("float", "Optional[float]"):
+                coercers[spec_field.name] = float
+            elif spec_field.type == "bool":
+                coercers[spec_field.name] = cls._parse_bool
+            elif "Tuple" in spec_field.type:
+                coercers[spec_field.name] = cls._parse_range
+            else:
+                coercers[spec_field.name] = str
+        return coercers
+
+    @classmethod
+    def parse(cls, spec: str) -> "TenantSpec":
+        """``"name=a,workload=zipf,rate_tps=1e6,..."`` -> validated spec.
+
+        The single source of truth for tenant-spec strings: the serve
+        CLI and every benchmark parse through here.  Keys are the
+        dataclass fields; numbers accept scientific notation (ints go
+        through float, so ``clients=1e2`` works), booleans accept
+        true/false/yes/no/on/off/1/0, ``page_range`` is ``start:end``,
+        and workload names may use ``-`` for ``_`` (``clean-amp``).
+        Raises :class:`ValueError` on unknown keys or bad values.
+        """
+        coercers = cls._coercers()
+        kwargs: Dict[str, object] = {}
+        for part in spec.split(","):
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in coercers:
+                raise ValueError(
+                    f"bad tenant spec item {part!r}; keys: "
+                    f"{', '.join(sorted(coercers))}")
+            coerce = coercers[key]
+            kwargs[key] = coerce(float(value)) if coerce is int else \
+                coerce(value.strip())
+        if isinstance(kwargs.get("workload"), str):
+            kwargs["workload"] = kwargs["workload"].replace("-", "_")
+        tenant = cls(**kwargs)
+        tenant.validate()
+        return tenant
+
+    @classmethod
+    def from_spec(cls, spec: Union["TenantSpec", Mapping, str]
+                  ) -> "TenantSpec":
+        """Coerce any of the accepted tenant descriptions to a spec:
+        an existing :class:`TenantSpec`, a kwargs mapping (the benchmark
+        scenario form), or a ``key=value,...`` string (the CLI form)."""
+        if isinstance(spec, cls):
+            spec.validate()
+            return spec
+        if isinstance(spec, str):
+            return cls.parse(spec)
+        tenant = cls(**dict(spec))
+        tenant.validate()
+        return tenant
+
+
+def _merge_tree(dst: Dict, src: Mapping) -> Dict:
+    """Add ``src`` into ``dst`` recursively: numbers add, dicts merge
+    key-wise, lists add element-wise (shorter side zero-padded).  Both
+    operations commute and associate, so merging shard slices in any
+    order produces the same aggregate."""
+    for key, value in src.items():
+        if isinstance(value, Mapping):
+            dst[key] = _merge_tree(dst.get(key) or {}, value)
+        elif isinstance(value, list):
+            have = list(dst.get(key) or [])
+            if len(have) < len(value):
+                have.extend([0] * (len(value) - len(have)))
+            for index, item in enumerate(value):
+                have[index] += item
+            dst[key] = have
+        else:
+            dst[key] = dst.get(key, 0) + value
+    return dst
+
 
 class TenantStats:
-    """One tenant's service-level view of a run (mergeable)."""
+    """One tenant's service-level view of a run (mergeable).
+
+    :meth:`merge_shard` is **field-complete and order-independent**: it
+    folds in *every* key of a shard's per-tenant slice — named counters
+    onto their attributes, ``*_latency`` histogram states by exact
+    bucket addition, the ``wear`` attribution tree recursively, and any
+    key this class has never heard of into :attr:`extra` — rather than
+    reading a fixed key list.  A counter that exists on only one side
+    (a tenant confined to one bank via ``page_range``, a shard that
+    never retried) merges as if the other side reported zero, and any
+    permutation of the shard results yields the same aggregate.
+    """
 
     __slots__ = ("name", "offered", "throttled", "rejected", "delayed",
-                 "reads", "writes", "read_latency", "write_latency")
+                 "reads", "writes", "retried", "rejected_wear",
+                 "read_latency", "write_latency", "wear", "extra")
+
+    _COUNTERS = ("rejected", "delayed", "reads", "writes", "retried",
+                 "rejected_wear")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -163,38 +318,81 @@ class TenantStats:
         self.delayed = 0
         self.reads = 0
         self.writes = 0
+        #: Queue-full rejections absorbed as deferred retries.
+        self.retried = 0
+        #: Writes refused because the tenant exhausted a per-page wear
+        #: budget (repro.service.adversary mitigation).
+        self.rejected_wear = 0
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
+        #: Wear-attribution tree (writes per segment, induced cleaning,
+        #: buffer residency) when the run attributed wear, else None.
+        self.wear: Optional[Dict] = None
+        #: Counters no named attribute claims — nothing a shard reports
+        #: is ever dropped on merge.
+        self.extra: Dict[str, object] = {}
 
     @property
     def served(self) -> int:
         return self.reads + self.writes
 
-    def merge_shard(self, shard_stats: Dict) -> None:
+    def merge_shard(self, shard_stats: Mapping) -> None:
         """Fold one shard's per-tenant slice into the aggregate."""
-        self.rejected += shard_stats["rejected"]
-        self.delayed += shard_stats["delayed"]
-        self.reads += shard_stats["reads"]
-        self.writes += shard_stats["writes"]
-        self.read_latency.merge(
-            LatencyHistogram.from_state(shard_stats["read_latency"]))
-        self.write_latency.merge(
-            LatencyHistogram.from_state(shard_stats["write_latency"]))
+        for key, value in shard_stats.items():
+            if key in self._COUNTERS:
+                setattr(self, key, getattr(self, key) + value)
+            elif key in ("read_latency", "write_latency"):
+                getattr(self, key).merge(
+                    LatencyHistogram.from_state(value))
+            elif key == "wear":
+                self.wear = _merge_tree(self.wear or {}, value)
+            elif key.endswith("_latency"):
+                hist = self.extra.get(key)
+                if hist is None:
+                    hist = self.extra[key] = LatencyHistogram()
+                hist.merge(LatencyHistogram.from_state(value))
+            elif isinstance(value, (Mapping, list)):
+                merged = _merge_tree({key: self.extra.get(key)}
+                                     if self.extra.get(key) is not None
+                                     else {}, {key: value})
+                self.extra[key] = merged[key]
+            else:
+                self.extra[key] = self.extra.get(key, 0) + value
 
     def as_dict(self) -> dict:
         """Flat JSON-friendly summary (histograms reduced to tails)."""
-        return {
+        summary = {
             "offered": self.offered,
             "throttled": self.throttled,
             "rejected": self.rejected,
             "delayed": self.delayed,
             "reads": self.reads,
             "writes": self.writes,
+            "retried": self.retried,
+            "rejected_wear": self.rejected_wear,
             "read_p50_ns": self.read_latency.p50,
             "read_p99_ns": self.read_latency.p99,
             "write_p50_ns": self.write_latency.p50,
             "write_p99_ns": self.write_latency.p99,
         }
+        if self.wear is not None:
+            summary["wear"] = {
+                "flushes": self.wear.get("flushes", 0),
+                "induced_clean_copies": self.wear.get(
+                    "induced_clean_copies", 0),
+                "segments_written": len(
+                    self.wear.get("flush_segments") or {}),
+                "residency_ns": self.wear.get("residency_ns", 0),
+            }
+        for key in sorted(self.extra):
+            value = self.extra[key]
+            if isinstance(value, LatencyHistogram):
+                summary[key[:-len("_latency")] + "_p99_ns"] = value.p99
+            elif isinstance(value, dict):
+                summary[key] = {str(k): value[k] for k in sorted(value)}
+            else:
+                summary[key] = value
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TenantStats({self.name}: {self.served} served, "

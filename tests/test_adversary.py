@@ -1,0 +1,340 @@
+"""Adversarial multi-tenancy: attribution, detection, mitigation.
+
+The attack workloads, the per-tenant wear attribution they are judged
+by, and the quarantine/budget/scatter defenses all live on the same
+determinism contract as the rest of the service: every number here is
+a pure function of ``(config, tenants, duration, seed)``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifetime import LifetimeEstimate
+from repro.core.metrics import wear_concentration
+from repro.service import (ATTACK_KINDS, AttackDetector, EnvyService,
+                           ServiceConfig, TenantSpec, attack_tenant,
+                           project_lifetime, run_attack_scenario)
+from repro.service.frontend import _canonical_report
+from repro.service.tenant import TenantStats
+
+CONFIG = ServiceConfig(num_shards=2, num_segments=12,
+                       pages_per_segment=16, seed=7)
+HONEST = [
+    TenantSpec("zipfy", rate_tps=1.5e5, skew=1.1, write_fraction=0.4),
+    TenantSpec("uni", rate_tps=1e5, workload="uniform",
+               write_fraction=0.4),
+]
+DURATION = 0.01
+
+
+def _attributed(tenants, duration=DURATION, jobs=1, **config_overrides):
+    config = dataclasses.replace(CONFIG, attribute_wear=True,
+                                 **config_overrides)
+    service = EnvyService(config, tenants)
+    stats = service.run(duration, jobs=jobs)
+    return service, stats
+
+
+class TestAttribution:
+    def test_wear_stats_populated_per_tenant(self):
+        service, stats = self._run = _attributed(HONEST)
+        for spec in HONEST:
+            wear = stats.tenants[spec.name].wear
+            assert wear["flushes"] > 0
+            assert wear["page_writes"]
+            assert wear["residency_ns"] > 0
+            assert wear["residency_windows"]
+        assert stats.segment_programs
+        # Attribution keys are global: every page key routes back to a
+        # (shard, local) pair and every segment key names its shard.
+        for key in stats.segment_programs:
+            assert key.startswith("s") and ":p" in key
+
+    def test_attribution_is_observational(self):
+        """Timings and counters are bit-identical with attribution on
+        or off — it only *adds* the wear block."""
+        plain = EnvyService(CONFIG, HONEST).run(DURATION, jobs=1)
+        _, attributed = _attributed(HONEST)
+        base, extra = plain.as_dict(), attributed.as_dict()
+        for name in base["tenants"]:
+            stripped = dict(extra["tenants"][name])
+            stripped.pop("wear", None)
+            assert stripped == base["tenants"][name]
+        assert base["shards"] == extra["shards"]
+
+    def test_flush_attribution_accounts_for_shard_totals(self):
+        """Every flush of a tenant-written page is attributed; the only
+        unowned flushes are pages the untimed prewarm left in the SRAM
+        buffer, bounded by the buffers' capacity."""
+        _, stats = _attributed(HONEST)
+        attributed = sum(t.wear["flushes"]
+                         for t in stats.tenants.values())
+        total = sum(s["flushes"] for s in stats.shards)
+        prewarm_leftovers = (CONFIG.num_shards
+                             * CONFIG.pages_per_segment)
+        assert attributed <= total
+        assert total - attributed <= prewarm_leftovers
+
+    def test_deterministic_across_reruns_and_jobs(self):
+        baseline = _attributed(HONEST)[1].as_dict()
+        assert _attributed(HONEST)[1].as_dict() == baseline
+        assert _attributed(HONEST, jobs=2)[1].as_dict() == baseline
+
+
+class TestDetector:
+    def test_honest_mix_has_zero_false_positives(self):
+        service, _ = _attributed(HONEST)
+        report = service.detect_attacks()
+        assert report["flagged"] == []
+
+    @pytest.mark.parametrize("kind", ATTACK_KINDS)
+    def test_each_attack_kind_is_flagged_by_name(self, kind):
+        attacker = attack_tenant(kind, CONFIG, rate_tps=1.5e5)
+        service, _ = _attributed(HONEST + [attacker])
+        report = service.detect_attacks()
+        assert "attacker" in report["flagged"]
+        # Detection never comes at the price of smearing blame.
+        assert not set(report["flagged"]) & {t.name for t in HONEST}
+
+    @pytest.mark.parametrize("kind", ATTACK_KINDS)
+    def test_attack_schedules_replay_bit_identically(self, kind):
+        attacker = attack_tenant(kind, CONFIG, rate_tps=1.5e5)
+        runs = [_attributed(HONEST + [attacker], jobs=jobs)[1].as_dict()
+                for jobs in (1, 1, 2)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_detection_lands_in_health_report_security(self):
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5)
+        service, _ = _attributed(HONEST + [attacker])
+        service.detect_attacks()
+        security = service.health_report()["security"]
+        assert security["flagged"] == ["attacker"]
+
+    def test_unknown_attack_kind_rejected(self):
+        with pytest.raises(ValueError):
+            attack_tenant("rowhammer")
+
+
+class TestMitigation:
+    def test_quarantine_throttles_at_schedule_time(self):
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5)
+        service, loud = _attributed(HONEST + [attacker])
+        quarantined = EnvyService(
+            dataclasses.replace(CONFIG, attribute_wear=True),
+            HONEST + [attacker])
+        quarantined.quarantine("attacker", rate_tps=2e4)
+        quiet = quarantined.run(DURATION, jobs=1)
+        assert quiet.tenants["attacker"].throttled > 0
+        assert (quiet.tenants["attacker"].served
+                < loud.tenants["attacker"].served)
+        assert "attacker" in quarantined.health_report()["security"][
+            "quarantined"]
+        quarantined.release("attacker")
+        assert quarantined.quarantined == {}
+
+    def test_quarantine_never_relaxes_own_rate_limit(self):
+        spec = TenantSpec("slowpoke", rate_tps=1e5, rate_limit_tps=1e4)
+        service = EnvyService(CONFIG, [spec])
+        service.quarantine("slowpoke", rate_tps=9e9)
+        stats = service.run(0.005, jobs=1)
+        limited = EnvyService(CONFIG, [spec]).run(0.005, jobs=1)
+        assert stats.tenants["slowpoke"].served <= \
+            limited.tenants["slowpoke"].served
+
+    def test_wear_budget_caps_per_page_writes(self):
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5,
+                                 wear_budget=4)
+        service, stats = _attributed(HONEST + [attacker])
+        wear = stats.tenants["attacker"].wear
+        assert stats.tenants["attacker"].rejected_wear > 0
+        assert max(wear["page_writes"].values()) <= 4
+        assert stats.requests_rejected_wear > 0
+
+    def test_scatter_requires_remappable_router(self):
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5)
+        service, _ = _attributed(HONEST + [attacker])
+        with pytest.raises(ValueError):
+            service.scatter_hot_pages("attacker")
+        remappable, _ = _attributed(HONEST + [attacker], remappable=True)
+        result = remappable.scatter_hot_pages("attacker", max_pages=8)
+        assert len(result["swaps"]) > 0
+        assert result["remapped_pages"] > 0
+
+    def test_scenario_restores_honest_tenants(self):
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5)
+        scenario = run_attack_scenario(CONFIG, HONEST, attacker,
+                                       DURATION, jobs=1)
+        assert scenario["attack"]["flagged"] == ["attacker"]
+        assert scenario["baseline"]["flagged"] == []
+        # A throttled attacker may still look like an attacker; what
+        # mitigation must guarantee is that no honest tenant is blamed.
+        assert set(scenario["mitigated"]["flagged"]) <= {"attacker"}
+        base = scenario["baseline"]
+        mitigated = scenario["mitigated"]
+        assert (mitigated["lifetime_days"]
+                >= 0.5 * base["lifetime_days"])
+        for name in ("zipfy", "uni"):
+            for metric in ("read_p99_ns", "write_p99_ns"):
+                assert mitigated["tenants"][name][metric] <= 2 * max(
+                    base["tenants"][name][metric], 2000)
+
+    def test_scenario_deterministic_across_jobs(self):
+        attacker = attack_tenant("clean-amp", CONFIG, rate_tps=1.5e5)
+        one = run_attack_scenario(CONFIG, HONEST, attacker, 0.005, jobs=1)
+        two = run_attack_scenario(CONFIG, HONEST, attacker, 0.005, jobs=2)
+        assert json.dumps(one, sort_keys=True) == \
+            json.dumps(two, sort_keys=True)
+
+
+class TestLifetimeUnderSkew:
+    BASE = dict(array_pages=10_000, endurance_cycles=100_000,
+                page_flush_rate=1000.0, cleaning_cost=0.3)
+
+    def test_uniform_wear_matches_paper_model(self):
+        assert LifetimeEstimate(**self.BASE).days == \
+            LifetimeEstimate(**self.BASE, concentration=1.0).days
+
+    def test_lifetime_monotone_in_concentration(self):
+        days = [LifetimeEstimate(**self.BASE, concentration=c).days
+                for c in (1.0, 1.5, 2.0, 4.0, 16.0)]
+        assert days == sorted(days, reverse=True)
+        assert days[-1] < days[0]
+
+    def test_single_segment_hammer_closed_form(self):
+        """All programs in one of S segments => 1/S of the uniform
+        projection, exactly."""
+        segments = 32
+        counts = [0] * segments
+        counts[5] = 12345
+        factor = wear_concentration(counts)
+        assert factor == pytest.approx(segments)
+        uniform = LifetimeEstimate(**self.BASE)
+        hammered = uniform.with_concentration(factor)
+        assert hammered.days == pytest.approx(uniform.days / segments)
+
+    def test_concentration_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LifetimeEstimate(**self.BASE).with_concentration(0.5)
+
+    def test_projection_uses_measured_wear(self):
+        """The attack's damage shows up in the projection — a higher
+        attributed program rate cuts the projected days.  (Segment-level
+        concentration itself may even *drop* under attack: the cleaner's
+        rotation spreads the hammered pages across segments, which is
+        the array's own first line of defense.)"""
+        attacker = attack_tenant("targeted-wear", CONFIG, rate_tps=1.5e5)
+        honest_service, _ = _attributed(HONEST)
+        loud_service, _ = _attributed(HONEST + [attacker])
+        honest_life = project_lifetime(honest_service)
+        loud_life = project_lifetime(loud_service)
+        assert honest_life.concentration >= 1.0
+        assert loud_life.concentration >= 1.0
+        assert loud_life.page_flush_rate > honest_life.page_flush_rate
+        assert loud_life.days < honest_life.days
+
+
+class TestTenantSpecParse:
+    def test_parse_round_trips_through_from_spec(self):
+        spec = TenantSpec.parse(
+            "name=a,workload=clean-amp,rate_tps=2e5,write_fraction=1.0,"
+            "attack_pages=128,wear_budget=64,page_range=0:256")
+        assert spec.workload == "clean_amp"
+        assert spec.attack_pages == 128
+        assert spec.wear_budget == 64
+        assert spec.page_range == (0, 256)
+        assert TenantSpec.from_spec(spec) is spec
+        again = TenantSpec.from_spec(
+            dict(name="a", workload="clean_amp", rate_tps=2e5,
+                 write_fraction=1.0, attack_pages=128, wear_budget=64,
+                 page_range=(0, 256)))
+        assert again == spec
+
+    def test_parse_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ValueError):
+            TenantSpec.parse("name=a,nope=1")
+        with pytest.raises(ValueError):
+            TenantSpec.parse("name=a,page_range=banana")
+        with pytest.raises(ValueError):
+            TenantSpec.parse("name=a,workload=rowhammer")
+
+
+class TestHealthReportOrdering:
+    KEYS = ("num_shards", "pages_per_shard", "service_pages", "tenants",
+            "seed", "redundancy", "security")
+
+    @staticmethod
+    def _head(report):
+        present = [key for key in report
+                   if key in TestHealthReportOrdering.KEYS]
+        return tuple(present)
+
+    def test_fresh_service_report_is_canonically_ordered(self):
+        report = EnvyService(CONFIG, HONEST).health_report()
+        assert self._head(report) == tuple(
+            k for k in self.KEYS if k in report)
+
+    def test_ordering_stable_after_runs_and_detection(self):
+        service, _ = _attributed(HONEST)
+        service.detect_attacks()
+        report = service.health_report()
+        assert self._head(report) == tuple(
+            k for k in self.KEYS if k in report)
+        assert list(report) == list(_canonical_report(dict(report)))
+
+
+_COUNTER_VALUES = st.integers(min_value=0, max_value=1 << 20)
+
+
+def _shard_slices():
+    """One shard's contribution to a tenant, in executor dict form."""
+    wear = st.fixed_dictionaries({
+        "flushes": _COUNTER_VALUES,
+        "induced_clean_copies": _COUNTER_VALUES,
+        "residency_ns": _COUNTER_VALUES,
+        "flush_segments": st.dictionaries(
+            st.text("sp01234:", min_size=1, max_size=6),
+            _COUNTER_VALUES, max_size=4),
+        "page_writes": st.dictionaries(
+            st.integers(min_value=0, max_value=64),
+            _COUNTER_VALUES, max_size=4),
+        "residency_windows": st.lists(_COUNTER_VALUES, max_size=4),
+    })
+    return st.fixed_dictionaries({
+        "rejected": _COUNTER_VALUES,
+        "delayed": _COUNTER_VALUES,
+        "reads": _COUNTER_VALUES,
+        "writes": _COUNTER_VALUES,
+        "retried": _COUNTER_VALUES,
+        "rejected_wear": _COUNTER_VALUES,
+        "read_hist": st.lists(_COUNTER_VALUES, min_size=2, max_size=4),
+        "write_hist": st.lists(_COUNTER_VALUES, min_size=2, max_size=4),
+        "wear": wear,
+    })
+
+
+class TestMergeProperties:
+    @given(st.lists(_shard_slices(), min_size=1, max_size=5))
+    @settings(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_merge_is_field_complete_and_order_independent(self, slices):
+        forward, backward = TenantStats("t"), TenantStats("t")
+        for entry in slices:
+            forward.merge_shard(entry)
+        for entry in reversed(slices):
+            backward.merge_shard(entry)
+        assert forward.as_dict() == backward.as_dict()
+        merged = forward.as_dict()
+        # Field-complete: every scalar counter a shard reports is the
+        # sum over shards — nothing silently dropped.
+        for key in ("rejected", "delayed", "reads", "writes", "retried",
+                    "rejected_wear"):
+            assert merged[key] == sum(entry[key] for entry in slices)
+        assert forward.wear["flushes"] == \
+            sum(entry["wear"]["flushes"] for entry in slices)
+        for entry in slices:
+            for seg, count in entry["wear"]["flush_segments"].items():
+                assert forward.wear["flush_segments"][seg] >= count
