@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Observability-overhead benchmark entry point
+(see ``repro.obs.bench_overhead``).
+
+Times the canonical TPC-A simulation with the event bus dormant (the
+gated zero-overhead-when-disabled number), re-times it with the
+observability hub attached (informational overhead; fidelity must be
+bit-identical), and runs a traced multi-tenant service (0 ns
+critical-path decomposition error, tail blame, SLO burn rates as exact
+fidelity).  Emits ``BENCH_OBS.json``:
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke \\
+        --output BENCH_OBS.current.json \\
+        --compare BENCH_OBS.smoke.json --max-regression 0.05
+
+Like ``bench_perf.py`` this is a plain script, not a pytest benchmark:
+CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.bench_overhead import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

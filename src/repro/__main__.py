@@ -20,6 +20,11 @@ Small front door for the library's experiments:
   out over N eNVy shards, and print the service dashboard (per-tenant
   tails, admission-control counters, per-shard summaries).  ``--smoke``
   additionally proves run-to-run and across-``--jobs`` determinism.
+* ``trace``     — run the service with request-level tracing on: list
+  the slowest requests with their exact critical-path decomposition
+  (queue / redundancy / retry / throttle / flush / clean / service),
+  print per-tenant tail blame and SLO burn rates, and optionally export
+  the Perfetto trace with cross-shard flow links.
 """
 
 from __future__ import annotations
@@ -723,6 +728,178 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_scenario(args):
+    """The ``trace`` command's seeded multi-tenant mix.
+
+    Three declared tenants — a latency-sensitive ``online`` tenant with
+    read/write p99 SLOs, a write-heavy ``batch`` tenant with a write
+    SLO — plus a ``storm`` tenant running the ``clean_amp`` sweep at
+    full write fraction: the induced cleaner storm whose interference
+    the trace attributes (cleaner-debt throttles, sheds, queueing
+    behind the storm's writes).
+    """
+    from .service import ServiceConfig, TenantSpec
+
+    if args.smoke:
+        config = ServiceConfig(num_shards=2, num_segments=8,
+                               pages_per_segment=32, seed=args.seed,
+                               retry_limit=2, queue_capacity=32)
+        rate, duration = 4e6, 0.0004
+    else:
+        config = ServiceConfig(num_shards=args.shards,
+                               num_segments=args.segments,
+                               pages_per_segment=args.pages,
+                               queue_capacity=args.queue,
+                               redundancy=args.redundancy,
+                               retry_limit=args.retry_limit,
+                               seed=args.seed)
+        rate, duration = args.rate, args.duration
+    if not args.smoke and args.tenant:
+        tenants = [_parse_tenant(spec) for spec in args.tenant]
+    else:
+        tenants = [
+            TenantSpec("online", rate_tps=rate / 2, skew=1.0,
+                       write_fraction=0.3,
+                       slo_read_p99_ns=100_000,
+                       slo_write_p99_ns=250_000,
+                       slo_throughput_tps=rate / 20),
+            TenantSpec("batch", rate_tps=rate / 4, workload="uniform",
+                       write_fraction=0.8,
+                       slo_write_p99_ns=500_000),
+            TenantSpec("storm", rate_tps=rate / 2,
+                       workload="clean_amp", write_fraction=1.0),
+        ]
+    return config, tenants, duration
+
+
+def _print_trace_dashboard(report, slo, slowest, percentile) -> None:
+    from .obs.trace import COMPONENTS
+
+    short = {"queue": "queue", "redundancy": "redun",
+             "retry_wait": "retry", "throttle": "thrtl",
+             "flush_stall": "flush", "clean_stall": "clean",
+             "fault_retry": "fault", "service": "srvc"}
+    rows = []
+    for row in report.slowest(slowest):
+        comp = row["components"]
+        parts = " ".join(f"{short[c]}={comp[c]:,}"
+                         for c in COMPONENTS if comp[c])
+        rows.append([row["rid"], row["tenant"], row["op"],
+                     row["shard"], f"{row['latency_ns']:,}",
+                     row["attempts"], parts])
+    print(format_table(["Rid", "Tenant", "Op", "Shard", "Latency (ns)",
+                        "Att", "Critical path (ns)"], rows))
+    print()
+    blame = report.blame(percentile)
+    blame_rows = []
+    for tenant, entry in blame.items():
+        shares = entry["shares"]
+        top = " ".join(f"{short[c]}={shares[c]:.1%}"
+                       for c in COMPONENTS if shares[c] >= 0.001)
+        blame_rows.append([tenant, f"{entry['requests']:,}",
+                           f"{entry['tail_requests']:,}",
+                           f"{entry['threshold_ns']:,}", top])
+    print(format_table([f"Tenant (p{percentile:g} tail)", "Requests",
+                        "Tail", "Threshold (ns)", "Blame shares"],
+                       blame_rows))
+    if slo:
+        print()
+        slo_rows = []
+        for tenant, entry in slo.items():
+            bounds = []
+            for op in ("read", "write"):
+                if op in entry:
+                    bounds.append(f"{op} p99<={entry[op]['bound_p99_ns']:,}"
+                                  f" ({entry[op]['violations']} viol)")
+            burn = entry["burn"]
+            slo_rows.append([
+                tenant, f"{entry['target']:.0%}",
+                "; ".join(bounds) or "-",
+                f"{burn['last']:.2f}/{burn['recent']:.2f}/"
+                f"{burn['lifetime']:.2f}",
+                "yes" if entry["met"] else "NO"])
+        print(format_table(["Tenant SLO", "Target", "Latency objectives",
+                            "Burn last/recent/life", "Met"], slo_rows))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs.export import service_prometheus_text
+    from .service.frontend import EnvyService
+
+    config, tenants, duration = _trace_scenario(args)
+    service = EnvyService(config, tenants)
+    print(f"tracing {len(tenants)} tenants over {config.num_shards} "
+          f"shards for {duration * 1e3:g} ms simulated "
+          f"(seed {config.seed})...")
+    stats = service.run(duration, jobs=args.jobs, trace=True)
+    report = service.last_trace
+    health = service.health_report()
+    slo = health.get("slo", {})
+    print(banner(f"request trace: {len(report.rows):,} rows, "
+                 f"{len(report.served()):,} served foreground"))
+    _print_trace_dashboard(report, slo, args.slowest, args.percentile)
+    err = report.validate()
+    print(f"\ndecomposition: worst |sum(components) - latency| = "
+          f"{err} ns over {len(report.served(include_pseudo=True)):,} "
+          f"served rows")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        written = {
+            "trace.json": report.chrome_trace(),
+            "trace.jsonl": report.to_jsonl(),
+            "service.prom": service_prometheus_text(
+                stats, security=health.get("security"), slo=slo),
+        }
+        import json
+
+        written["slo.json"] = json.dumps(
+            {"slo": slo, "blame": report.blame(args.percentile)},
+            indent=2, sort_keys=True) + "\n"
+        for name, text in written.items():
+            path = os.path.join(args.out, name)
+            with open(path, "w") as handle:
+                handle.write(text)
+            print(f"wrote {path}")
+    if not args.smoke:
+        return err and 1 or 0
+
+    # Smoke mode proves the tracing acceptance criteria: exact
+    # decomposition, blame identical across reruns and --jobs, and
+    # bit-identical metrics with tracing off.
+    failures = []
+    if err != 0:
+        failures.append(f"decomposition error {err} ns (expected 0)")
+    if not slo:
+        failures.append("health_report has no slo section")
+    for name in ("online", "batch"):
+        if name not in slo:
+            failures.append(f"slo section missing tenant {name}")
+    baseline = report.as_dict()
+    rerun = EnvyService(config, tenants)
+    rerun.run(duration, jobs=1, trace=True)
+    if rerun.last_trace.as_dict() != baseline:
+        failures.append("rerun with the same seed changed the trace")
+    fanned = EnvyService(config, tenants)
+    fanned.run(duration, jobs=2, trace=True)
+    if fanned.last_trace.as_dict() != baseline:
+        failures.append("--jobs 2 changed the trace")
+    untraced = EnvyService(config, tenants)
+    if untraced.run(duration, jobs=1).as_dict() != stats.as_dict():
+        failures.append("tracing perturbed the service metrics")
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"smoke ok: 0 ns decomposition error on "
+          f"{len(report.served(include_pseudo=True)):,} rows; blame "
+          f"identical across reruns and --jobs 1/2; metrics "
+          f"bit-identical with tracing off.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -888,6 +1065,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="small fixed run + determinism validation "
                             "(CI)")
+
+    trace = sub.add_parser(
+        "trace", help="request-level tracing: slowest requests with "
+                      "exact critical paths, per-tenant tail blame, "
+                      "SLO burn rates")
+    trace.add_argument("--shards", type=int, default=4)
+    trace.add_argument("--segments", type=int, default=16,
+                       help="flash segments per shard")
+    trace.add_argument("--pages", type=int, default=64,
+                       help="pages per segment")
+    trace.add_argument("--duration", type=float, default=0.002,
+                       help="simulated seconds of tenant traffic")
+    trace.add_argument("--rate", type=float, default=4e6,
+                       help="aggregate offered accesses/s for the "
+                            "default online/batch/storm mix")
+    trace.add_argument("--queue", type=int, default=64,
+                       help="per-shard bounded queue capacity")
+    trace.add_argument("--redundancy", default="none",
+                       help="cross-bank redundancy policy: none, "
+                            "mirror, mirror:K, or parity")
+    trace.add_argument("--retry-limit", type=int, default=2,
+                       dest="retry_limit",
+                       help="bounded retries for queue-full rejections")
+    trace.add_argument("--tenant", action="append", metavar="SPEC",
+                       help="tenant spec (repeatable; replaces the "
+                            "default mix; slo_read_p99_ns=... declares "
+                            "objectives)")
+    trace.add_argument("--slowest", type=int, default=10,
+                       help="list this many slowest requests "
+                            "(default: %(default)s)")
+    trace.add_argument("--percentile", type=float, default=99.0,
+                       help="tail percentile for the blame table")
+    trace.add_argument("--out", default=None, metavar="DIR",
+                       help="write trace.json (Perfetto), trace.jsonl, "
+                            "service.prom and slo.json here")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--jobs", type=int, default=None,
+                       help="shard fan-out workers; never changes "
+                            "results")
+    trace.add_argument("--smoke", action="store_true",
+                       help="small fixed run + tracing acceptance "
+                            "validation (CI)")
     return parser
 
 
@@ -903,6 +1122,7 @@ COMMANDS = {
     "observe": cmd_observe,
     "perf": cmd_perf,
     "serve": cmd_serve,
+    "trace": cmd_trace,
 }
 
 

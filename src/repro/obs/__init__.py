@@ -5,13 +5,19 @@ every subsystem publishes typed events to the controller's
 :class:`~repro.obs.events.EventBus` (dormant and near-free until
 something subscribes), and :class:`~repro.obs.hub.ObservabilityHub`
 turns the stream into histograms, windowed time series, and
-Perfetto/Prometheus/JSONL exports.  See ``docs/OBSERVABILITY.md``.
+Perfetto/Prometheus/JSONL exports.  :mod:`repro.obs.trace` adds
+request-level span trees with exact critical-path attribution and
+:mod:`repro.obs.slo` per-tenant SLO burn tracking on top.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from .events import EventBus, ObsEvent
 from .hist import LatencyHistogram
 from .hub import ObservabilityHub
+from .slo import SLOTracker
 from .timeseries import TimeSeriesSampler, Window
+from .trace import COMPONENTS, TraceReport
 
 __all__ = ["EventBus", "ObsEvent", "LatencyHistogram",
-           "ObservabilityHub", "TimeSeriesSampler", "Window"]
+           "ObservabilityHub", "TimeSeriesSampler", "Window",
+           "TraceReport", "COMPONENTS", "SLOTracker"]

@@ -63,6 +63,10 @@ Event taxonomy (kind strings, hierarchical by prefix):
                         (instant; data: shard, tenant, delay_ns)
 ``service.retry``       queue-full rejection converted into a delayed
                         retry (instant; data: shard, tenant, attempt)
+``service.request``     one traced service request, end to end (span;
+                        data: rid, tenant, shard, op, and the exact
+                        critical-path component breakdown — see
+                        :mod:`repro.obs.trace`)
 ``redundancy.replica``  extra program/read charged for a replica or
                         parity placement (instant; data: bank, kind)
 ``redundancy.kill``     a whole bank was declared dead (instant; data:
@@ -96,7 +100,7 @@ __all__ = [
     "RETRY_ERASE", "FAULT_PREFIX", "CHECKPOINT_BEGIN", "CHECKPOINT_COMMIT",
     "CHECKPOINT_DISABLED", "WEAR_SWAP", "CHAOS_KILL",
     "SERVICE_RUN", "SERVICE_SHARD", "SERVICE_BATCH", "SERVICE_REJECT",
-    "SERVICE_THROTTLE", "SERVICE_RETRY",
+    "SERVICE_THROTTLE", "SERVICE_RETRY", "SERVICE_REQUEST",
     "REDUNDANCY_REPLICA", "REDUNDANCY_KILL", "REDUNDANCY_DEGRADED",
     "REDUNDANCY_REBUILD", "REDUNDANCY_REBALANCE",
     "SECURITY_FLAG", "SECURITY_QUARANTINE", "SECURITY_REMAP",
@@ -123,6 +127,7 @@ SERVICE_BATCH = "service.batch"
 SERVICE_REJECT = "service.reject"
 SERVICE_THROTTLE = "service.throttle"
 SERVICE_RETRY = "service.retry"
+SERVICE_REQUEST = "service.request"
 REDUNDANCY_REPLICA = "redundancy.replica"
 REDUNDANCY_KILL = "redundancy.kill"
 REDUNDANCY_DEGRADED = "redundancy.degraded"

@@ -1,0 +1,185 @@
+"""Per-tenant SLO tracking: objectives, violations, burn rates.
+
+A tenant declares objectives on its :class:`~repro.service.tenant.
+TenantSpec` — ``slo_read_p99_ns`` / ``slo_write_p99_ns`` latency bounds
+that a ``slo_target`` fraction of requests must meet, and/or a
+``slo_throughput_tps`` floor on served accesses per simulated second.
+The :class:`SLOTracker` is fed once per :meth:`~repro.service.frontend.
+EnvyService.run` with the merged per-tenant stats and reports, for
+every tenant with a declared SLO:
+
+* **violation counts** — requests over the latency bound, counted from
+  the exact merged histograms (a request violates when its entire
+  bucket lies above the bound; a bucket straddling the bound counts as
+  compliant, so quantization never inflates violations and the count is
+  identical across reruns and ``--jobs``);
+* **error-budget burn rates** over multiple windows — ``last`` (the
+  most recent run), ``recent`` (the last :data:`RECENT_WINDOW_RUNS`
+  runs) and ``lifetime`` (every observed run).  A burn rate of 1.0
+  means violations are consuming the budget exactly as fast as the
+  target allows (a ``slo_target`` of 0.99 budgets 1% of requests);
+  above 1.0 the tenant is burning error budget faster than it accrues —
+  the multi-window pair (fast ``last`` window, slow ``lifetime``
+  window) is the standard page/ticket split.
+
+Everything here is integer/ratio arithmetic over deterministic inputs,
+so ``health_report()["slo"]`` is a pure function of
+``(tenants, durations, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .hist import LatencyHistogram
+
+__all__ = ["SLOTracker", "violations_over", "RECENT_WINDOW_RUNS"]
+
+#: Runs aggregated into the ``recent`` burn-rate window.
+RECENT_WINDOW_RUNS = 4
+
+
+def violations_over(hist: LatencyHistogram, bound_ns: int) -> int:
+    """Requests whose latency certainly exceeded ``bound_ns``.
+
+    Counts occupied buckets whose *lower* edge is above the bound, so a
+    bucket straddling the bound never counts — conservative, exact for
+    sub-bucket values, and independent of merge order.
+    """
+    violations = 0
+    for low, _, count in hist.iter_buckets():
+        if low > bound_ns:
+            violations += count
+    return violations
+
+
+class _Objective:
+    """One tenant's declared objectives plus the per-run history."""
+
+    __slots__ = ("read_p99_ns", "write_p99_ns", "throughput_tps",
+                 "target", "runs")
+
+    def __init__(self, read_p99_ns: Optional[int],
+                 write_p99_ns: Optional[int],
+                 throughput_tps: Optional[float], target: float) -> None:
+        self.read_p99_ns = read_p99_ns
+        self.write_p99_ns = write_p99_ns
+        self.throughput_tps = throughput_tps
+        self.target = target
+        #: One entry per observed run:
+        #: {"requests", "violations", "served", "duration_s"}.
+        self.runs: List[Dict[str, float]] = []
+
+
+class SLOTracker:
+    """Tracks declared per-tenant SLOs across service runs."""
+
+    def __init__(self, tenants) -> None:
+        self._objectives: Dict[str, _Objective] = {}
+        for spec in tenants:
+            if (spec.slo_read_p99_ns is None
+                    and spec.slo_write_p99_ns is None
+                    and spec.slo_throughput_tps is None):
+                continue
+            self._objectives[spec.name] = _Objective(
+                spec.slo_read_p99_ns, spec.slo_write_p99_ns,
+                spec.slo_throughput_tps, spec.slo_target)
+
+    def __bool__(self) -> bool:
+        return bool(self._objectives)
+
+    @property
+    def tracked_tenants(self) -> List[str]:
+        return sorted(self._objectives)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def observe(self, stats, duration_s: float) -> None:
+        """Fold one run's merged :class:`~repro.service.frontend.
+        ServiceStats` into every tracked tenant's history."""
+        for name, objective in self._objectives.items():
+            tstats = stats.tenants.get(name)
+            if tstats is None:
+                continue
+            requests = 0
+            violations = 0
+            per_op = {}
+            for op, bound in (("read", objective.read_p99_ns),
+                              ("write", objective.write_p99_ns)):
+                if bound is None:
+                    continue
+                hist = getattr(tstats, f"{op}_latency")
+                over = violations_over(hist, bound)
+                per_op[op] = over
+                requests += hist.count
+                violations += over
+            objective.runs.append({
+                "requests": requests,
+                "violations": violations,
+                "per_op": per_op,
+                "served": tstats.served,
+                "duration_s": duration_s,
+            })
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _burn(runs: List[Dict[str, float]], budget: float) -> float:
+        requests = sum(run["requests"] for run in runs)
+        violations = sum(run["violations"] for run in runs)
+        if not requests:
+            return 0.0
+        return round(violations / requests / budget, 6)
+
+    def report(self) -> Dict[str, dict]:
+        """``health_report()["slo"]``: per tracked tenant, the declared
+        objectives, last-run violation counts, achieved throughput, and
+        multi-window burn rates.  Deterministic per seed."""
+        out: Dict[str, dict] = {}
+        for name in sorted(self._objectives):
+            objective = self._objectives[name]
+            budget = 1.0 - objective.target
+            runs = objective.runs
+            last = runs[-1] if runs else None
+            entry: Dict[str, object] = {
+                "target": objective.target,
+                "runs_observed": len(runs),
+            }
+            for op, bound in (("read", objective.read_p99_ns),
+                              ("write", objective.write_p99_ns)):
+                if bound is None:
+                    continue
+                entry[op] = {"bound_p99_ns": bound,
+                             "violations": (last["per_op"][op]
+                                            if last else 0)}
+            if last is not None:
+                entry["last_requests"] = last["requests"]
+                entry["last_violations"] = last["violations"]
+            burn = {
+                "last": self._burn(runs[-1:], budget),
+                "recent": self._burn(runs[-RECENT_WINDOW_RUNS:], budget),
+                "lifetime": self._burn(runs, budget),
+            }
+            entry["burn"] = burn
+            met = burn["last"] <= 1.0
+            if objective.throughput_tps is not None:
+                served = sum(run["served"] for run in runs)
+                seconds = sum(run["duration_s"] for run in runs)
+                last_tps = (last["served"] / last["duration_s"]
+                            if last and last["duration_s"] else 0.0)
+                lifetime_tps = served / seconds if seconds else 0.0
+                throughput = {
+                    "floor_tps": objective.throughput_tps,
+                    "last_tps": round(last_tps, 1),
+                    "lifetime_tps": round(lifetime_tps, 1),
+                    "met": last_tps >= objective.throughput_tps,
+                }
+                entry["throughput"] = throughput
+                met = met and bool(throughput["met"])
+            entry["met"] = met
+            out[name] = entry
+        return out

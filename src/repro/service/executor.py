@@ -49,8 +49,8 @@ from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.controller import EnvyController
-from ..obs.events import (SERVICE_BATCH, SERVICE_REJECT, SERVICE_RETRY,
-                          SERVICE_THROTTLE)
+from ..obs.events import (SERVICE_BATCH, SERVICE_REJECT, SERVICE_REQUEST,
+                          SERVICE_RETRY, SERVICE_THROTTLE, ObsEvent)
 from ..obs.hist import LatencyHistogram
 from ..perf.sweep import derive_seed
 from .loadgen import Request
@@ -106,8 +106,8 @@ class ShardExecutor:
                  retry_backoff_ns: int = 4000,
                  attribute_wear: bool = False,
                  attribution_window_ns: int = 50_000,
-                 wear_budgets: Optional[Sequence[Optional[int]]] = None
-                 ) -> None:
+                 wear_budgets: Optional[Sequence[Optional[int]]] = None,
+                 trace: bool = False) -> None:
         if queue_capacity < 1:
             raise ValueError("queue needs capacity for at least one request")
         if batch_pages < 1:
@@ -164,6 +164,13 @@ class ShardExecutor:
         #: ``wear_budget`` before it can reach Flash.
         self.wear_budgets = (list(wear_budgets)
                              if wear_budgets is not None else None)
+        #: Request-level tracing (repro.obs.trace): record, per request,
+        #: an exact critical-path decomposition of its latency plus the
+        #: controller spans emitted while serving it, and publish each
+        #: request as a ``service.request`` span on the controller bus.
+        #: Purely observational — the replay and every simulation metric
+        #: are bit-identical with tracing on or off.
+        self.trace = trace
         self._overdraft_ns = 0
         self._stamp = 0
 
@@ -186,12 +193,16 @@ class ShardExecutor:
                 done += work
         return done
 
-    def run(self, requests: Sequence[Request]) -> Dict:
+    def run(self, requests: Sequence[Request],
+            rids: Optional[Sequence[int]] = None) -> Dict:
         """Execute the slice; returns a picklable per-shard stats dict.
 
         ``requests`` carry *local* page numbers (the front-end routes
         global pages before partitioning) and must be sorted by arrival
-        — the schedule order the load generator produced.
+        — the schedule order the load generator produced.  When tracing,
+        ``rids`` aligns a deterministic request id with each row (the
+        request's index in the merged schedule; replica rows share the
+        originating request's id) — defaults to the slice index.
         """
         controller = self.controller
         metrics = controller.metrics
@@ -206,7 +217,8 @@ class ShardExecutor:
         base_hits = metrics.buffer_hits
 
         per_tenant = {
-            name: {"rejected": 0, "delayed": 0, "reads": 0, "writes": 0,
+            name: {"rejected": 0, "rejected_queue": 0, "rejected_shed": 0,
+                   "delayed": 0, "reads": 0, "writes": 0,
                    "retried": 0, "rejected_wear": 0,
                    "read_latency": LatencyHistogram(),
                    "write_latency": LatencyHistogram()}
@@ -307,6 +319,52 @@ class ShardExecutor:
             controller._wear_wrapped = True
             controller.flush_one = attributed_flush
 
+        # --- request tracing (repro.obs.trace) ------------------------
+        tracing = self.trace
+        trace_rows: List[Dict] = []
+        background_spans: Dict[str, List[int]] = {}
+        children: List = []
+        collecting = [False]
+        busy = metrics.busy_ns
+        pseudo_mask = [name.startswith("__") for name in self.tenant_names]
+        track_pseudo = tracing and any(pseudo_mask)
+        #: Service footprints of pseudo-tenant (redundancy / rebuild)
+        #: rows, pruned as arrivals pass them — the exact overlap of a
+        #: request's wait with these intervals is its "redundancy" blame.
+        pseudo_busy: deque = deque()
+
+        if tracing:
+            if rids is None:
+                rids = range(len(requests))
+
+            def collect(event: ObsEvent) -> None:
+                # Controller spans inside the current request window
+                # become its children; spans between requests (idle-gap
+                # background flushing) fold into a per-kind summary.
+                if event.kind == SERVICE_REQUEST:
+                    return
+                if collecting[0]:
+                    children.append((event.kind, event.t_ns,
+                                     event.dur_ns))
+                elif event.dur_ns:
+                    slot_bg = background_spans.get(event.kind)
+                    if slot_bg is None:
+                        background_spans[event.kind] = [1, event.dur_ns]
+                    else:
+                        slot_bg[0] += 1
+                        slot_bg[1] += event.dur_ns
+
+            bus.subscribe(collect)
+
+        def trace_reject(rid, name, is_write, arrival, orig_arrival,
+                         attempt, outcome) -> None:
+            trace_rows.append({
+                "rid": rid, "shard": self.shard_index, "tenant": name,
+                "op": "write" if is_write else "read",
+                "outcome": outcome, "arrival_ns": orig_arrival,
+                "start_ns": arrival, "end_ns": arrival, "latency_ns": 0,
+                "attempts": attempt, "components": {}})
+
         def close_batch() -> None:
             nonlocal batches, batch_len, max_batch
             if batch_len == 0:
@@ -336,9 +394,10 @@ class ShardExecutor:
                                                   requests[index][1],
                                                   requests[index][2])):
                 (arrival, tenant_index, seq, is_write, page, stamp,
-                 orig_arrival, attempt) = heapq.heappop(retries)
+                 orig_arrival, attempt, rid) = heapq.heappop(retries)
             else:
                 request = requests[index]
+                rid = rids[index] if tracing else None
                 index += 1
                 arrival, tenant_index, seq, is_write, page = request[:5]
                 stamp = request[5] if explicit else None
@@ -367,7 +426,7 @@ class ShardExecutor:
                     heapq.heappush(retries,
                                    (due, tenant_index, seq, is_write,
                                     page, stamp, orig_arrival,
-                                    attempt + 1))
+                                    attempt + 1, rid))
                     retried += 1
                     slot["retried"] += 1
                     if bus.active:
@@ -377,11 +436,15 @@ class ShardExecutor:
                                   "attempt": attempt + 1})
                     continue
                 slot["rejected"] += 1
+                slot["rejected_queue"] += 1
                 rejected_queue += 1
                 if bus.active:
                     bus.mark(SERVICE_REJECT,
                              {"shard": self.shard_index, "tenant": name,
                               "reason": "queue_full"})
+                if tracing:
+                    trace_reject(rid, name, is_write, arrival,
+                                 orig_arrival, attempt, "rejected_queue")
                 continue
             # Wear budget: a tenant that has already spent its per-page
             # write allowance gets this write rejected before it can
@@ -397,6 +460,10 @@ class ShardExecutor:
                         bus.mark(SERVICE_REJECT,
                                  {"shard": self.shard_index, "tenant": name,
                                   "reason": "wear_budget"})
+                    if tracing:
+                        trace_reject(rid, name, is_write, arrival,
+                                     orig_arrival, attempt,
+                                     "rejected_wear")
                     continue
             delay = 0
             if is_write:
@@ -404,11 +471,16 @@ class ShardExecutor:
                 if occupancy >= hard_pages:
                     # Cleaner debt at the hard watermark: shed the write.
                     slot["rejected"] += 1
+                    slot["rejected_shed"] += 1
                     rejected_shed += 1
                     if bus.active:
                         bus.mark(SERVICE_REJECT,
                                  {"shard": self.shard_index, "tenant": name,
                                   "reason": "cleaner_behind"})
+                    if tracing:
+                        trace_reject(rid, name, is_write, arrival,
+                                     orig_arrival, attempt,
+                                     "rejected_shed")
                     continue
                 if occupancy >= soft_pages:
                     delay = self.throttle_penalty_ns
@@ -420,7 +492,29 @@ class ShardExecutor:
             if batch_len == 0:
                 batch_start_ns = clock
             address = page * page_bytes
+            if tracing:
+                # Critical-path capture: snapshot the controller's busy
+                # buckets and the overdraft ledger around the access so
+                # every stalled nanosecond lands in exactly one
+                # component (see repro.obs.trace).
+                service_t0 = clock
+                wait_ns = clock - arrival
+                red_wait = 0
+                if track_pseudo and not pseudo_mask[tenant_index]:
+                    while pseudo_busy and pseudo_busy[0][1] <= arrival:
+                        pseudo_busy.popleft()
+                    for p_start, p_end in pseudo_busy:
+                        red_wait += p_end - max(p_start, arrival)
+                flush0 = busy.get("flush", 0)
+                clean0 = busy.get("clean", 0)
+                erase0 = busy.get("erase", 0)
+                retry0 = busy.get("retry", 0)
+                ckpt0 = busy.get("checkpoint", 0)
+                overdraft0 = self._overdraft_ns
             clock += delay
+            if tracing:
+                collecting[0] = True
+                bus.sync(clock)
             if attributing:
                 accrue(clock)
             if is_write:
@@ -464,6 +558,43 @@ class ShardExecutor:
                 clock += ns
                 slot["reads"] += 1
                 slot["read_latency"].record(clock - orig_arrival)
+            if tracing:
+                collecting[0] = False
+                d_flush = busy.get("flush", 0) - flush0
+                d_clean = busy.get("clean", 0) - clean0
+                d_erase = busy.get("erase", 0) - erase0
+                d_retry = busy.get("retry", 0) - retry0
+                d_ckpt = busy.get("checkpoint", 0) - ckpt0
+                overdraft_paid = overdraft0 - self._overdraft_ns
+                stall = d_flush + d_clean + d_erase + d_retry + d_ckpt
+                op = "write" if is_write else "read"
+                components = {
+                    "queue": wait_ns - red_wait,
+                    "redundancy": red_wait,
+                    "retry_wait": arrival - orig_arrival,
+                    "throttle": delay,
+                    "flush_stall": d_flush + d_ckpt + overdraft_paid,
+                    "clean_stall": d_clean + d_erase,
+                    "fault_retry": d_retry,
+                    "service": (clock - service_t0) - delay
+                               - overdraft_paid - stall,
+                }
+                trace_rows.append({
+                    "rid": rid, "shard": self.shard_index,
+                    "tenant": name, "op": op, "outcome": "served",
+                    "arrival_ns": orig_arrival,
+                    "start_ns": service_t0, "end_ns": clock,
+                    "latency_ns": clock - orig_arrival,
+                    "attempts": attempt, "components": components,
+                    "children": list(children)})
+                children.clear()
+                bus.emit(ObsEvent(
+                    SERVICE_REQUEST, service_t0, clock - service_t0,
+                    {"rid": rid, "tenant": name,
+                     "shard": self.shard_index, "op": op,
+                     **components}))
+                if track_pseudo and pseudo_mask[tenant_index]:
+                    pseudo_busy.append((service_t0, clock))
             completions.append(clock)
             batch_len += 1
             if batch_len >= self.batch_pages:
@@ -506,6 +637,10 @@ class ShardExecutor:
         if attributing:
             result["segment_programs"] = segment_programs
             result["buffer_capacity_pages"] = capacity
+        if tracing:
+            bus.unsubscribe(collect)
+            result["trace"] = {"rows": trace_rows,
+                               "background": background_spans}
         return result
 
 
@@ -562,5 +697,6 @@ def service_shard_point(point: Mapping) -> Dict:
         retry_backoff_ns=point.get("retry_backoff_ns", 4000),
         attribute_wear=point.get("attribute_wear", False),
         attribution_window_ns=point.get("attribution_window_ns", 50_000),
-        wear_budgets=point.get("wear_budgets"))
-    return executor.run(point["requests"])
+        wear_budgets=point.get("wear_budgets"),
+        trace=point.get("trace", False))
+    return executor.run(point["requests"], rids=point.get("rids"))

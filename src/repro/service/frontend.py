@@ -61,6 +61,8 @@ from ..obs.events import (REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
                           REDUNDANCY_REPLICA, SECURITY_QUARANTINE,
                           SECURITY_REMAP, SERVICE_RUN, SERVICE_SHARD,
                           EventBus)
+from ..obs.slo import SLOTracker
+from ..obs.trace import TraceReport, merge_shard_traces
 from ..perf.sweep import derive_seed, run_sweep
 from .loadgen import LoadGenerator, Request
 from .redundancy import (BANK_DEAD, BANK_HEALTHY, BANK_REBUILDING,
@@ -85,8 +87,8 @@ _SHARD_WORKER = "repro.service.executor:service_shard_point"
 #: The report's shape therefore never depends on the order in which
 #: state accumulated (fresh service vs. post-recovery vs. post-detect).
 _REPORT_HEAD = ("num_shards", "pages_per_shard", "service_pages",
-                "tenants", "seed", "redundancy", "security", "recovery",
-                "last_run")
+                "tenants", "seed", "redundancy", "security", "slo",
+                "recovery", "last_run")
 
 
 def _canonical_report(report: dict) -> dict:
@@ -398,6 +400,11 @@ class EnvyService:
         self.quarantined: Dict[str, float] = {}
         #: Most recent AttackDetector report (health_report: security).
         self._last_security: Optional[dict] = None
+        #: Per-tenant SLO burn tracking, fed once per :meth:`run`.
+        self.slo = SLOTracker(self.tenants)
+        #: Request trace of the most recent ``run(trace=True)``.
+        self.last_trace: Optional[TraceReport] = None
+        self._last_rids: Optional[List[List[int]]] = None
 
     # ------------------------------------------------------------------
     # Service runs (schedule -> shard fan-out -> merge)
@@ -412,7 +419,8 @@ class EnvyService:
         return all(state == BANK_HEALTHY for state in self._bank_states)
 
     def partition(self, requests: Sequence[Request],
-                  stamped: bool = False) -> List[List[Request]]:
+                  stamped: bool = False,
+                  with_rids: bool = False) -> List[List[Request]]:
         """Split the schedule into per-shard slices with local pages.
 
         With redundancy, remapping, degraded banks or an active
@@ -423,21 +431,44 @@ class EnvyService:
         same cost model as foreground traffic.  ``stamped`` appends a
         per-logical-write stamp to every row (identical across copies)
         and records the write oracle for the chaos drills.
+
+        ``with_rids`` threads request ids (the request's index in the
+        merged schedule) through the split: every row a logical request
+        expands into shares its rid — that is what lets the trace link
+        a request's replica/parity spans across shard tracks — and the
+        per-shard rid lists land in ``self._last_rids`` aligned with
+        the returned slices.  Rebuild copy rows get unique negative
+        rids (they serve no foreground request).
         """
         num_shards = self.router.num_shards
         slices: List[List[Request]] = [[] for _ in range(num_shards)]
         if not stamped and self._plain_routing():
             self._last_expansion = None
+            if with_rids:
+                rid_slices: List[List[int]] = [[] for _ in
+                                               range(num_shards)]
+                for rid, (arrival, tenant, seq, is_write,
+                          page) in enumerate(requests):
+                    shard, local = page % num_shards, page // num_shards
+                    slices[shard].append((arrival, tenant, seq,
+                                          is_write, local))
+                    rid_slices[shard].append(rid)
+                self._last_rids = rid_slices
+                return slices
+            self._last_rids = None
             for arrival, tenant, seq, is_write, page in requests:
                 shard, local = page % num_shards, page // num_shards
                 slices[shard].append((arrival, tenant, seq, is_write,
                                       local))
             return slices
-        return self._partition_expanded(requests, slices, stamped)
+        return self._partition_expanded(requests, slices, stamped,
+                                        with_rids)
 
     def _partition_expanded(self, requests: Sequence[Request],
                             slices: List[List[Request]],
-                            stamped: bool) -> List[List[Request]]:
+                            stamped: bool,
+                            with_rids: bool = False
+                            ) -> List[List[Request]]:
         router = self.router
         states = self._bank_states
         num_shards = router.num_shards
@@ -451,16 +482,23 @@ class EnvyService:
         stamp = 0
         bus = self.events
 
+        cur_rid = 0
+
         def emit(bank: int, tenant_index: int, seq: int, is_write: bool,
                  local: int, row_stamp: int) -> None:
             if stamped:
-                slices[bank].append((arrival, tenant_index, seq,
-                                     is_write, local, row_stamp))
+                row = (arrival, tenant_index, seq, is_write, local,
+                       row_stamp)
             else:
-                slices[bank].append((arrival, tenant_index, seq,
-                                     is_write, local))
+                row = (arrival, tenant_index, seq, is_write, local)
+            if with_rids:
+                # rid rides as the last tuple element so a later sort
+                # co-sorts rows and rids; stripped before dispatch.
+                row += (cur_rid,)
+            slices[bank].append(row)
 
-        for arrival, tenant, seq, is_write, page in requests:
+        for cur_rid, (arrival, tenant, seq, is_write,
+                      page) in enumerate(requests):
             if redundant:
                 placements = router.placements(page)
             else:
@@ -548,10 +586,17 @@ class EnvyService:
                     f"exhausted")
 
         needs_sort = self._inject_rebuild(slices, states, pseudo_reb,
-                                          counters, stamped)
+                                          counters, stamped, with_rids)
         if needs_sort:
             for entry in slices:
                 entry.sort()
+        if with_rids:
+            self._last_rids = [[row[-1] for row in entry]
+                               for entry in slices]
+            for index, entry in enumerate(slices):
+                slices[index] = [row[:-1] for row in entry]
+        else:
+            self._last_rids = None
         self._last_expansion = counters
         self._stamp_oracle = oracle
         return slices
@@ -559,7 +604,8 @@ class EnvyService:
     def _inject_rebuild(self, slices: List[List[Request]],
                         states: List[str], pseudo_reb: int,
                         counters: Dict[str, int],
-                        stamped: bool) -> bool:
+                        stamped: bool,
+                        with_rids: bool = False) -> bool:
         """Charge rate-limited rebuild copy traffic into the slices."""
         if stamped or not self._inject_rebuild_ns:
             return False
@@ -567,6 +613,9 @@ class EnvyService:
         budget = self._inject_rebuild_ns // gap_ns
         bus = self.events
         injected = False
+        # Rebuild rows serve no foreground request: unique negative
+        # rids keep them out of the trace's cross-shard flow links.
+        reb_rid = -1
         for bank in range(len(states)):
             if states[bank] != BANK_REBUILDING:
                 continue
@@ -580,13 +629,19 @@ class EnvyService:
                     if states[src_bank] == BANK_DEAD:
                         continue
                     counters["rebuild_accesses"] += 1
-                    slices[src_bank].append(
-                        (arrival, pseudo_reb, index, False, src_local))
+                    row = (arrival, pseudo_reb, index, False, src_local)
+                    if with_rids:
+                        row += (reb_rid,)
+                        reb_rid -= 1
+                    slices[src_bank].append(row)
                     if entry["op"] == "copy":
                         break  # any one mirror copy suffices
                 counters["rebuild_accesses"] += 1
-                slices[bank].append(
-                    (arrival, pseudo_reb, index, True, entry["local"]))
+                row = (arrival, pseudo_reb, index, True, entry["local"])
+                if with_rids:
+                    row += (reb_rid,)
+                    reb_rid -= 1
+                slices[bank].append(row)
             if entries:
                 injected = True
                 if bus.active:
@@ -597,12 +652,19 @@ class EnvyService:
         return injected
 
     def run(self, duration_s: float,
-            jobs: Optional[int] = None) -> ServiceStats:
+            jobs: Optional[int] = None,
+            trace: bool = False) -> ServiceStats:
         """Serve ``duration_s`` simulated seconds of tenant traffic.
 
         ``jobs`` fans the shards out across worker processes (explicit
         value > ``ENVY_JOBS`` > CPU count); results are identical for
         every setting.
+
+        ``trace`` records every request's span tree and exact critical-
+        path decomposition (see :mod:`repro.obs.trace`); the merged
+        :class:`~repro.obs.trace.TraceReport` lands in
+        :attr:`last_trace`.  Tracing is observational — a traced run's
+        metrics are bit-identical to an untraced one.
         """
         generator = LoadGenerator(self.tenants, self.router.num_pages,
                                   self.config.page_bytes,
@@ -616,7 +678,7 @@ class EnvyService:
                                    "tenants": len(self.tenants)})
         self._inject_rebuild_ns = int(duration_s * 1e9)
         try:
-            slices = self.partition(schedule)
+            slices = self.partition(schedule, with_rids=trace)
         finally:
             self._inject_rebuild_ns = 0
         expansion = self._last_expansion
@@ -638,6 +700,10 @@ class EnvyService:
         points = [dict(base, shard_index=index, requests=slices[index],
                        tenant_names=tenant_names)
                   for index in range(self.router.num_shards)]
+        if trace:
+            for index, point in enumerate(points):
+                point["trace"] = True
+                point["rids"] = self._last_rids[index]
         results = run_sweep(_SHARD_WORKER, points, jobs=jobs)
 
         stats = ServiceStats(num_shards=self.router.num_shards,
@@ -695,6 +761,14 @@ class EnvyService:
             stats.degraded_writes = expansion["degraded_writes"]
             stats.replica_accesses = expansion["replica_accesses"]
             stats.rebuild_accesses = expansion["rebuild_accesses"]
+        if trace:
+            rows, background = merge_shard_traces(
+                result.get("trace") for result in results)
+            self.last_trace = TraceReport(
+                rows, background, num_shards=self.router.num_shards)
+        else:
+            self.last_trace = None
+        self.slo.observe(stats, duration_s)
         self.last_stats = stats
         return stats
 
@@ -1020,6 +1094,8 @@ class EnvyService:
         if self._last_security is not None:
             security.update(self._last_security)
         report["security"] = security
+        if self.slo:
+            report["slo"] = self.slo.report()
         if self._last_chaos is not None:
             report["recovery"] = self._last_chaos
         stats = self.last_stats

@@ -127,6 +127,13 @@ class TenantSpec:
     on any single logical page (``None`` = the service-wide default
     from :class:`~repro.service.frontend.ServiceConfig`); the shard
     executors enforce it at admission.
+
+    ``slo_read_p99_ns`` / ``slo_write_p99_ns`` declare latency
+    objectives: a ``slo_target`` fraction of the tenant's requests must
+    finish within the bound.  ``slo_throughput_tps`` declares a floor on
+    served accesses per simulated second.  Declared objectives feed the
+    :class:`~repro.obs.slo.SLOTracker` — violation counts and
+    multi-window burn rates in ``health_report()["slo"]``.
     """
 
     name: str
@@ -147,6 +154,14 @@ class TenantSpec:
     #: Per-page admitted-write cap enforced at shard admission
     #: (``None`` = the ServiceConfig default, which itself defaults off).
     wear_budget: Optional[int] = None
+    #: Declared p99 latency objectives in simulated nanoseconds
+    #: (``None`` = no objective for that operation).
+    slo_read_p99_ns: Optional[int] = None
+    slo_write_p99_ns: Optional[int] = None
+    #: Declared floor on served accesses per simulated second.
+    slo_throughput_tps: Optional[float] = None
+    #: Fraction of requests that must meet the latency bound.
+    slo_target: float = 0.99
 
     def validate(self) -> None:
         if not self.name:
@@ -167,6 +182,14 @@ class TenantSpec:
             raise ValueError("write_fraction must be in [0, 1]")
         if self.rate_limit_tps is not None and self.rate_limit_tps <= 0:
             raise ValueError("rate_limit_tps must be positive when set")
+        for bound in (self.slo_read_p99_ns, self.slo_write_p99_ns):
+            if bound is not None and bound < 1:
+                raise ValueError("SLO latency bounds must be positive")
+        if (self.slo_throughput_tps is not None
+                and self.slo_throughput_tps <= 0):
+            raise ValueError("slo_throughput_tps must be positive when set")
+        if not 0.0 < self.slo_target < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
         if self.page_range is not None:
             start, end = self.page_range
             if start < 0 or end <= start:

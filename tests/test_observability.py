@@ -381,3 +381,44 @@ class TestNoPerturbation:
         assert obs_m.flushes == plain_m.flushes
         assert obs_m.clean_copies == plain_m.clean_copies
         assert obs_m.erases == plain_m.erases
+
+
+# ----------------------------------------------------------------------
+# Exporter determinism for traced service runs
+# ----------------------------------------------------------------------
+
+class TestExporterDeterminism:
+    """Every exported artifact of a traced run is byte-identical across
+    reruns and ``--jobs`` fan-out."""
+
+    @staticmethod
+    def _artifacts(jobs):
+        from repro.obs.export import service_prometheus_text
+        from repro.service import EnvyService, ServiceConfig, TenantSpec
+
+        config = ServiceConfig(num_shards=2, num_segments=8,
+                               pages_per_segment=32, seed=13,
+                               retry_limit=2, queue_capacity=32)
+        tenants = [
+            TenantSpec("online", rate_tps=2e6, skew=1.0,
+                       write_fraction=0.3, slo_read_p99_ns=100_000,
+                       slo_write_p99_ns=250_000),
+            TenantSpec("storm", rate_tps=2e6, workload="clean_amp",
+                       write_fraction=1.0),
+        ]
+        service = EnvyService(config, tenants)
+        stats = service.run(0.0004, jobs=jobs, trace=True)
+        health = service.health_report()
+        trace = service.last_trace
+        return {
+            "prometheus": service_prometheus_text(
+                stats, health.get("security"), health.get("slo")),
+            "jsonl": trace.to_jsonl(),
+            "chrome": trace.chrome_trace(),
+        }
+
+    def test_identical_across_jobs(self):
+        baseline = self._artifacts(jobs=1)
+        assert baseline["jsonl"].count("\n") > 0
+        for jobs in (4, 1):
+            assert self._artifacts(jobs=jobs) == baseline

@@ -1,0 +1,303 @@
+"""Request tracing, tail-latency attribution, and SLO tracking."""
+
+import pytest
+
+from repro.obs import COMPONENTS, SLOTracker, TraceReport
+from repro.obs.events import ObsEvent
+from repro.obs.export import (SHARD_TRACK_BASE, _track_of, chrome_trace,
+                              service_prometheus_text)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.slo import violations_over
+from repro.service import EnvyService, ServiceConfig, TenantSpec
+
+CONFIG = ServiceConfig(num_shards=2, num_segments=8, pages_per_segment=32,
+                       seed=13, retry_limit=2, queue_capacity=32)
+TENANTS = [
+    TenantSpec("online", rate_tps=2e6, skew=1.0, write_fraction=0.3,
+               slo_read_p99_ns=100_000, slo_write_p99_ns=250_000,
+               slo_throughput_tps=1e5),
+    TenantSpec("batch", rate_tps=1e6, workload="uniform",
+               write_fraction=0.8, slo_write_p99_ns=500_000),
+    TenantSpec("storm", rate_tps=2e6, workload="clean_amp",
+               write_fraction=1.0),
+]
+DURATION = 0.0004
+
+MIRROR = ServiceConfig(num_shards=3, num_segments=4, pages_per_segment=16,
+                       redundancy="mirror", store_data=True,
+                       prewarm_turnovers=0.0, seed=7)
+
+
+def traced_run(jobs=1, config=CONFIG, tenants=TENANTS):
+    service = EnvyService(config, tenants)
+    stats = service.run(DURATION, jobs=jobs, trace=True)
+    return service, stats
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return traced_run()
+
+
+class TestDecomposition:
+    def test_exact_to_zero_nanoseconds(self, traced):
+        service, _ = traced
+        report = service.last_trace
+        assert report.served()
+        assert report.validate() == 0
+
+    def test_every_row_sums_to_its_latency(self, traced):
+        service, _ = traced
+        for row in service.last_trace.served(include_pseudo=True):
+            total = sum(row["components"][c] for c in COMPONENTS)
+            assert total == row["latency_ns"]
+            assert row["latency_ns"] == row["end_ns"] - row["arrival_ns"]
+
+    def test_components_are_nonnegative_integers(self, traced):
+        service, _ = traced
+        for row in service.last_trace.served(include_pseudo=True):
+            for component in COMPONENTS:
+                value = row["components"][component]
+                assert isinstance(value, int) and value >= 0
+
+    def test_slowest_listing_is_sorted_and_bounded(self, traced):
+        service, _ = traced
+        slowest = service.last_trace.slowest(5)
+        assert len(slowest) == 5
+        latencies = [row["latency_ns"] for row in slowest]
+        assert latencies == sorted(latencies, reverse=True)
+
+
+class TestTraceDeterminism:
+    def test_identical_across_jobs_and_reruns(self, traced):
+        service, _ = traced
+        baseline = service.last_trace.as_dict()
+        for jobs in (2, 1):
+            repeat, _ = traced_run(jobs=jobs)
+            assert repeat.last_trace.as_dict() == baseline
+
+    def test_tracing_never_perturbs_metrics(self, traced):
+        _, stats = traced
+        untraced = EnvyService(CONFIG, TENANTS).run(DURATION, jobs=1)
+        assert untraced.as_dict() == stats.as_dict()
+
+    def test_no_trace_kept_when_disabled(self):
+        service = EnvyService(CONFIG, TENANTS)
+        service.run(DURATION, jobs=1)
+        assert service.last_trace is None
+
+
+class TestBlame:
+    def test_shares_sum_to_one(self, traced):
+        service, _ = traced
+        blame = service.last_trace.blame()
+        assert blame
+        for entry in blame.values():
+            assert entry["tail_requests"] >= 1
+            if entry["tail_total_ns"]:
+                assert sum(entry["shares"].values()) == pytest.approx(
+                    1.0, abs=1e-5)
+            assert (sum(entry["component_ns"].values())
+                    == entry["tail_total_ns"])
+
+    def test_blame_excludes_pseudo_tenants(self, traced):
+        service, _ = traced
+        for tenant in service.last_trace.blame():
+            assert not tenant.startswith("__")
+
+    def test_percentile_validation(self, traced):
+        service, _ = traced
+        for bad in (0.0, -1.0, 100.5):
+            with pytest.raises(ValueError):
+                service.last_trace.blame(percentile=bad)
+        assert service.last_trace.blame(percentile=100.0)
+
+
+class TestRedundancyTracing:
+    def test_replica_rows_share_the_request_rid(self):
+        tenants = [TenantSpec("t", rate_tps=4e6, skew=0.8,
+                              write_fraction=0.5)]
+        service, _ = traced_run(config=MIRROR, tenants=tenants)
+        report = service.last_trace
+        assert report.validate() == 0
+        by_rid = {}
+        for row in report.rows:
+            by_rid.setdefault(row["rid"], set()).add(row["shard"])
+        fanned = [rid for rid, shards in by_rid.items()
+                  if rid >= 0 and len(shards) > 1]
+        assert fanned, "mirror writes should fan one rid across shards"
+
+    def test_rebuild_rows_get_negative_rids(self):
+        tenants = [TenantSpec("t", rate_tps=4e6, skew=0.8,
+                              write_fraction=0.5)]
+        service = EnvyService(MIRROR, tenants)
+        service.run(DURATION, jobs=1)
+        service.kill_bank(1)
+        service.replace_bank(1, pages_per_step=8)
+        service.run(DURATION, jobs=1, trace=True)
+        report = service.last_trace
+        negative = [row for row in report.rows if row["rid"] < 0]
+        assert negative, "rebuild traffic should carry fresh negative rids"
+        assert len({row["rid"] for row in negative}) == len(negative)
+        assert report.validate() == 0
+
+
+class TestViolationCounting:
+    def test_bucket_low_semantics(self):
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.record(10_000)
+        low = next(iter(hist.iter_buckets()))[0]
+        assert violations_over(hist, low - 1) == 10
+        assert violations_over(hist, low) == 0  # straddling bucket
+        assert violations_over(hist, 10_000_000) == 0
+
+    def test_merge_order_independent(self):
+        parts = []
+        for values in ((100, 90_000), (5_000_000,)):
+            hist = LatencyHistogram()
+            for value in values:
+                hist.record(value)
+            parts.append(hist)
+        merged = LatencyHistogram()
+        for part in parts:
+            merged.merge(part)
+        assert violations_over(merged, 100_000) == 1
+
+
+class _FakeTenantStats:
+    def __init__(self, read_values=(), write_values=(), served=0):
+        self.read_latency = LatencyHistogram()
+        self.write_latency = LatencyHistogram()
+        for value in read_values:
+            self.read_latency.record(value)
+        for value in write_values:
+            self.write_latency.record(value)
+        self.served = served
+
+
+class _FakeStats:
+    def __init__(self, tenants):
+        self.tenants = tenants
+
+
+class TestSLOTracker:
+    def test_untracked_without_objectives(self):
+        tracker = SLOTracker([TenantSpec("plain")])
+        assert not tracker
+        assert tracker.report() == {}
+
+    def test_burn_rates_and_windows(self):
+        spec = TenantSpec("t", slo_write_p99_ns=1_000, slo_target=0.99)
+        tracker = SLOTracker([spec])
+        assert tracker.tracked_tenants == ["t"]
+        clean = _FakeStats({"t": _FakeTenantStats(
+            write_values=[100] * 100, served=100)})
+        dirty = _FakeStats({"t": _FakeTenantStats(
+            write_values=[100] * 98 + [5_000_000] * 2, served=100)})
+        tracker.observe(clean, 0.001)
+        tracker.observe(dirty, 0.001)
+        entry = tracker.report()["t"]
+        assert entry["runs_observed"] == 2
+        assert entry["write"] == {"bound_p99_ns": 1_000, "violations": 2}
+        assert entry["last_violations"] == 2
+        # last: 2/100 violations against a 1% budget -> burn 2.0
+        assert entry["burn"]["last"] == pytest.approx(2.0)
+        assert entry["burn"]["lifetime"] == pytest.approx(1.0)
+        assert entry["met"] is False
+
+    def test_throughput_floor(self):
+        spec = TenantSpec("t", slo_throughput_tps=50_000.0)
+        tracker = SLOTracker([spec])
+        stats = _FakeStats({"t": _FakeTenantStats(served=100)})
+        tracker.observe(stats, 0.001)
+        entry = tracker.report()["t"]
+        throughput = entry["throughput"]
+        assert throughput["floor_tps"] == 50_000.0
+        assert throughput["last_tps"] == pytest.approx(100_000.0)
+        assert throughput["met"] is True and entry["met"] is True
+
+    def test_spec_validation(self):
+        for bad in (dict(slo_read_p99_ns=0), dict(slo_write_p99_ns=-5),
+                    dict(slo_throughput_tps=0.0), dict(slo_target=1.0),
+                    dict(slo_target=0.0)):
+            with pytest.raises(ValueError):
+                TenantSpec("t", **bad).validate()
+        TenantSpec("t", slo_read_p99_ns=1, slo_target=0.999).validate()
+
+
+class TestHealthReportSLO:
+    def test_slo_section_per_declared_tenant(self, traced):
+        service, _ = traced
+        slo = service.health_report()["slo"]
+        assert sorted(slo) == ["batch", "online"]
+        for entry in slo.values():
+            assert set(entry["burn"]) == {"last", "recent", "lifetime"}
+            assert entry["runs_observed"] == 1
+        assert "throughput" in slo["online"]
+
+    def test_deterministic_across_jobs(self, traced):
+        service, _ = traced
+        repeat, _ = traced_run(jobs=2)
+        assert (repeat.health_report()["slo"]
+                == service.health_report()["slo"])
+
+
+class TestTrackAssignment:
+    def test_subsystem_tracks(self):
+        assert _track_of("service.request") == 8
+        assert _track_of("redundancy.rebuild") == 9
+        assert _track_of("security.quarantine") == 10
+        assert _track_of("no.such.subsystem") == 11
+
+    def test_sharded_events_get_their_own_track(self):
+        assert _track_of("service.request",
+                         {"shard": 3}) == SHARD_TRACK_BASE + 3
+        assert _track_of("redundancy.rebuild",
+                         {"bank": 1}) == SHARD_TRACK_BASE + 1
+        # security events stay on the shared security track
+        assert _track_of("security.quarantine", {"shard": 2}) == 10
+        assert _track_of("service.request", {"shard": -1}) == 8
+
+    def test_flow_events_link_rows_sharing_a_rid(self):
+        events = [
+            ObsEvent("service.request", 0, 10, {"shard": 0, "rid": 4}),
+            ObsEvent("service.request", 5, 10, {"shard": 1, "rid": 4}),
+            ObsEvent("service.request", 20, 10, {"shard": 0, "rid": 9}),
+        ]
+        import json
+
+        trace = json.loads(chrome_trace(events, flow_key="rid"))
+        phases = [event["ph"] for event in trace["traceEvents"]]
+        assert phases.count("s") == 1  # only the 2-span rid 4 group
+        assert phases.count("f") == 1
+        tids = {event["tid"] for event in trace["traceEvents"]
+                if event["ph"] == "X"}
+        assert {SHARD_TRACK_BASE, SHARD_TRACK_BASE + 1} <= tids
+
+
+class TestExports:
+    def test_chrome_trace_has_flows_and_shard_tracks(self, traced):
+        import json
+
+        service, _ = traced
+        trace = json.loads(service.last_trace.chrome_trace())
+        names = {event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event.get("name") == "thread_name"}
+        assert {"shard0", "shard1"} <= names
+
+    def test_jsonl_row_per_trace_row(self, traced):
+        service, _ = traced
+        lines = service.last_trace.to_jsonl().splitlines()
+        assert len(lines) == len(service.last_trace.rows)
+
+    def test_service_prometheus_series(self, traced):
+        service, stats = traced
+        health = service.health_report()
+        text = service_prometheus_text(stats, health.get("security"),
+                                       health.get("slo"))
+        for needle in ("envy_service_requests_total",
+                       'envy_slo_burn_rate{tenant="online",window="last"}',
+                       'envy_slo_violations_total{tenant="batch"'):
+            assert needle in text
