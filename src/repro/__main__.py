@@ -472,19 +472,44 @@ def _print_service_dashboard(service, stats) -> None:
         ["Service throughput",
          f"{stats.accesses_per_simulated_s:,.0f} accesses/s simulated"],
     ]
+    cached = bool(stats.cache_hits or stats.cache_misses
+                  or stats.cache_invalidations)
+    if cached:
+        rows.append(["Cache (DRAM tier)",
+                     f"{stats.cache_hits:,} hits / "
+                     f"{stats.cache_misses:,} misses "
+                     f"({stats.cache_hit_rate:.1%}); "
+                     f"{stats.cache_evictions:,} evicted, "
+                     f"{stats.cache_invalidations:,} invalidated"])
+    admission = getattr(service, "admission", None)
+    if admission is not None:
+        states = admission.report()["states"]
+        busy = {name: state for name, state in states.items()
+                if state != "normal"}
+        rows.append(["Admission (closed loop)",
+                     ", ".join(f"{name}:{state}"
+                               for name, state in sorted(busy.items()))
+                     or "all normal"])
     print(format_table(["Service", "Value"], rows))
     tenant_rows = []
     for name, tstats in stats.tenants.items():
         row = tstats.as_dict()
-        tenant_rows.append([
+        entry = [
             name, f"{row['offered']:,}", f"{row['throttled']:,}",
             f"{row['rejected']:,}", f"{row['reads']:,}",
             f"{row['writes']:,}", f"{row['read_p99_ns']:,}",
-            f"{row['write_p99_ns']:,}"])
+            f"{row['write_p99_ns']:,}"]
+        if cached:
+            probes = tstats.cache_hits + tstats.cache_misses
+            entry.append(f"{tstats.cache_hits / probes:.1%}"
+                         if probes else "-")
+        tenant_rows.append(entry)
+    headers = ["Tenant", "Offered", "Throttled", "Rejected",
+               "Reads", "Writes", "Read p99 (ns)", "Write p99 (ns)"]
+    if cached:
+        headers.append("Hit%")
     print()
-    print(format_table(["Tenant", "Offered", "Throttled", "Rejected",
-                        "Reads", "Writes", "Read p99 (ns)",
-                        "Write p99 (ns)"], tenant_rows))
+    print(format_table(headers, tenant_rows))
     shard_rows = [[s["shard"], f"{s['accesses']:,}",
                    f"{s['batches']:,}", s["max_batch_pages"],
                    f"{s['coalesced_writes']:,}", f"{s['flushes']:,}",
@@ -643,6 +668,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                redundancy=args.redundancy,
                                placement=args.placement,
                                retry_limit=args.retry_limit,
+                               cache_pages=args.cache,
+                               cache_policy=args.cache_policy,
+                               cache_tenant_cap=args.cache_tenant_cap,
+                               admission=args.admission,
                                seed=args.seed)
         if args.tenant:
             tenants = [_parse_tenant(spec) for spec in args.tenant]
@@ -1042,10 +1071,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="availability demo: lose this whole bank after "
                             "the healthy run, serve degraded, then rebuild "
                             "online (needs --redundancy)")
+    serve.add_argument("--cache", type=int, default=0, metavar="PAGES",
+                       help="DRAM read-cache pages per shard "
+                            "(0 = no cache tier)")
+    serve.add_argument("--cache-policy", choices=["clock", "lru"],
+                       default="clock", dest="cache_policy",
+                       help="cache replacement policy "
+                            "(default: %(default)s)")
+    serve.add_argument("--cache-tenant-cap", type=float, default=1.0,
+                       dest="cache_tenant_cap", metavar="FRAC",
+                       help="per-tenant cache occupancy cap as a "
+                            "fraction of one shard's cache "
+                            "(default: %(default)s = uncapped)")
+    serve.add_argument("--admission", action="store_true",
+                       help="closed-loop admission: promote / throttle "
+                            "/ shed tenants from their SLO burn "
+                            "between runs")
     serve.add_argument("--tenant", action="append", metavar="SPEC",
                        help="tenant spec 'name=a,workload=zipf,"
                             "rate_tps=1e6,...' (repeatable; replaces "
-                            "the default mix)")
+                            "the default mix; slo=READ[:WRITE[:TGT]], "
+                            "cache=true|false, arrive_s=/depart_s=/"
+                            "burst_every_s= for churn)")
     serve.add_argument("--attack",
                        choices=["targeted-wear", "clean-amp", "squat"],
                        default=None,

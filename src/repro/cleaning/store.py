@@ -130,6 +130,13 @@ class SegmentStore:
         self.page_location: List[Optional[Tuple[int, int]]] = (
             [None] * num_logical_pages)
         self.observer = observer
+        #: Optional callback fired with each logical page whose live
+        #: Flash copy the cleaner physically relocated (clean survivors,
+        #: prepended transfers, receive()).  A read-cache tier hooks
+        #: this to invalidate entries whose backing copy moved; the
+        #: observer cannot serve that purpose because it only reports
+        #: (operation, position, amount), never page identity.
+        self.copy_listener: Optional[Callable[[int], None]] = None
         # --- global counters (the cleaning-cost numerator/denominator) -
         self.flush_count = 0
         self.clean_copy_count = 0
@@ -346,6 +353,10 @@ class SegmentStore:
         self._slot_total += len(pos.slots) - old_slot_count
         for slot, page in enumerate(pos.slots):
             self.page_location[page] = (pos_index, slot)
+        if self.copy_listener is not None:
+            listener = self.copy_listener
+            for page in pos.slots:
+                listener(page)
         self.clean_copy_count += copies
         if self.observer is not None:
             self.observer("clean_copy", pos_index, copies)
@@ -416,6 +427,8 @@ class SegmentStore:
         self._slot_total += 1
         self._live_delta(pos, 1)
         self.page_location[logical_page] = (pos_index, len(pos.slots) - 1)
+        if self.copy_listener is not None:
+            self.copy_listener(logical_page)
         if demote:
             pos.demoted.add(logical_page)
         self.clean_copy_count += 1

@@ -85,6 +85,18 @@ Event taxonomy (kind strings, hierarchical by prefix):
 ``security.remap``      a flagged tenant's hot page was scattered to a
                         randomized placement (instant; data: tenant,
                         page, peer)
+``cache.hit``           read served from the DRAM cache tier (instant;
+                        data: shard, tenant, page)
+``cache.miss``          cache-tier read fell through to Flash (instant;
+                        data: shard, tenant, page)
+``cache.evict``         a resident page was displaced (instant; data:
+                        shard, page)
+``cache.invalidate``    an entry was dropped because its backing copy
+                        changed (instant; data: shard, page, reason —
+                        "write", "clean", or "topology")
+``admission.decision``  the closed-loop admission controller changed a
+                        tenant's state (instant; data: tenant, state,
+                        burn, rate_tps)
 ======================  ================================================
 """
 
@@ -104,6 +116,8 @@ __all__ = [
     "REDUNDANCY_REPLICA", "REDUNDANCY_KILL", "REDUNDANCY_DEGRADED",
     "REDUNDANCY_REBUILD", "REDUNDANCY_REBALANCE",
     "SECURITY_FLAG", "SECURITY_QUARANTINE", "SECURITY_REMAP",
+    "CACHE_HIT", "CACHE_MISS", "CACHE_EVICT", "CACHE_INVALIDATE",
+    "ADMISSION_DECISION",
 ]
 
 HOST_READ = "host.read"
@@ -136,6 +150,11 @@ REDUNDANCY_REBALANCE = "redundancy.rebalance"
 SECURITY_FLAG = "security.flag"
 SECURITY_QUARANTINE = "security.quarantine"
 SECURITY_REMAP = "security.remap"
+CACHE_HIT = "cache.hit"
+CACHE_MISS = "cache.miss"
+CACHE_EVICT = "cache.evict"
+CACHE_INVALIDATE = "cache.invalidate"
+ADMISSION_DECISION = "admission.decision"
 
 #: Store-observer event names -> bus kinds (the store predates the bus
 #: and keeps its compact names; the controller translates).

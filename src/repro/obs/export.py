@@ -259,15 +259,19 @@ _SERVICE_COUNTERS = [
 
 
 def service_prometheus_text(stats, security: Optional[dict] = None,
-                            slo: Optional[dict] = None) -> str:
+                            slo: Optional[dict] = None,
+                            admission: Optional[dict] = None) -> str:
     """Per-tenant service (and security) series in Prometheus text.
 
     ``stats`` is a :class:`~repro.service.frontend.ServiceStats`;
     ``security`` the ``health_report()["security"]`` section (quarantine
     verdicts and detector flags); ``slo`` the ``health_report()["slo"]``
-    section (burn rates).  Label sets iterate tenants in stats order and
-    label values sorted, so two runs with the same seed produce
-    byte-identical text at any ``--jobs`` setting.
+    section (burn rates); ``admission`` the ``health_report()
+    ["admission"]`` section (closed-loop ladder states).  Runs with a
+    DRAM cache tier additionally export ``envy_cache_*`` series.  Label
+    sets iterate tenants in stats order and label values sorted, so two
+    runs with the same seed produce byte-identical text at any
+    ``--jobs`` setting.
     """
     lines: List[str] = []
     tenants = list(stats.tenants.items())
@@ -318,6 +322,52 @@ def service_prometheus_text(stats, security: Optional[dict] = None,
                     float(quantile))
                 lines.append(f'{name}{{tenant="{tenant}",op="{op}"}} '
                              f'{value}')
+
+    cached_run = (stats.cache_hits or stats.cache_misses
+                  or stats.cache_evictions or stats.cache_invalidations)
+    if cached_run:
+        lines.append("# HELP envy_cache_requests_total "
+                     "DRAM cache-tier probes, by tenant and outcome")
+        lines.append("# TYPE envy_cache_requests_total counter")
+        for name, tstats in tenants:
+            for outcome, count in (("hit", tstats.cache_hits),
+                                   ("miss", tstats.cache_misses)):
+                lines.append(f'envy_cache_requests_total'
+                             f'{{tenant="{name}",outcome="{outcome}"}} '
+                             f'{count}')
+        lines.append("# HELP envy_cache_evictions_total "
+                     "Pages displaced from the DRAM cache tier")
+        lines.append("# TYPE envy_cache_evictions_total counter")
+        lines.append(f"envy_cache_evictions_total "
+                     f"{stats.cache_evictions}")
+        lines.append("# HELP envy_cache_invalidations_total "
+                     "Cache entries dropped (writes, cleaner copies, "
+                     "topology changes)")
+        lines.append("# TYPE envy_cache_invalidations_total counter")
+        lines.append(f"envy_cache_invalidations_total "
+                     f"{stats.cache_invalidations}")
+        lines.append("# HELP envy_cache_hit_rate "
+                     "Service-wide cache hit rate of the last run")
+        lines.append("# TYPE envy_cache_hit_rate gauge")
+        lines.append(f"envy_cache_hit_rate "
+                     f"{round(stats.cache_hit_rate, 6)}")
+
+    if admission:
+        states = admission.get("states", {})
+        lines.append("# HELP envy_admission_state "
+                     "Closed-loop admission ladder position "
+                     "(1 = tenant is in the labelled state)")
+        lines.append("# TYPE envy_admission_state gauge")
+        for tenant in sorted(states):
+            lines.append(f'envy_admission_state{{tenant="{tenant}",'
+                         f'state="{states[tenant]}"}} 1')
+        overrides = admission.get("rate_overrides", {})
+        lines.append("# HELP envy_admission_rate_tps "
+                     "Throttle/shed token-bucket override for next run")
+        lines.append("# TYPE envy_admission_rate_tps gauge")
+        for tenant in sorted(overrides):
+            lines.append(f'envy_admission_rate_tps'
+                         f'{{tenant="{tenant}"}} {overrides[tenant]}')
 
     if security is not None:
         lines.append("# HELP envy_security_quarantined "

@@ -15,6 +15,12 @@ service:
 * :class:`ShardExecutor` — bounded queue, admission control, bounded
   deterministic retry and write batching per shard
   (:mod:`repro.service.executor`);
+* :class:`PageCache` — the DRAM read-cache tier (CLOCK / LRU,
+  per-tenant occupancy caps) serving hot reads at DRAM speed
+  (:mod:`repro.service.cache`);
+* :class:`AdmissionController` — closed-loop admission: promote /
+  throttle / shed tenants from their observed SLO burn between runs
+  (:mod:`repro.service.admission`);
 * :class:`EnvyService` — the front door: schedule, fan out over
   ``run_sweep``, merge (:mod:`repro.service.frontend`);
 * :class:`RedundancyPolicy` and friends — cross-bank mirroring and
@@ -38,8 +44,10 @@ Drive it from the CLI with ``python -m repro serve`` (see
 docs/SERVICE.md is the guide.
 """
 
+from .admission import ADMISSION_STATES, AdmissionController
 from .adversary import (ATTACK_KINDS, AttackDetector, attack_tenant,
                         project_lifetime, run_attack_scenario)
+from .cache import CACHE_POLICIES, PageCache
 from .chaos import (RedundancyChaosReport, ServiceChaosReport,
                     redundancy_chaos_sweep, run_redundancy_chaos,
                     run_service_chaos, service_chaos_sweep)
@@ -65,6 +73,10 @@ __all__ = [
     "ShardExecutor",
     "prewarm_shard",
     "service_shard_point",
+    "PageCache",
+    "CACHE_POLICIES",
+    "AdmissionController",
+    "ADMISSION_STATES",
     "EnvyService",
     "ServiceConfig",
     "ServiceStats",

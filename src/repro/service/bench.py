@@ -24,18 +24,20 @@ shards — and reports two families of numbers:
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import platform
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from ..perf.bench import calibrate
 from .frontend import EnvyService, ServiceConfig
 from .tenant import TenantSpec
 
-__all__ = ["SCENARIOS", "run_bench", "compare_reports", "main"]
+__all__ = ["SCENARIOS", "scale_fleet", "run_bench", "check_gates",
+           "compare_reports", "main"]
 
 SCHEMA = "envy-bench-service/1"
 
@@ -88,6 +90,47 @@ SCENARIOS: Dict[str, Dict[str, Dict[str, Any]]] = {
                      write_fraction=0.3),
             ]),
     },
+    # The DRAM read-tier claim: the same saturating read-only zipf
+    # tenant (skew 0.99) with the cache off and on.  Carries the >=2x
+    # cached-read speedup gate (relaxed in smoke, where the short run
+    # is dominated by cold-start misses).
+    "cached_zipf": {
+        "full": dict(
+            kind="cached", total_segments=128, pages_per_segment=64,
+            shard_counts=[4], duration_s=0.002, seed=4242,
+            cache_pages=1024, min_read_speedup=2.0,
+            tenants=[
+                dict(name="reader", rate_tps=6e7, skew=0.99,
+                     write_fraction=0.0),
+            ]),
+        "smoke": dict(
+            kind="cached", total_segments=128, pages_per_segment=64,
+            shard_counts=[4], duration_s=0.0005, seed=4242,
+            cache_pages=1024, min_read_speedup=1.2,
+            tenants=[
+                dict(name="reader", rate_tps=6e7, skew=0.99,
+                     write_fraction=0.0),
+            ]),
+    },
+    # O(10^3)-tenant churn: a generated fleet with staggered arrivals
+    # and departures, bursty and SLO-bearing cohorts, the DRAM tier and
+    # closed-loop admission all enabled; two back-to-back runs so the
+    # admission ladder acts on the first run's burn rates.  Gates on
+    # aggregate simulated throughput and the fleet SLO-violation rate.
+    "service_scale": {
+        "full": dict(
+            kind="scale", total_segments=128, pages_per_segment=64,
+            shard_counts=[4], duration_s=0.01, seed=2026, runs=2,
+            fleet=1000, cache_pages=512, cache_tenant_cap=0.25,
+            admission=True,
+            min_accesses_per_s=1e6, max_slo_violation_rate=0.05),
+        "smoke": dict(
+            kind="scale", total_segments=128, pages_per_segment=64,
+            shard_counts=[4], duration_s=0.002, seed=2026, runs=2,
+            fleet=1000, cache_pages=512, cache_tenant_cap=0.25,
+            admission=True,
+            min_accesses_per_s=1e6, max_slo_violation_rate=0.05),
+    },
     # Transactional tenant mixed with a zipf tenant (rates are
     # transactions/s for tpca: one transaction is ~17 accesses).
     "tpca_mix": {
@@ -124,9 +167,78 @@ def _service_for(spec: Dict[str, Any], num_shards: int) -> EnvyService:
         redundancy=spec.get("redundancy", "none"),
         placement=spec.get("placement", "striped"),
         retry_limit=spec.get("retry_limit", 0),
-        retry_backoff_ns=spec.get("retry_backoff_ns", 4000))
+        retry_backoff_ns=spec.get("retry_backoff_ns", 4000),
+        cache_pages=spec.get("cache_pages", 0),
+        cache_policy=spec.get("cache_policy", "clock"),
+        cache_hit_ns=spec.get("cache_hit_ns"),
+        cache_tenant_cap=spec.get("cache_tenant_cap", 1.0),
+        admission=spec.get("admission", False))
     tenants = [TenantSpec.from_spec(kwargs) for kwargs in spec["tenants"]]
     return EnvyService(config, tenants)
+
+
+def scale_fleet(count: int, duration_s: float) -> List[Dict[str, Any]]:
+    """Deterministic O(10^3)-tenant fleet with churn, pure index math.
+
+    Rates and skews cycle through small residue classes so the fleet
+    mixes read-heavy and write-heavy tenants; fixed cohorts get churn
+    (late arrival / early departure), periodic bursts, declared read
+    SLOs (the admission controller's managed set) and cache pins or
+    opt-outs.  No RNG is involved: the fleet is a pure function of
+    ``(count, duration_s)``.
+    """
+    tenants: List[Dict[str, Any]] = []
+    for i in range(count):
+        tenant: Dict[str, Any] = {
+            "name": f"t{i:04d}",
+            "rate_tps": 2e3 * (1 + i % 7),
+            "skew": 0.4 + 0.2 * (i % 4),
+            "write_fraction": (0.0, 0.1, 0.3)[i % 3],
+        }
+        if i % 10 == 3:      # churn: arrives a quarter into the run
+            tenant["arrive_s"] = duration_s * 0.25
+        elif i % 10 == 6:    # churn: departs before the run ends
+            tenant["depart_s"] = duration_s * 0.6
+        elif i % 10 == 9:    # bursty: 4x spikes every half-run
+            tenant["burst_every_s"] = duration_s * 0.5
+            tenant["burst_s"] = duration_s * 0.125
+            tenant["burst_x"] = 4.0
+        if i % 10 == 0:      # SLO-bearing cohort (admission-managed)
+            tenant["slo_read_p99_ns"] = 5000
+            tenant["slo_target"] = 0.99
+        if i % 25 == 5:      # pinned into the DRAM tier
+            tenant["cache"] = True
+        elif i % 25 == 15:   # opted out of the tier
+            tenant["cache"] = False
+        tenants.append(tenant)
+    return tenants
+
+
+def _measure(spec: Dict[str, Any], num_shards: int,
+             jobs: Optional[int]) -> Dict[str, Any]:
+    """One service run -> the standard (wall, served, fidelity) point."""
+    service = _service_for(spec, num_shards)
+    start = time.perf_counter()
+    stats = service.run(spec["duration_s"], jobs=jobs)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 4),
+        "served": stats.accesses_served,
+        "served_per_wall_s": round(stats.accesses_served / wall_s, 1),
+        # Everything below is machine-independent (exact fidelity).
+        "fidelity": {
+            "requests_admitted": stats.requests_admitted,
+            "requests_throttled": stats.requests_throttled,
+            "requests_rejected_queue": stats.requests_rejected_queue,
+            "requests_rejected_shed": stats.requests_rejected_shed,
+            "accesses_served": stats.accesses_served,
+            "simulated_ns": stats.simulated_ns,
+            "accesses_per_simulated_s": round(
+                stats.accesses_per_simulated_s, 1),
+            "tenants": {name: tstats.as_dict()
+                        for name, tstats in stats.tenants.items()},
+        },
+    }
 
 
 def _run_scenario(spec: Dict[str, Any],
@@ -134,38 +246,131 @@ def _run_scenario(spec: Dict[str, Any],
     entry: Dict[str, Any] = {"shard_counts": {}}
     sim_tput: Dict[int, float] = {}
     for num_shards in spec["shard_counts"]:
-        service = _service_for(spec, num_shards)
-        start = time.perf_counter()
-        stats = service.run(spec["duration_s"], jobs=jobs)
-        wall_s = time.perf_counter() - start
-        sim_tput[num_shards] = stats.accesses_per_simulated_s
-        entry["shard_counts"][str(num_shards)] = {
-            "wall_s": round(wall_s, 4),
-            "served": stats.accesses_served,
-            "served_per_wall_s": round(stats.accesses_served / wall_s, 1),
-            # Everything below is machine-independent (exact fidelity).
-            "fidelity": {
-                "requests_admitted": stats.requests_admitted,
-                "requests_throttled": stats.requests_throttled,
-                "requests_rejected_queue": stats.requests_rejected_queue,
-                "requests_rejected_shed": stats.requests_rejected_shed,
-                "accesses_served": stats.accesses_served,
-                "simulated_ns": stats.simulated_ns,
-                "accesses_per_simulated_s": round(
-                    stats.accesses_per_simulated_s, 1),
-                "tenants": {name: tstats.as_dict()
-                            for name, tstats in stats.tenants.items()},
-            },
-        }
+        point = _measure(spec, num_shards, jobs)
+        sim_tput[num_shards] = point["fidelity"][
+            "accesses_per_simulated_s"]
+        entry["shard_counts"][str(num_shards)] = point
     if 1 in sim_tput and 4 in sim_tput and sim_tput[1]:
         entry["scaling_4x"] = round(sim_tput[4] / sim_tput[1], 3)
     return entry
 
 
-def run_bench(smoke: bool = False,
-              jobs: Optional[int] = None) -> Dict[str, Any]:
-    """Run every scenario at every shard count and build the report."""
+def _run_cached_scenario(spec: Dict[str, Any],
+                         jobs: Optional[int]) -> Dict[str, Any]:
+    """The same read-only zipf load with the cache off and on.
+
+    The speedup is the ratio of *simulated* read throughput (the
+    workload is pure reads, so served accesses/simulated second is read
+    throughput) — machine-independent and exact per seed.
+    """
+    num_shards = spec["shard_counts"][0]
+    uncached = _measure(dict(spec, cache_pages=0), num_shards, jobs)
+    cached = _measure(spec, num_shards, jobs)
+    entry: Dict[str, Any] = {
+        "variants": {"uncached": uncached, "cached": cached},
+        "cache_pages_per_shard": spec["cache_pages"],
+        "min_read_speedup": spec["min_read_speedup"],
+    }
+    base = uncached["fidelity"]["accesses_per_simulated_s"]
+    tiered = cached["fidelity"]["accesses_per_simulated_s"]
+    entry["read_speedup_cached"] = round(tiered / base, 3) if base else 0.0
+    hits = sum(t["cache_hits"]
+               for t in cached["fidelity"]["tenants"].values())
+    misses = sum(t["cache_misses"]
+                 for t in cached["fidelity"]["tenants"].values())
+    probes = hits + misses
+    entry["cache_hit_rate"] = round(hits / probes, 6) if probes else 0.0
+    return entry
+
+
+def _run_scale_scenario(spec: Dict[str, Any],
+                        jobs: Optional[int]) -> Dict[str, Any]:
+    """The O(10^3)-tenant churn fleet with cache + admission enabled.
+
+    Runs the same service ``runs`` times back to back so the closed
+    admission loop reacts to the first run's burn rates, then gates on
+    the final run's aggregate simulated throughput and the fleet-wide
+    SLO-violation rate.  Per-tenant stats are folded into a sha256
+    digest (1000 tenants would bloat the committed baseline) — the
+    digest still fails the exact-fidelity compare on any drift.
+    """
+    spec = dict(spec, tenants=scale_fleet(spec["fleet"],
+                                          spec["duration_s"]))
+    num_shards = spec["shard_counts"][0]
+    service = _service_for(spec, num_shards)
+    start = time.perf_counter()
+    per_run: List[Dict[str, Any]] = []
+    stats = None
+    for _ in range(spec.get("runs", 2)):
+        stats = service.run(spec["duration_s"], jobs=jobs)
+        per_run.append({
+            "requests_admitted": stats.requests_admitted,
+            "requests_throttled": stats.requests_throttled,
+            "requests_rejected_queue": stats.requests_rejected_queue,
+            "requests_rejected_shed": stats.requests_rejected_shed,
+            "accesses_served": stats.accesses_served,
+            "simulated_ns": stats.simulated_ns,
+            "accesses_per_simulated_s": round(
+                stats.accesses_per_simulated_s, 1),
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        })
+    wall_s = time.perf_counter() - start
+    tenant_dicts = {name: tstats.as_dict()
+                    for name, tstats in stats.tenants.items()}
+    digest = hashlib.sha256(
+        json.dumps(tenant_dicts, sort_keys=True).encode()).hexdigest()
+    slo_report = service.slo.report()
+    requests = sum(t.get("last_requests", 0)
+                   for t in slo_report.values())
+    violations = sum(t.get("last_violations", 0)
+                     for t in slo_report.values())
+    admission = service.admission.report() if service.admission else {}
+    states: Dict[str, int] = {}
+    for state in admission.get("states", {}).values():
+        states[state] = states.get(state, 0) + 1
+    served = sum(run["accesses_served"] for run in per_run)
+    point = {
+        "wall_s": round(wall_s, 4),
+        "served": served,
+        "served_per_wall_s": round(served / wall_s, 1),
+        "fidelity": {
+            "runs": per_run,
+            "tenants_digest": digest,
+            "slo_requests": requests,
+            "slo_violations": violations,
+            "admission_states": states,
+        },
+    }
+    entry: Dict[str, Any] = {
+        "shard_counts": {str(num_shards): point},
+        "fleet": spec["fleet"],
+        "accesses_per_simulated_s": per_run[-1][
+            "accesses_per_simulated_s"],
+        "slo_violation_rate": (round(violations / requests, 6)
+                               if requests else 0.0),
+        "min_accesses_per_s": spec["min_accesses_per_s"],
+        "max_slo_violation_rate": spec["max_slo_violation_rate"],
+    }
+    return entry
+
+
+_RUNNERS = {
+    None: _run_scenario,
+    "cached": _run_cached_scenario,
+    "scale": _run_scale_scenario,
+}
+
+
+def run_bench(smoke: bool = False, jobs: Optional[int] = None,
+              scenarios: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run every scenario (or just ``scenarios``) and build the report."""
     mode = "smoke" if smoke else "full"
+    if scenarios:
+        unknown = sorted(set(scenarios) - set(SCENARIOS))
+        if unknown:
+            raise ValueError(f"unknown scenario(s): {', '.join(unknown)} "
+                             f"(known: {', '.join(sorted(SCENARIOS))})")
     report: Dict[str, Any] = {
         "schema": SCHEMA,
         "mode": mode,
@@ -177,7 +382,11 @@ def run_bench(smoke: bool = False,
         "scenarios": {},
     }
     for name, variants in SCENARIOS.items():
-        report["scenarios"][name] = _run_scenario(variants[mode], jobs)
+        if scenarios and name not in scenarios:
+            continue
+        spec = variants[mode]
+        runner = _RUNNERS[spec.get("kind")]
+        report["scenarios"][name] = runner(spec, jobs)
     return report
 
 
@@ -194,13 +403,53 @@ def check_scaling(report: Dict[str, Any],
     return failures
 
 
+def check_gates(report: Dict[str, Any]) -> List[str]:
+    """Per-scenario gates the runners embed in their entries.
+
+    * ``cached`` scenarios: the cached run must beat the cache-disabled
+      run by ``min_read_speedup`` in simulated read throughput.
+    * ``scale`` scenarios: the final churn run must sustain
+      ``min_accesses_per_s`` aggregate simulated throughput and keep
+      the fleet SLO-violation rate under ``max_slo_violation_rate``.
+    """
+    failures = []
+    for name, entry in report.get("scenarios", {}).items():
+        needed = entry.get("min_read_speedup")
+        if needed is not None:
+            speedup = entry.get("read_speedup_cached", 0.0)
+            if speedup < needed:
+                failures.append(
+                    f"{name}: cached read throughput is only "
+                    f"{speedup:.2f}x the cache-disabled run "
+                    f"(need {needed}x)")
+        floor = entry.get("min_accesses_per_s")
+        if floor is not None:
+            tput = entry.get("accesses_per_simulated_s", 0.0)
+            if tput < floor:
+                failures.append(
+                    f"{name}: aggregate simulated throughput "
+                    f"{tput:,.0f}/s is under the {floor:,.0f}/s floor")
+        ceiling = entry.get("max_slo_violation_rate")
+        if ceiling is not None:
+            rate = entry.get("slo_violation_rate", 0.0)
+            if rate > ceiling:
+                failures.append(
+                    f"{name}: fleet SLO-violation rate {rate:.4f} "
+                    f"exceeds the {ceiling} ceiling")
+    return failures
+
+
 def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
-                    max_regression: float = 0.25) -> List[str]:
+                    max_regression: float = 0.25,
+                    only: Optional[Set[str]] = None) -> List[str]:
     """Regression check vs a committed report; returns failures.
 
     Wall throughput is calibration-normalized (slow runners do not read
     as regressions); simulated outputs must match exactly — the service
     is deterministic per seed, so *any* drift is a correctness bug.
+    ``only`` restricts the check to those baseline scenarios (the
+    ``--scenario`` CI jobs compare a partial run against the full
+    committed baseline).
     """
     failures: List[str] = []
     if current.get("mode") != baseline.get("mode"):
@@ -211,29 +460,41 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
         return failures
     cur_calib = current.get("calibration_ops_per_s") or 1.0
     base_calib = baseline.get("calibration_ops_per_s") or 1.0
+
+    def compare_point(label: str, base_point: Dict[str, Any],
+                      cur_point: Optional[Dict[str, Any]]) -> None:
+        if cur_point is None:
+            failures.append(f"{label} missing")
+            return
+        cur_norm = cur_point["served_per_wall_s"] / cur_calib
+        base_norm = base_point["served_per_wall_s"] / base_calib
+        ratio = cur_norm / base_norm if base_norm else 0.0
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{label}: normalized throughput fell "
+                f"to {ratio:.0%} of baseline "
+                f"({cur_point['served_per_wall_s']:,.0f}/s vs "
+                f"{base_point['served_per_wall_s']:,.0f}/s)")
+        if cur_point["fidelity"] != base_point["fidelity"]:
+            failures.append(
+                f"{label}: seeded service outputs "
+                f"changed — determinism break")
+
     for name, base_entry in baseline.get("scenarios", {}).items():
+        if only is not None and name not in only:
+            continue
         cur_entry = current.get("scenarios", {}).get(name)
         if cur_entry is None:
             failures.append(f"scenario {name!r} missing from current run")
             continue
-        for count, base_point in base_entry["shard_counts"].items():
-            cur_point = cur_entry["shard_counts"].get(count)
-            if cur_point is None:
-                failures.append(f"{name}@{count} shards missing")
-                continue
-            cur_norm = cur_point["served_per_wall_s"] / cur_calib
-            base_norm = base_point["served_per_wall_s"] / base_calib
-            ratio = cur_norm / base_norm if base_norm else 0.0
-            if ratio < 1.0 - max_regression:
-                failures.append(
-                    f"{name}@{count} shards: normalized throughput fell "
-                    f"to {ratio:.0%} of baseline "
-                    f"({cur_point['served_per_wall_s']:,.0f}/s vs "
-                    f"{base_point['served_per_wall_s']:,.0f}/s)")
-            if cur_point["fidelity"] != base_point["fidelity"]:
-                failures.append(
-                    f"{name}@{count} shards: seeded service outputs "
-                    f"changed — determinism break")
+        for count, base_point in base_entry.get("shard_counts",
+                                                {}).items():
+            compare_point(f"{name}@{count} shards", base_point,
+                          cur_entry.get("shard_counts", {}).get(count))
+        for variant, base_point in base_entry.get("variants",
+                                                  {}).items():
+            compare_point(f"{name}/{variant}", base_point,
+                          cur_entry.get("variants", {}).get(variant))
     return failures
 
 
@@ -242,19 +503,39 @@ def _format_report(report: Dict[str, Any]) -> str:
              f"{report['python']}, {report['cpu_count']} cpus, "
              f"calibration {report['calibration_ops_per_s']:,.0f} ops/s)"]
     for name, entry in report["scenarios"].items():
-        for count, point in entry["shard_counts"].items():
+        points = [(f"{count:>2} shard(s)", point)
+                  for count, point in entry.get("shard_counts",
+                                                {}).items()]
+        points += [(f"{variant:>9}", point)
+                   for variant, point in entry.get("variants",
+                                                   {}).items()]
+        for label, point in points:
             fid = point["fidelity"]
-            p99s = ", ".join(
-                f"{tn} p99 r{t['read_p99_ns']:,}/w{t['write_p99_ns']:,}ns"
-                for tn, t in fid["tenants"].items())
+            if "tenants" in fid:
+                detail = ", ".join(
+                    f"{tn} p99 r{t['read_p99_ns']:,}"
+                    f"/w{t['write_p99_ns']:,}ns"
+                    for tn, t in fid["tenants"].items())
+                sim = fid["accesses_per_simulated_s"]
+            else:
+                detail = (f"{entry.get('fleet', '?')} tenants, "
+                          f"slo violation rate "
+                          f"{entry.get('slo_violation_rate', 0.0):.4f}")
+                sim = fid["runs"][-1]["accesses_per_simulated_s"]
             lines.append(
-                f"  {name:<15} {count:>2} shard(s) "
-                f"{fid['accesses_per_simulated_s']:>14,.0f} acc/sim-s "
+                f"  {name:<15} {label} "
+                f"{sim:>14,.0f} acc/sim-s "
                 f"{point['served_per_wall_s']:>12,.0f} acc/wall-s  "
-                f"[{p99s}]")
+                f"[{detail}]")
         if "scaling_4x" in entry:
             lines.append(f"  {name:<15} scaling 4 vs 1 shard: "
                          f"{entry['scaling_4x']:.2f}x")
+        if "read_speedup_cached" in entry:
+            lines.append(
+                f"  {name:<15} cached vs uncached reads: "
+                f"{entry['read_speedup_cached']:.2f}x "
+                f"(hit rate {entry['cache_hit_rate']:.1%}, "
+                f"need {entry['min_read_speedup']}x)")
     return "\n".join(lines)
 
 
@@ -280,9 +561,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         dest="min_scaling",
                         help="required 4-shard/1-shard simulated-"
                              "throughput ratio (default: %(default)s)")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        metavar="NAME", choices=sorted(SCENARIOS),
+                        help="run only this scenario (repeatable; "
+                             "--compare then checks just these against "
+                             "the committed baseline)")
     args = parser.parse_args(argv)
 
-    report = run_bench(smoke=args.smoke, jobs=args.jobs)
+    report = run_bench(smoke=args.smoke, jobs=args.jobs,
+                       scenarios=args.scenarios)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -290,11 +577,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"report written to {args.output}")
 
     failures = check_scaling(report, args.min_scaling)
+    failures += check_gates(report)
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         failures += compare_reports(report, baseline,
-                                    max_regression=args.max_regression)
+                                    max_regression=args.max_regression,
+                                    only=(set(args.scenarios)
+                                          if args.scenarios else None))
     if failures:
         print("\nSERVICE BENCH FAILURES:", file=sys.stderr)
         for failure in failures:

@@ -153,7 +153,10 @@ def run_service_chaos(config: Optional[ServiceConfig] = None,
             soft_watermark=config.soft_watermark,
             hard_watermark=config.hard_watermark,
             throttle_penalty_ns=config.throttle_penalty_ns,
-            stamp_payloads=True)
+            stamp_payloads=True,
+            cache_pages=config.cache_pages,
+            cache_policy=config.cache_policy,
+            cache_hit_ns=config.cache_hit_ns)
         switch = KillSwitch(
             ctrl.array,
             kill_at=kill_at if index == kill_shard else None,

@@ -49,10 +49,13 @@ from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.controller import EnvyController
-from ..obs.events import (SERVICE_BATCH, SERVICE_REJECT, SERVICE_REQUEST,
-                          SERVICE_RETRY, SERVICE_THROTTLE, ObsEvent)
+from ..obs.events import (CACHE_EVICT, CACHE_HIT, CACHE_INVALIDATE,
+                          CACHE_MISS, SERVICE_BATCH, SERVICE_REJECT,
+                          SERVICE_REQUEST, SERVICE_RETRY, SERVICE_THROTTLE,
+                          ObsEvent)
 from ..obs.hist import LatencyHistogram
 from ..perf.sweep import derive_seed
+from .cache import DRAM_READ_NS, PageCache
 from .loadgen import Request
 
 __all__ = ["ShardExecutor", "prewarm_shard", "service_shard_point"]
@@ -107,7 +110,13 @@ class ShardExecutor:
                  attribute_wear: bool = False,
                  attribution_window_ns: int = 50_000,
                  wear_budgets: Optional[Sequence[Optional[int]]] = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 cache_pages: int = 0,
+                 cache_policy: str = "clock",
+                 cache_hit_ns: Optional[int] = None,
+                 cache_tenants: Optional[Sequence[bool]] = None,
+                 cache_tenant_caps: Optional[Sequence[Optional[int]]]
+                 = None) -> None:
         if queue_capacity < 1:
             raise ValueError("queue needs capacity for at least one request")
         if batch_pages < 1:
@@ -164,6 +173,37 @@ class ShardExecutor:
         #: ``wear_budget`` before it can reach Flash.
         self.wear_budgets = (list(wear_budgets)
                              if wear_budgets is not None else None)
+        if cache_pages < 0:
+            raise ValueError("cache_pages cannot be negative")
+        if cache_tenants is not None and \
+                len(cache_tenants) != len(self.tenant_names):
+            raise ValueError("cache_tenants must align with tenant_names")
+        if cache_tenant_caps is not None and \
+                len(cache_tenant_caps) != len(self.tenant_names):
+            raise ValueError(
+                "cache_tenant_caps must align with tenant_names")
+        #: DRAM read-cache tier (repro.service.cache): reads probing it
+        #: serve hits at ``cache_hit_ns`` (Figure 1 DRAM access time by
+        #: default — a hit never crosses the eNVy bus) and admit misses;
+        #: host writes and cleaner relocations invalidate.  The cache
+        #: holds page *presence*, not bytes — data still lives in the
+        #: simulated array, so transparency is structural.
+        self.cache = (PageCache(cache_pages, cache_policy,
+                                tenant_caps={
+                                    i: cap for i, cap in enumerate(
+                                        cache_tenant_caps or ())
+                                    if cap is not None})
+                      if cache_pages > 0 else None)
+        self.cache_hit_ns = (DRAM_READ_NS if cache_hit_ns is None
+                             else cache_hit_ns)
+        if self.cache_hit_ns < 0:
+            raise ValueError("cache_hit_ns cannot be negative")
+        #: Per-tenant cache-tier membership (aligned with tenant_names;
+        #: None = every real tenant).  Pseudo-tenants (redundancy /
+        #: rebuild traffic) are always excluded so replica reads and
+        #: rebuild copies pay honest Flash timing.
+        self.cache_tenants = (list(cache_tenants)
+                              if cache_tenants is not None else None)
         #: Request-level tracing (repro.obs.trace): record, per request,
         #: an exact critical-path decomposition of its latency plus the
         #: controller spans emitted while serving it, and publish each
@@ -220,6 +260,7 @@ class ShardExecutor:
             name: {"rejected": 0, "rejected_queue": 0, "rejected_shed": 0,
                    "delayed": 0, "reads": 0, "writes": 0,
                    "retried": 0, "rejected_wear": 0,
+                   "cache_hits": 0, "cache_misses": 0,
                    "read_latency": LatencyHistogram(),
                    "write_latency": LatencyHistogram()}
             for name in self.tenant_names
@@ -251,6 +292,33 @@ class ShardExecutor:
         accrue_clock = 0
         orig_flush = controller.flush_one
         store = controller.store
+
+        # --- DRAM read-cache tier -------------------------------------
+        cache = self.cache
+        cache_ok: Optional[List[bool]] = None
+        hit_ns = self.cache_hit_ns
+        prev_copy_listener = None
+        if cache is not None:
+            if self.cache_tenants is None:
+                cache_ok = [not name.startswith("__")
+                            for name in self.tenant_names]
+            else:
+                cache_ok = [flag and not name.startswith("__")
+                            for flag, name in zip(self.cache_tenants,
+                                                  self.tenant_names)]
+            # A cleaner relocation physically moves a page's live copy;
+            # a physically tagged cache entry is stale the moment that
+            # happens, so hook the store's per-page relocation callback
+            # for the duration of the replay.
+            prev_copy_listener = store.copy_listener
+
+            def _on_cleaner_copy(page: int) -> None:
+                if cache.invalidate(page) and bus.active:
+                    bus.mark(CACHE_INVALIDATE,
+                             {"shard": self.shard_index, "page": page,
+                              "reason": "clean"})
+
+            store.copy_listener = _on_cleaner_copy
 
         if attributing:
             wear_slots = [
@@ -536,6 +604,13 @@ class ShardExecutor:
                 clock += ns
                 slot["writes"] += 1
                 slot["write_latency"].record(clock - orig_arrival)
+                if cache is not None and cache.invalidate(page):
+                    # The write supersedes the cached copy (the live
+                    # version now sits in SRAM / a fresh Flash slot).
+                    if bus.active:
+                        bus.mark(CACHE_INVALIDATE,
+                                 {"shard": self.shard_index, "page": page,
+                                  "reason": "write"})
                 if budgets is not None:
                     counts = budget_writes.get(tenant_index)
                     if counts is not None:
@@ -554,7 +629,30 @@ class ShardExecutor:
                     writes_map = wear_slots[tenant_index]["page_writes"]
                     writes_map[page] = writes_map.get(page, 0) + 1
             else:
-                _, ns = read_timed(address, _WORD)
+                if cache_ok is not None and cache_ok[tenant_index]:
+                    if cache.lookup(page) is not None:
+                        # DRAM hit: served host-side, never crosses the
+                        # eNVy bus or touches the array.
+                        ns = hit_ns
+                        slot["cache_hits"] += 1
+                        if bus.active:
+                            bus.mark(CACHE_HIT,
+                                     {"shard": self.shard_index,
+                                      "tenant": name, "page": page})
+                    else:
+                        _, ns = read_timed(address, _WORD)
+                        slot["cache_misses"] += 1
+                        victim = cache.admit(page, tenant_index)
+                        if bus.active:
+                            bus.mark(CACHE_MISS,
+                                     {"shard": self.shard_index,
+                                      "tenant": name, "page": page})
+                            if victim is not None:
+                                bus.mark(CACHE_EVICT,
+                                         {"shard": self.shard_index,
+                                          "page": victim})
+                else:
+                    _, ns = read_timed(address, _WORD)
                 clock += ns
                 slot["reads"] += 1
                 slot["read_latency"].record(clock - orig_arrival)
@@ -614,6 +712,9 @@ class ShardExecutor:
             for t_index, name in enumerate(self.tenant_names):
                 per_tenant[name]["wear"] = wear_slots[t_index]
 
+        if cache is not None:
+            store.copy_listener = prev_copy_listener
+
         for slot in per_tenant.values():
             slot["read_latency"] = slot["read_latency"].state_dict()
             slot["write_latency"] = slot["write_latency"].state_dict()
@@ -634,6 +735,8 @@ class ShardExecutor:
         }
         if budgets is not None:
             result["rejected_wear"] = rejected_wear
+        if cache is not None:
+            result["cache"] = cache.stats()
         if attributing:
             result["segment_programs"] = segment_programs
             result["buffer_capacity_pages"] = capacity
@@ -698,5 +801,10 @@ def service_shard_point(point: Mapping) -> Dict:
         attribute_wear=point.get("attribute_wear", False),
         attribution_window_ns=point.get("attribution_window_ns", 50_000),
         wear_budgets=point.get("wear_budgets"),
-        trace=point.get("trace", False))
+        trace=point.get("trace", False),
+        cache_pages=point.get("cache_pages", 0),
+        cache_policy=point.get("cache_policy", "clock"),
+        cache_hit_ns=point.get("cache_hit_ns"),
+        cache_tenants=point.get("cache_tenants"),
+        cache_tenant_caps=point.get("cache_tenant_caps"))
     return executor.run(point["requests"], rids=point.get("rids"))

@@ -56,7 +56,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import EnvyConfig
 from ..core.controller import EnvyController
-from ..obs.events import (REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
+from ..obs.events import (ADMISSION_DECISION, CACHE_INVALIDATE,
+                          REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
                           REDUNDANCY_REBALANCE, REDUNDANCY_REBUILD,
                           REDUNDANCY_REPLICA, SECURITY_QUARANTINE,
                           SECURITY_REMAP, SERVICE_RUN, SERVICE_SHARD,
@@ -64,6 +65,8 @@ from ..obs.events import (REDUNDANCY_DEGRADED, REDUNDANCY_KILL,
 from ..obs.slo import SLOTracker
 from ..obs.trace import TraceReport, merge_shard_traces
 from ..perf.sweep import derive_seed, run_sweep
+from .admission import AdmissionController
+from .cache import CACHE_POLICIES, DRAM_READ_NS, PageCache
 from .loadgen import LoadGenerator, Request
 from .redundancy import (BANK_DEAD, BANK_HEALTHY, BANK_REBUILDING,
                          DegradedModeError, ParityPolicy, RebuildScheduler,
@@ -87,8 +90,8 @@ _SHARD_WORKER = "repro.service.executor:service_shard_point"
 #: The report's shape therefore never depends on the order in which
 #: state accumulated (fresh service vs. post-recovery vs. post-detect).
 _REPORT_HEAD = ("num_shards", "pages_per_shard", "service_pages",
-                "tenants", "seed", "redundancy", "security", "slo",
-                "recovery", "last_run")
+                "tenants", "seed", "redundancy", "security", "cache",
+                "admission", "slo", "recovery", "last_run")
 
 
 def _canonical_report(report: dict) -> dict:
@@ -160,6 +163,22 @@ class ServiceConfig:
     #: Force a remap-capable router even without redundancy, so
     #: flagged tenants' hot pages can be scattered (SoftWear-style).
     remappable: bool = False
+    #: DRAM read-cache capacity *per shard*, in pages (0 = no cache
+    #: tier).  Hits are served at :data:`~repro.core.costmodel.
+    #: DRAM_READ_NS` without crossing the eNVy bus.
+    cache_pages: int = 0
+    #: Cache replacement policy: ``clock`` (default) or ``lru``.
+    cache_policy: str = "clock"
+    #: Override the cache hit latency (ns); None = DRAM_READ_NS.
+    cache_hit_ns: Optional[int] = None
+    #: Per-tenant occupancy cap as a fraction of one shard's cache
+    #: (1.0 = uncapped) — the squat defence: a tenant cycling a huge
+    #: footprint evicts its own pages, never the whole tier.
+    cache_tenant_cap: float = 1.0
+    #: Closed-loop admission control: promote / throttle / shed
+    #: tenants from their observed SLO burn between runs
+    #: (:class:`~repro.service.admission.AdmissionController`).
+    admission: bool = False
 
     def validate(self) -> None:
         if self.num_shards < 1:
@@ -180,6 +199,16 @@ class ServiceConfig:
             raise ValueError("wear_budget must allow at least one write")
         if self.quarantine_tps <= 0:
             raise ValueError("quarantine_tps must be positive")
+        if self.cache_pages < 0:
+            raise ValueError("cache_pages cannot be negative")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy "
+                             f"{self.cache_policy!r}; choose from "
+                             f"{CACHE_POLICIES}")
+        if self.cache_hit_ns is not None and self.cache_hit_ns < 0:
+            raise ValueError("cache_hit_ns cannot be negative")
+        if not 0.0 < self.cache_tenant_cap <= 1.0:
+            raise ValueError("cache_tenant_cap must be in (0, 1]")
         # Raises on malformed redundancy specs / placements, and on
         # geometry the policy cannot cover (validated in make_router).
         self.make_router()
@@ -230,6 +259,9 @@ class ServiceConfig:
             "retry_backoff_ns": self.retry_backoff_ns,
             "attribute_wear": self.attribute_wear,
             "attribution_window_ns": self.attribution_window_ns,
+            "cache_pages": self.cache_pages,
+            "cache_policy": self.cache_policy,
+            "cache_hit_ns": self.cache_hit_ns,
         }
 
 
@@ -262,6 +294,12 @@ class ServiceStats:
     #: Writes rejected at admission because the tenant exhausted its
     #: per-page wear budget.
     requests_rejected_wear: int = 0
+    #: DRAM cache tier outcome, summed over shards (all zero when the
+    #: run had no cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
     tenants: Dict[str, TenantStats] = field(default_factory=dict)
     shards: List[Dict] = field(default_factory=list)
     #: Service-wide per-segment program counts ("s<bank>:p<phys>" keys;
@@ -276,6 +314,11 @@ class ServiceStats:
     def accesses_per_simulated_s(self) -> float:
         """Served accesses per simulated second (the scaling metric)."""
         return self.accesses_served * 1e9 / max(1, self.simulated_ns)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
 
     def as_dict(self) -> dict:
         """Flat, JSON-serialisable, machine-independent summary.
@@ -301,6 +344,11 @@ class ServiceStats:
             "replica_accesses": self.replica_accesses,
             "rebuild_accesses": self.rebuild_accesses,
             "requests_rejected_wear": self.requests_rejected_wear,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
             "tenants": {name: stats.as_dict()
                         for name, stats in self.tenants.items()},
             "shards": [dict(summary) for summary in self.shards],
@@ -341,6 +389,9 @@ class ServiceTransaction:
     def write_page(self, page: int, data: bytes) -> int:
         if len(data) > self._service.config.page_bytes:
             raise ValueError("data exceeds one page")
+        # Invalidate eagerly (even though the bytes only land on
+        # commit): a stale cached copy must never outlive the intent.
+        self._service._invalidate_cached(page, "write")
         return self._txn.write(self._local_address(page), data)
 
     def commit(self) -> None:
@@ -402,6 +453,23 @@ class EnvyService:
         self._last_security: Optional[dict] = None
         #: Per-tenant SLO burn tracking, fed once per :meth:`run`.
         self.slo = SLOTracker(self.tenants)
+        #: Closed-loop admission controller (None when disabled): fed
+        #: after every run, its rate overrides and cache-tier
+        #: membership shape the next run's schedule and shard points.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(
+                self.tenants,
+                cache_available=self.config.cache_pages > 0)
+            if self.config.admission else None)
+        #: Front-door byte cache for direct access (read_page): the
+        #: union of the shard tiers, holding real payloads.  Cleaner
+        #: relocations on in-process shards invalidate through the
+        #: store's copy listener; writes and topology changes (bank
+        #: kill / replace / rebalance / scatter) invalidate here.
+        self._page_cache: Optional[PageCache] = (
+            PageCache(self.config.cache_pages * self.router.num_shards,
+                      self.config.cache_policy)
+            if self.config.cache_pages > 0 else None)
         #: Request trace of the most recent ``run(trace=True)``.
         self.last_trace: Optional[TraceReport] = None
         self._last_rids: Optional[List[List[int]]] = None
@@ -666,10 +734,18 @@ class EnvyService:
         :attr:`last_trace`.  Tracing is observational — a traced run's
         metrics are bit-identical to an untraced one.
         """
+        overrides: Dict[str, float] = dict(self.quarantined)
+        if self.admission is not None:
+            # Closed-loop throttle/shed rates merge with quarantine by
+            # min(): neither layer ever relaxes the other's decision.
+            for name, rate in self.admission.rate_overrides().items():
+                current = overrides.get(name)
+                overrides[name] = (rate if current is None
+                                   else min(current, rate))
         generator = LoadGenerator(self.tenants, self.router.num_pages,
                                   self.config.page_bytes,
                                   seed=self.config.seed,
-                                  rate_overrides=self.quarantined or None)
+                                  rate_overrides=overrides or None)
         schedule, accounting = generator.generate(duration_s)
         bus = self.events
         if bus.active:
@@ -697,6 +773,11 @@ class EnvyService:
             budgets = None
         if budgets is not None:
             base["wear_budgets"] = budgets
+        if self.config.cache_pages > 0:
+            base["cache_tenants"] = self._cache_tier_flags(tenant_names)
+            caps = self._cache_tenant_caps(tenant_names)
+            if caps is not None:
+                base["cache_tenant_caps"] = caps
         points = [dict(base, shard_index=index, requests=slices[index],
                        tenant_names=tenant_names)
                   for index in range(self.router.num_shards)]
@@ -751,6 +832,15 @@ class EnvyService:
                 s["reads"] + s["writes"]
                 for name, s in shard_result["tenants"].items()
                 if name.startswith("__"))
+            cache_summary = shard_result.get("cache")
+            if cache_summary is not None:
+                stats.cache_hits += cache_summary["hits"]
+                stats.cache_misses += cache_summary["misses"]
+                stats.cache_evictions += cache_summary["evictions"]
+                stats.cache_invalidations += \
+                    cache_summary["invalidations"]
+                summary["cache_hits"] = cache_summary["hits"]
+                summary["cache_misses"] = cache_summary["misses"]
             stats.shards.append(summary)
             if bus.active:
                 bus.mark(SERVICE_SHARD, dict(summary))
@@ -769,8 +859,75 @@ class EnvyService:
         else:
             self.last_trace = None
         self.slo.observe(stats, duration_s)
+        if self.admission is not None:
+            decisions = self.admission.observe(stats, self.slo.report(),
+                                               duration_s)
+            if bus.active:
+                for decision in decisions:
+                    bus.mark(ADMISSION_DECISION, dict(decision))
         self.last_stats = stats
         return stats
+
+    # ------------------------------------------------------------------
+    # Cache tier inputs (per run)
+    # ------------------------------------------------------------------
+
+    def _cache_tier_flags(self, tenant_names: Sequence[str]
+                          ) -> List[bool]:
+        """Per-tenant cache-tier membership for the next run.
+
+        Without closed-loop admission every tenant is in the tier
+        unless it opted out (``cache=False``).  With admission, the
+        tier is pinned tenants (``cache=True``) plus currently
+        promoted ones.  Pseudo-tenants (redundancy / rebuild traffic)
+        never cache — replica reads and rebuild copies pay honest
+        Flash timing.
+        """
+        specs = {spec.name: spec for spec in self.tenants}
+        if self.admission is not None:
+            tier = set(self.admission.cache_tier())
+            return [name in tier for name in tenant_names]
+        return [not name.startswith("__")
+                and specs[name].cache is not False
+                for name in tenant_names]
+
+    def _cache_tenant_caps(self, tenant_names: Sequence[str]
+                           ) -> Optional[List[Optional[int]]]:
+        """Per-tenant occupancy caps (pages per shard), or None.
+
+        ``cache_tenant_cap`` < 1 bounds every tenant to that fraction
+        of one shard's cache.  When a previous run's latency
+        histograms exist, the cap is demand-informed: it shrinks
+        toward the tenant's observed share of reads, but never below
+        an equal split — so an idle tenant cannot reserve tier space
+        a busy one could use, and a noisy one cannot grab more than
+        the configured fraction.
+        """
+        fraction = self.config.cache_tenant_cap
+        if fraction >= 1.0:
+            return None
+        pages = self.config.cache_pages
+        hard_cap = max(1, int(pages * fraction))
+        real = [name for name in tenant_names
+                if not name.startswith("__")]
+        fair = max(1, pages // max(1, len(real)))
+        stats = self.last_stats
+        total_reads = 0
+        if stats is not None:
+            total_reads = sum(t.read_latency.count
+                              for t in stats.tenants.values())
+        caps: List[Optional[int]] = []
+        for name in tenant_names:
+            if name.startswith("__"):
+                caps.append(None)  # excluded from the tier anyway
+                continue
+            cap = hard_cap
+            if total_reads > 0 and name in stats.tenants:
+                share = int(pages * stats.tenants[name]
+                            .read_latency.count / total_reads)
+                cap = max(fair, min(hard_cap, max(share, 1)))
+            caps.append(cap)
+        return caps
 
     def _globalize_wear(self, wear: Dict, shard: int) -> None:
         """Rewrite one shard slice's wear keys into service-global terms
@@ -826,6 +983,7 @@ class EnvyService:
         if self._shards is not None and self._shards[bank] is not None:
             self._dead_shards[bank] = self._shards[bank]
             self._shards[bank] = None
+        self._invalidate_cache_all()
         if self.events.active:
             self.events.mark(REDUNDANCY_KILL, {"bank": bank})
 
@@ -858,11 +1016,14 @@ class EnvyService:
                                      pages_per_step=pages_per_step)
         if self._shards is None:
             self._shards = [None] * self.router.num_shards
-        self._shards[bank] = controller or EnvyController(
+        replacement = controller or EnvyController(
             self.config.shard_config(),
             store_data=self.config.store_data)
+        self._attach_copy_listener(bank, replacement)
+        self._shards[bank] = replacement
         self._bank_states[bank] = BANK_REBUILDING
         self._rebuilds[bank] = scheduler
+        self._invalidate_cache_all()
         return scheduler
 
     def mark_bank_healthy(self, bank: int) -> None:
@@ -872,6 +1033,7 @@ class EnvyService:
         self._bank_states[bank] = BANK_HEALTHY
         self._rebuilds.pop(bank, None)
         self._dead_shards.pop(bank, None)
+        self._invalidate_cache_all()
 
     def rebuild_status(self) -> Dict[int, dict]:
         """Progress of every active rebuild, keyed by bank."""
@@ -940,6 +1102,8 @@ class EnvyService:
                 bus.mark(REDUNDANCY_REBALANCE,
                          {"page": hot, "from": router.route(cold)[0],
                           "to": router.route(hot)[0]})
+        if swaps:
+            self._invalidate_cache_all()
         after = bank_loads()
         return {
             "swaps": len(swaps),
@@ -1048,6 +1212,8 @@ class EnvyService:
             if bus.active:
                 bus.mark(SECURITY_REMAP,
                          {"tenant": name, "page": page, "peer": peer})
+        if swaps:
+            self._invalidate_cache_all()
         return {"tenant": name, "swaps": swaps,
                 "remapped_pages": router.remapped_pages}
 
@@ -1094,6 +1260,28 @@ class EnvyService:
         if self._last_security is not None:
             security.update(self._last_security)
         report["security"] = security
+        if self.config.cache_pages > 0:
+            cache_section = {
+                "pages_per_shard": self.config.cache_pages,
+                "policy": self.config.cache_policy,
+                "hit_ns": (self.config.cache_hit_ns
+                           if self.config.cache_hit_ns is not None
+                           else DRAM_READ_NS),
+                "tenant_cap": self.config.cache_tenant_cap,
+            }
+            if self.last_stats is not None:
+                cache_section.update({
+                    "hits": self.last_stats.cache_hits,
+                    "misses": self.last_stats.cache_misses,
+                    "evictions": self.last_stats.cache_evictions,
+                    "invalidations":
+                        self.last_stats.cache_invalidations,
+                    "hit_rate": round(
+                        self.last_stats.cache_hit_rate, 6),
+                })
+            report["cache"] = cache_section
+        if self.admission is not None:
+            report["admission"] = self.admission.report()
         if self.slo:
             report["slo"] = self.slo.report()
         if self._last_chaos is not None:
@@ -1129,6 +1317,14 @@ class EnvyService:
             for key in ("accesses", "rejected_queue", "rejected_shed",
                         "retried", "flushes", "clean_copies", "erases"):
                 report[prefix + key] = summary[key]
+            if "cache_hits" in summary:
+                report[prefix + "cache_hits"] = summary["cache_hits"]
+                report[prefix + "cache_misses"] = \
+                    summary["cache_misses"]
+        if stats.cache_hits or stats.cache_misses:
+            report["cache_hits"] = stats.cache_hits
+            report["cache_misses"] = stats.cache_misses
+            report["cache_hit_rate"] = round(stats.cache_hit_rate, 6)
         return _canonical_report(report)
 
     def record_chaos_report(self, report) -> None:
@@ -1165,10 +1361,54 @@ class EnvyService:
         if self._shards is None:
             self._shards = [None] * self.router.num_shards
         if self._shards[index] is None:
-            self._shards[index] = EnvyController(
+            controller = EnvyController(
                 self.config.shard_config(),
                 store_data=self.config.store_data)
+            self._attach_copy_listener(index, controller)
+            self._shards[index] = controller
         return self._shards[index]
+
+    def _attach_copy_listener(self, bank: int,
+                              controller: EnvyController) -> None:
+        """Invalidate front-door cache entries whose Flash copy a
+        cleaner relocation just moved (no-op without a cache)."""
+        cache = self._page_cache
+        if cache is None:
+            return
+        router = self.router
+        events = self.events
+
+        def on_copy(local: int) -> None:
+            try:
+                page = router.global_page(bank, local)
+            except IndexError:
+                return  # non-primary slot: never cached here
+            if cache.invalidate(page) and events.active:
+                events.mark(CACHE_INVALIDATE,
+                            {"bank": bank, "page": page,
+                             "reason": "clean"})
+
+        controller.store.copy_listener = on_copy
+
+    def _invalidate_cached(self, page: int, reason: str) -> None:
+        """Drop one page from the front-door byte cache (no-op when
+        no cache is configured or the page is not resident)."""
+        cache = self._page_cache
+        if cache is not None and cache.invalidate(page) \
+                and self.events.active:
+            self.events.mark(CACHE_INVALIDATE,
+                             {"page": page, "reason": reason})
+
+    def _invalidate_cache_all(self) -> None:
+        """Flush the front-door cache on topology changes (bank kill /
+        replace / heal, rebalance, hot-page scatter): routing moved,
+        so cached bytes may no longer describe their logical page."""
+        if self._page_cache is not None:
+            dropped = self._page_cache.invalidate_all()
+            if dropped and self.events.active:
+                self.events.mark(CACHE_INVALIDATE,
+                                 {"pages": dropped,
+                                  "reason": "topology"})
 
     def _read_slot(self, slot: Tuple[int, int]) -> bytes:
         bank, local = slot
@@ -1214,9 +1454,21 @@ class EnvyService:
         """
         bank, local = self.router.route(page)
         if self._bank_states[bank] != BANK_HEALTHY:
+            # Degraded reads bypass the cache: reconstruction is the
+            # truth source while the primary is untrusted, and serving
+            # stale DRAM would mask exactly the failures the
+            # redundancy drills probe.
             return self._reconstruct_read(page, bank)
-        return self.shard(bank).read(local * self.config.page_bytes,
+        cache = self._page_cache
+        if cache is not None:
+            entry = cache.lookup(page)
+            if entry is not None and entry[2] is not None:
+                return entry[2]
+        data = self.shard(bank).read(local * self.config.page_bytes,
                                      self.config.page_bytes)
+        if cache is not None:
+            cache.admit(page, 0, data)
+        return data
 
     def write_page(self, page: int, data: bytes) -> int:
         """Write one global logical page; returns nanoseconds taken.
@@ -1230,6 +1482,7 @@ class EnvyService:
         page_bytes = self.config.page_bytes
         if len(data) > page_bytes:
             raise ValueError("data exceeds one page")
+        self._invalidate_cached(page, "write")
         router = self.router
         if not isinstance(router, RedundantRouter):
             bank, local = router.route(page)

@@ -92,14 +92,36 @@ class LoadGenerator:
 
     def _arrivals(self, spec: TenantSpec, rng: random.Random,
                   end_ns: int) -> List[int]:
-        """The tenant's arrival instants (sorted, < ``end_ns``)."""
+        """The tenant's arrival instants (sorted, < ``end_ns``).
+
+        Churn: the tenant exists only in ``[arrive_s, depart_s)``, and
+        open-loop tenants with a burst schedule run at ``burst_x``× rate
+        inside each burst window.  The default spec (arrive at 0, never
+        depart, no bursts) draws the exact same RNG sequence as before
+        churn existed, so legacy schedules are bit-identical.
+        """
         arrivals: List[int] = []
+        start_ns = int(spec.arrive_s * 1e9)
+        stop_ns = end_ns if spec.depart_s is None else min(
+            end_ns, int(spec.depart_s * 1e9))
+        if stop_ns <= start_ns:
+            return arrivals
         if spec.mode == "open":
             mean_ns = 1e9 / spec.rate_tps
-            clock = 0.0
+            burst_every = burst_len = 0
+            if spec.burst_every_s is not None and spec.burst_s > 0:
+                burst_every = int(spec.burst_every_s * 1e9)
+                burst_len = int(spec.burst_s * 1e9)
+            clock = float(start_ns)
             while True:
-                clock += rng.expovariate(1.0) * mean_ns
-                if clock >= end_ns:
+                gap = rng.expovariate(1.0) * mean_ns
+                if burst_every and \
+                        (int(clock) - start_ns) % burst_every < burst_len:
+                    # Inside a burst window the offered rate is
+                    # burst_x×, i.e. inter-arrival gaps shrink.
+                    gap /= spec.burst_x
+                clock += gap
+                if clock >= stop_ns:
                     break
                 arrivals.append(int(clock))
         else:
@@ -109,12 +131,12 @@ class LoadGenerator:
             # execution-independent — see TenantSpec.
             for client in range(spec.clients):
                 # Stagger session starts across one think interval.
-                clock = (client * max(1, spec.think_ns)) / max(
+                clock = start_ns + (client * max(1, spec.think_ns)) / max(
                     1, spec.clients)
                 while True:
                     clock += (rng.expovariate(1.0) * spec.think_ns
                               + spec.service_estimate_ns)
-                    if clock >= end_ns:
+                    if clock >= stop_ns:
                         break
                     arrivals.append(int(clock))
             arrivals.sort()

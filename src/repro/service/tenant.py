@@ -134,6 +134,18 @@ class TenantSpec:
     served accesses per simulated second.  Declared objectives feed the
     :class:`~repro.obs.slo.SLOTracker` — violation counts and
     multi-window burn rates in ``health_report()["slo"]``.
+
+    ``cache`` overrides membership in the DRAM read-cache tier: True
+    pins the tenant in, False keeps it out, None (default) leaves the
+    decision to the service (everyone when admission control is static;
+    the closed-loop controller's choice otherwise).
+
+    ``arrive_s`` / ``depart_s`` give the tenant a lifetime within the
+    run — it offers no load before arrival or after departure — and
+    ``burst_every_s``/``burst_s``/``burst_x`` overlay periodic bursts
+    (every ``burst_every_s`` seconds after arrival the offered rate is
+    multiplied by ``burst_x`` for ``burst_s`` seconds; open-loop only).
+    Together these model churn at O(10³)-tenant scale.
     """
 
     name: str
@@ -162,6 +174,16 @@ class TenantSpec:
     slo_throughput_tps: Optional[float] = None
     #: Fraction of requests that must meet the latency bound.
     slo_target: float = 0.99
+    #: Cache-tier membership override (None = let the service decide).
+    cache: Optional[bool] = None
+    #: Churn schedule: simulated arrival / departure times in seconds.
+    arrive_s: float = 0.0
+    depart_s: Optional[float] = None
+    #: Periodic burst overlay (open-loop): every ``burst_every_s``
+    #: seconds the offered rate is ``burst_x``× for ``burst_s`` seconds.
+    burst_every_s: Optional[float] = None
+    burst_s: float = 0.0
+    burst_x: float = 4.0
 
     def validate(self) -> None:
         if not self.name:
@@ -190,6 +212,18 @@ class TenantSpec:
             raise ValueError("slo_throughput_tps must be positive when set")
         if not 0.0 < self.slo_target < 1.0:
             raise ValueError("slo_target must be in (0, 1)")
+        if self.arrive_s < 0:
+            raise ValueError("arrive_s cannot be negative")
+        if self.depart_s is not None and self.depart_s <= self.arrive_s:
+            raise ValueError("depart_s must be after arrive_s")
+        if self.burst_every_s is not None:
+            if self.burst_every_s <= 0:
+                raise ValueError("burst_every_s must be positive when set")
+            if not 0.0 <= self.burst_s <= self.burst_every_s:
+                raise ValueError(
+                    "burst_s must be in [0, burst_every_s]")
+            if self.burst_x <= 0:
+                raise ValueError("burst_x must be positive")
         if self.page_range is not None:
             start, end = self.page_range
             if start < 0 or end <= start:
@@ -234,7 +268,7 @@ class TenantSpec:
                 coercers[spec_field.name] = int
             elif spec_field.type in ("float", "Optional[float]"):
                 coercers[spec_field.name] = float
-            elif spec_field.type == "bool":
+            elif spec_field.type in ("bool", "Optional[bool]"):
                 coercers[spec_field.name] = cls._parse_bool
             elif "Tuple" in spec_field.type:
                 coercers[spec_field.name] = cls._parse_range
@@ -252,17 +286,34 @@ class TenantSpec:
         through float, so ``clients=1e2`` works), booleans accept
         true/false/yes/no/on/off/1/0, ``page_range`` is ``start:end``,
         and workload names may use ``-`` for ``_`` (``clean-amp``).
-        Raises :class:`ValueError` on unknown keys or bad values.
+        ``slo=READ[:WRITE[:TARGET]]`` expands to the three SLO fields
+        (``-`` or empty skips a bound): ``slo=150e3:300e3:0.995``
+        declares read p99 ≤ 150 µs and write p99 ≤ 300 µs at the
+        99.5th percentile.  Raises :class:`ValueError` on unknown keys
+        or bad values.
         """
         coercers = cls._coercers()
         kwargs: Dict[str, object] = {}
         for part in spec.split(","):
             key, sep, value = part.partition("=")
             key = key.strip()
+            if key == "slo" and sep:
+                bounds = value.strip().split(":")
+                if not 1 <= len(bounds) <= 3 or not any(bounds):
+                    raise ValueError(
+                        f"bad slo spec {value!r} "
+                        f"(use READ[:WRITE[:TARGET]])")
+                if bounds[0] not in ("", "-"):
+                    kwargs["slo_read_p99_ns"] = int(float(bounds[0]))
+                if len(bounds) > 1 and bounds[1] not in ("", "-"):
+                    kwargs["slo_write_p99_ns"] = int(float(bounds[1]))
+                if len(bounds) > 2 and bounds[2] not in ("", "-"):
+                    kwargs["slo_target"] = float(bounds[2])
+                continue
             if not sep or key not in coercers:
                 raise ValueError(
                     f"bad tenant spec item {part!r}; keys: "
-                    f"{', '.join(sorted(coercers))}")
+                    f"{', '.join(sorted(coercers))}, slo")
             coerce = coercers[key]
             kwargs[key] = coerce(float(value)) if coerce is int else \
                 coerce(value.strip())
@@ -324,10 +375,11 @@ class TenantStats:
 
     __slots__ = ("name", "offered", "throttled", "rejected", "delayed",
                  "reads", "writes", "retried", "rejected_wear",
+                 "cache_hits", "cache_misses",
                  "read_latency", "write_latency", "wear", "extra")
 
     _COUNTERS = ("rejected", "delayed", "reads", "writes", "retried",
-                 "rejected_wear")
+                 "rejected_wear", "cache_hits", "cache_misses")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -346,6 +398,9 @@ class TenantStats:
         #: Writes refused because the tenant exhausted a per-page wear
         #: budget (repro.service.adversary mitigation).
         self.rejected_wear = 0
+        #: Reads served from / fallen through the DRAM cache tier.
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
         #: Wear-attribution tree (writes per segment, induced cleaning,
@@ -393,6 +448,8 @@ class TenantStats:
             "writes": self.writes,
             "retried": self.retried,
             "rejected_wear": self.rejected_wear,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "read_p50_ns": self.read_latency.p50,
             "read_p99_ns": self.read_latency.p99,
             "write_p50_ns": self.write_latency.p50,
