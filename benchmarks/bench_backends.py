@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Backend-matrix benchmark entry point (see ``repro.backends.bench``).
+
+Records one seeded TPC-A run, replays it against every registered
+storage backend (simulated Flash, RAM-disk block device, file-backed
+persistent store, ONFI NAND model) and gates on all of them producing
+one logical page-state digest; checks ``backend="flash"`` is
+bit-identical (digest *and* simulated ns) to the direct-construction
+default; times trace replay through the default backend as the gated
+wall number.  Emits ``BENCH_BACKENDS.json``:
+
+    PYTHONPATH=src python benchmarks/bench_backends.py           # full
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke \\
+        --output BENCH_BACKENDS.current.json \\
+        --compare BENCH_BACKENDS.smoke.json --max-regression 0.25
+
+Like ``bench_perf.py`` this is a plain script, not a pytest benchmark:
+CI calls it directly and gates on its exit status.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.backends.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,14 @@ Small front door for the library's experiments:
   (queue / redundancy / retry / throttle / flush / clean / service),
   print per-tenant tail blame and SLO burn rates, and optionally export
   the Perfetto trace with cross-shard flow links.
+* ``backends``  — list the pluggable storage backends and workload
+  generators in the plugin registry; ``--check`` runs the
+  cross-backend consistency matrix (one recorded TPC-A trace replayed
+  on every backend must produce one logical page-state digest);
+  ``--record`` saves the reference trace to versioned JSONL.
+* ``replay``    — re-drive a recorded run trace against any backend
+  (``--backend 'file:path=...'``) or the whole matrix (``--matrix``),
+  printing the logical state digest and simulated cost.
 """
 
 from __future__ import annotations
@@ -929,6 +937,129 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backends_config(args: argparse.Namespace):
+    from .backends import default_config
+
+    return default_config(num_segments=args.segments,
+                          pages_per_segment=args.pages,
+                          reserve_segments=args.reserves)
+
+
+def _print_consistency_report(report) -> None:
+    rows = []
+    for spec, entry in report["backends"].items():
+        digest = entry["digest"][:16]
+        if entry["reopen_digest"]:
+            digest += (" (reopen ok)"
+                       if entry["reopen_digest"] == entry["digest"]
+                       else " (REOPEN DIVERGED)")
+        rows.append([entry["backend_name"], spec, digest,
+                     f"{entry['total_ns']:,}",
+                     "ok" if entry["match"] else "MISMATCH"])
+    print(format_table(["Backend", "Spec", "State digest",
+                        "Simulated ns", "Match"], rows))
+    reference = report["reference_digest"]
+    print(f"\nreference digest : {reference or '(per-trace)'}")
+    print(f"distinct digests : {report['distinct_digests']} over "
+          f"{report['ops']:,} host ops ({report['writes']:,} writes, "
+          f"{report['reads']:,} reads)")
+    print("consistent       : "
+          + ("yes — placement is backend-independent"
+             if report["consistent"] else "NO"))
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    from . import backends
+
+    print(banner("pluggable storage backends"))
+    rows = [[info.name, info.summary, info.options or "-"]
+            for info in (backends.backend_info(name)
+                         for name in backends.backend_names())]
+    print(format_table(["Backend", "Summary", "Options"], rows))
+    print()
+    print(banner("workload generators"))
+    rows = [[info.name, info.summary, info.options or "-"]
+            for info in (backends.workload_info(name)
+                         for name in backends.workload_names())]
+    print(format_table(["Workload", "Summary", "Options"], rows))
+    print("\nspec grammar: name[:key=value,...] — e.g. "
+          "'file:path=/tmp/envy.img' or 'zipf:skew=1.2'; "
+          "EnvyConfig(backend=SPEC) or --backend SPEC selects one.")
+    if args.record:
+        config = _backends_config(args)
+        trace, reference = backends.record_tpca(
+            config, transactions=args.transactions, seed=args.seed)
+        trace.save(args.record)
+        print(f"\nrecorded {len(trace)} host ops "
+              f"({trace.writes} writes) from {args.transactions} TPC-A "
+              f"transactions (seed {args.seed}) to {args.record}")
+        print(f"reference state digest: {reference.digest}")
+    if not args.check:
+        return 0
+    print()
+    print(banner(f"cross-backend consistency "
+                 f"({args.transactions} TPC-A transactions, "
+                 f"seed {args.seed})"))
+    report = backends.run_consistency(config=_backends_config(args),
+                                      transactions=args.transactions,
+                                      seed=args.seed)
+    _print_consistency_report(report)
+    return 0 if report["consistent"] else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .backends import RunTrace, replay_trace, run_consistency
+    from .workloads.trace import TraceError
+
+    try:
+        trace = RunTrace.load(args.trace)
+    except (OSError, TraceError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    config = _backends_config(args)
+    print(f"loaded {len(trace)} host ops ({trace.writes:,} writes, "
+          f"{trace.reads:,} reads; {trace.page_bytes}-byte pages, "
+          f"recorded under config "
+          f"{trace.config_digest or 'unknown'})")
+    if args.matrix:
+        print(banner("replaying across the backend matrix"))
+        report = run_consistency(config=config, trace=trace,
+                                 seed=args.seed)
+        _print_consistency_report(report)
+        return 0 if report["consistent"] else 1
+    try:
+        result = replay_trace(trace, replace(config,
+                                             backend=args.backend),
+                              check_config=not args.no_check,
+                              keep_controller=True)
+    except TraceError as exc:
+        print(f"refusing to replay: {exc}", file=sys.stderr)
+        return 2
+    print(banner(f"replay on backend {args.backend!r}"))
+    rows = [
+        ["State digest", result.digest],
+        ["Simulated cost", f"{result.total_ns:,} ns for "
+         f"{result.ops:,} host ops"],
+    ]
+    health = result.health
+    for key in ("flushes", "erases", "clean_copies", "retired_segments"):
+        if key in health:
+            rows.append([key, str(health[key])])
+    for key, value in sorted(health.items()):
+        if key.startswith("backend"):
+            rows.append([key, str(value)])
+    print(format_table(["Replay result", "Value"], rows))
+    if args.expect_digest:
+        if result.digest != args.expect_digest:
+            print(f"\nDIGEST MISMATCH: expected {args.expect_digest}",
+                  file=sys.stderr)
+            return 1
+        print("\ndigest matches --expect-digest.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1154,6 +1285,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="small fixed run + tracing acceptance "
                             "validation (CI)")
+
+    backends = sub.add_parser(
+        "backends", help="list pluggable storage backends / workloads; "
+                         "--check runs the cross-backend consistency "
+                         "matrix")
+    backends.add_argument("--check", action="store_true",
+                          help="record one TPC-A trace and prove every "
+                               "backend produces the same state digest")
+    backends.add_argument("--record", metavar="TRACE.jsonl",
+                          help="save the reference run trace to this "
+                               "JSONL file (for 'replay')")
+    backends.add_argument("--transactions", type=int, default=40,
+                          help="TPC-A transactions to record "
+                               "(default: %(default)s)")
+    backends.add_argument("--seed", type=int, default=0)
+    backends.add_argument("--segments", type=int, default=12,
+                          help="logical segments (default: %(default)s)")
+    backends.add_argument("--pages", type=int, default=16,
+                          help="pages per segment")
+    backends.add_argument("--reserves", type=int, default=2,
+                          help="bad-block reserve segments")
+
+    replay = sub.add_parser(
+        "replay", help="re-drive a recorded run trace against any "
+                       "backend")
+    replay.add_argument("trace", help="run-trace JSONL (from "
+                                      "'backends --record')")
+    replay.add_argument("--backend", default="flash",
+                        help="backend spec name[:key=value,...] "
+                             "(default: %(default)s)")
+    replay.add_argument("--matrix", action="store_true",
+                        help="replay on every registered backend and "
+                             "compare digests")
+    replay.add_argument("--expect-digest", dest="expect_digest",
+                        metavar="SHA256",
+                        help="fail unless the replay lands on this "
+                             "state digest")
+    replay.add_argument("--no-check", action="store_true",
+                        dest="no_check",
+                        help="skip the trace-header config validation")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--segments", type=int, default=12,
+                        help="logical segments of the replay config")
+    replay.add_argument("--pages", type=int, default=16,
+                        help="pages per segment")
+    replay.add_argument("--reserves", type=int, default=2,
+                        help="bad-block reserve segments")
     return parser
 
 
@@ -1170,6 +1348,8 @@ COMMANDS = {
     "perf": cmd_perf,
     "serve": cmd_serve,
     "trace": cmd_trace,
+    "backends": cmd_backends,
+    "replay": cmd_replay,
 }
 
 

@@ -1,0 +1,27 @@
+"""Backend (a): the simulated Flash array — the default substrate.
+
+This is :class:`~repro.flash.array.FlashArray` itself, registered under
+the name ``flash``.  ``EnvyConfig(backend=None)`` and
+``EnvyConfig(backend="flash")`` construct byte-identical arrays: the
+registry factory passes exactly the arguments the controller's direct
+construction path passes, so the default configuration remains
+bit-identical to the pre-backend-era system (gated by the committed
+PERF/SERVICE/ATTACK/OBS baselines).
+"""
+
+from __future__ import annotations
+
+from ..flash.array import FlashArray
+from .registry import register_backend
+
+__all__ = ["make_flash_backend"]
+
+
+@register_backend(
+    "flash",
+    summary="simulated Flash array (Figure 12 timing; the default)",
+    options="none")
+def make_flash_backend(config, store_data, spare_segments):
+    return FlashArray(config.flash, config.page_bytes,
+                      store_data=store_data,
+                      spare_segments=spare_segments)

@@ -130,13 +130,17 @@ class SegmentStore:
         self.page_location: List[Optional[Tuple[int, int]]] = (
             [None] * num_logical_pages)
         self.observer = observer
-        #: Optional callback fired with each logical page whose live
-        #: Flash copy the cleaner physically relocated (clean survivors,
-        #: prepended transfers, receive()).  A read-cache tier hooks
-        #: this to invalidate entries whose backing copy moved; the
-        #: observer cannot serve that purpose because it only reports
-        #: (operation, position, amount), never page identity.
-        self.copy_listener: Optional[Callable[[int], None]] = None
+        #: Primary relocation callback (see the copy_listener property);
+        #: a read-cache tier hooks this to invalidate entries whose
+        #: backing copy moved.  The observer cannot serve that purpose
+        #: because it only reports (operation, position, amount), never
+        #: page identity.
+        self._copy_listener: Optional[Callable[[int], None]] = None
+        #: Additional relocation listeners (add_copy_listener); they
+        #: fire after the primary, in registration order, so several
+        #: consumers (cache invalidation + trace recording) can watch
+        #: the same store without displacing each other.
+        self._copy_listeners: List[Callable[[int], None]] = []
         # --- global counters (the cleaning-cost numerator/denominator) -
         self.flush_count = 0
         self.clean_copy_count = 0
@@ -167,6 +171,51 @@ class SegmentStore:
         self._active_cache: List[int] = []
         self._wear_key = None
         self._wear_value = 0
+
+    # ------------------------------------------------------------------
+    # Copy listeners
+    # ------------------------------------------------------------------
+
+    @property
+    def copy_listener(self) -> Optional[Callable[[int], None]]:
+        """The primary relocation callback (single-listener slot).
+
+        Kept as a plain read/write property for the existing consumers
+        that save-and-restore it (the DRAM read cache, the transaction
+        executor); code that must coexist with them registers through
+        :meth:`add_copy_listener` instead.
+        """
+        return self._copy_listener
+
+    @copy_listener.setter
+    def copy_listener(self,
+                      callback: Optional[Callable[[int], None]]) -> None:
+        self._copy_listener = callback
+
+    def add_copy_listener(self,
+                          callback: Callable[[int], None]) -> None:
+        """Register an additional relocation listener.
+
+        Fires with each logical page whose live Flash copy the cleaner
+        physically relocated (clean survivors, prepended transfers,
+        receive()), after the primary listener.
+        """
+        self._copy_listeners.append(callback)
+
+    def remove_copy_listener(self,
+                             callback: Callable[[int], None]) -> None:
+        self._copy_listeners.remove(callback)
+
+    def _notify_copies(self, pages) -> None:
+        listener = self._copy_listener
+        extras = self._copy_listeners
+        if listener is None and not extras:
+            return
+        for page in pages:
+            if listener is not None:
+                listener(page)
+            for extra in extras:
+                extra(page)
 
     # ------------------------------------------------------------------
     # Primitive operations
@@ -353,10 +402,7 @@ class SegmentStore:
         self._slot_total += len(pos.slots) - old_slot_count
         for slot, page in enumerate(pos.slots):
             self.page_location[page] = (pos_index, slot)
-        if self.copy_listener is not None:
-            listener = self.copy_listener
-            for page in pos.slots:
-                listener(page)
+        self._notify_copies(pos.slots)
         self.clean_copy_count += copies
         if self.observer is not None:
             self.observer("clean_copy", pos_index, copies)
@@ -427,8 +473,7 @@ class SegmentStore:
         self._slot_total += 1
         self._live_delta(pos, 1)
         self.page_location[logical_page] = (pos_index, len(pos.slots) - 1)
-        if self.copy_listener is not None:
-            self.copy_listener(logical_page)
+        self._notify_copies((logical_page,))
         if demote:
             pos.demoted.add(logical_page)
         self.clean_copy_count += 1

@@ -250,6 +250,13 @@ class EnvyConfig:
     #: never changes timing or metrics — only whether the Python model
     #: spends time packing CRC records nobody will read.
     oob_stamping: Optional[bool] = None
+    # --- storage backend (repro.backends) -----------------------------
+    #: Backend spec string naming the storage substrate, e.g. "flash",
+    #: "ramdisk:block_bytes=256", "file:path=/tmp/envy.img",
+    #: "onfi:factory_bad=2".  None (the default) constructs the
+    #: simulated Flash array directly — byte-identical to "flash" but
+    #: with no registry import on the default path.
+    backend: Optional[str] = None
 
     @property
     def effective_checkpoint_segments(self) -> int:

@@ -66,9 +66,20 @@ class EnvyController:
             # Recovery path: rebuild the controller over a surviving
             # array instead of fabricating a fresh one.
             self.array = _array
-        else:
+        elif cfg.backend is None:
             self.array = FlashArray(
                 cfg.flash, cfg.page_bytes, store_data=store_data,
+                spare_segments=(1 + cfg.reserve_segments
+                                + cfg.effective_checkpoint_segments))
+        else:
+            # Pluggable substrate (repro.backends): the spec names a
+            # registered backend; the factory receives exactly the
+            # geometry the direct path above passes, so backend="flash"
+            # is byte-identical to backend=None.
+            from ..backends import create_backend
+
+            self.array = create_backend(
+                cfg.backend, cfg, store_data=store_data,
                 spare_segments=(1 + cfg.reserve_segments
                                 + cfg.effective_checkpoint_segments))
         # --- fault-tolerance layer (repro.faults) ---------------------
@@ -81,8 +92,14 @@ class EnvyController:
         self._ecc = secded_for(cfg.page_bytes) if ecc_on else None
         self._ecc_check_ns = cfg.ecc_check_ns if ecc_on else 0
         self.array.strict_endurance = cfg.strict_endurance
+        # Factory bad-block marks (ONFI-style backends): physical
+        # segments the medium declared unusable before the controller
+        # ever saw it.  They force a bad-block table into existence.
+        factory_bad = tuple(sorted(
+            getattr(self.array, "factory_bad_segments", ()) or ()))
         self.bad_blocks = None
-        if self.fault_injector is not None or cfg.reserve_segments:
+        if (self.fault_injector is not None or cfg.reserve_segments
+                or factory_bad):
             self.bad_blocks = BadBlockTable()
         if (self.fault_injector is not None or self._ecc is not None
                 or cfg.strict_endurance):
@@ -141,7 +158,12 @@ class EnvyController:
         self._bus_overhead_ns = cfg.bus_overhead_ns
         self._sram_read_ns = cfg.sram.read_ns
         self._sram_write_ns = cfg.sram.write_ns
-        self._flash_read_ns = cfg.flash.read_ns
+        # Through the backend's cost hook, not the config constant, so
+        # a backend with its own timing (ONFI bus cycles, DRAM rates)
+        # is charged correctly.  For the default FlashArray this is
+        # exactly cfg.flash.read_ns (degradation is attached later and
+        # was never reflected in this scalar).
+        self._flash_read_ns = self.array.read_time_ns()
         # --- crash-consistent metadata (repro.core.checkpoint) --------
         self.checkpointer = None
         self._flushes_since_checkpoint = 0
@@ -151,7 +173,16 @@ class EnvyController:
             from .checkpoint import CheckpointManager
 
             self.checkpointer = CheckpointManager(self)
+        #: Block devices layered over this controller's medium (the
+        #: ramdisk backend registers its device here); their operation
+        #: counters are folded into health_report().
+        self.block_devices = []
+        device = getattr(self.array, "device", None)
+        if device is not None and hasattr(device, "stats"):
+            self.block_devices.append(device)
         if not _skip_format:
+            if factory_bad:
+                self._retire_factory_bad(factory_bad)
             self._format()
         self.policy.attach(self.store)
 
@@ -180,6 +211,55 @@ class EnvyController:
         self.metrics.reset()
         self.array.fault_stats.reset()
         self._pending_work_ns = 0
+
+    def _retire_factory_bad(self, factory_bad) -> None:
+        """Fold the medium's factory bad-block marks into the layout.
+
+        Runs before :meth:`_format`, so no data has landed yet and
+        retirement is pure bookkeeping: a bad segment inside the
+        reserve pool just shrinks the pool; a bad segment holding a
+        position, the spare, or a metadata slot swaps a reserve segment
+        into its place — the same swap a grown-bad retirement performs
+        at erase time, minus the data motion (there is none yet).
+        """
+        from ..cleaning.store import StoreError
+
+        store = self.store
+        swapped = False
+        for phys in factory_bad:
+            if phys in store.reserve_phys:
+                store.reserve_phys.remove(phys)
+                self.bad_blocks.mark_factory(phys)
+                store.retired_phys.add(phys)
+                continue
+            replacement = self.bad_blocks.mark_factory(
+                phys, need_replacement=True)
+            if replacement is None:
+                raise StoreError(
+                    f"factory bad segment {phys} cannot be replaced: "
+                    f"the reserve pool is exhausted (need "
+                    f"reserve_segments > {len(factory_bad) - 1})")
+            store.reserve_phys.remove(replacement)
+            store.retired_phys.add(phys)
+            if store.spare_phys == phys:
+                store.spare_phys = replacement
+            elif phys in store.metadata_phys:
+                store.metadata_phys.discard(phys)
+                store.metadata_phys.add(replacement)
+            else:
+                for pos in store.positions:
+                    if pos.phys == phys:
+                        pos.phys = replacement
+                        break
+                else:  # pragma: no cover - geometry invariant
+                    raise StoreError(
+                        f"factory bad segment {phys} is not in the "
+                        f"layout")
+            swapped = True
+        if swapped:
+            store._derived_version += 1
+            store._active_key = None
+            store._wear_key = None
 
     # ------------------------------------------------------------------
     # Store event hook: charge background work to the time breakdown
@@ -308,6 +388,20 @@ class EnvyController:
             "write_latency_p50_ns": metrics.write_latency.p50,
             "write_latency_p99_ns": metrics.write_latency.p99,
         })
+        # --- storage backend (repro.backends) -------------------------
+        # Guarded so the default Flash path's report is byte-identical
+        # to the pre-backend era: FlashArray has no backend_name, no
+        # media_report, and registers no block devices.
+        backend_name = getattr(self.array, "backend_name", None)
+        if backend_name is not None:
+            report["backend"] = backend_name
+        media = getattr(self.array, "media_report", None)
+        if media is not None:
+            for key, value in media().items():
+                report[f"backend_{key}"] = value
+        for index, device in enumerate(self.block_devices):
+            for key, value in device.stats().items():
+                report[f"blockdev{index}_{key}"] = value
         # Latest time-series window, flattened, when a hub is attached.
         obs = self.observability
         if obs is not None:

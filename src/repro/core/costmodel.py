@@ -21,13 +21,17 @@ from typing import Dict, List
 
 from .config import MIB, EnvyConfig
 
-__all__ = ["Technology", "TECHNOLOGIES", "DRAM_READ_NS", "system_cost",
-           "EnvyCostBreakdown"]
+__all__ = ["Technology", "TECHNOLOGIES", "DRAM_READ_NS", "DRAM_WRITE_NS",
+           "system_cost", "EnvyCostBreakdown"]
 
 #: Figure 1 DRAM access time in nanoseconds.  A host-side DRAM read
 #: cache serves hits at this latency: the access never crosses the eNVy
 #: memory bus, so it pays neither the bus overhead nor the Flash array.
 DRAM_READ_NS = 60
+
+#: Figure 1 lists DRAM as symmetric (60 ns both ways); the RAM-disk
+#: block device charges its writes at this rate.
+DRAM_WRITE_NS = 60
 
 
 @dataclass(frozen=True)

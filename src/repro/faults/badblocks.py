@@ -55,6 +55,29 @@ class BadBlockTable:
         self.history.append((phys, reason, replacement))
         return replacement
 
+    def mark_factory(self, phys: int,
+                     need_replacement: bool = False) -> Optional[int]:
+        """Record a factory bad-block mark found during the initial scan.
+
+        Real parts ship with bad blocks already marked in the spare
+        area; the controller's format-time scan folds them into this
+        table before any data lands.  When the marked segment was part
+        of the active geometry (a position, the spare, or a metadata
+        segment), ``need_replacement=True`` draws a reserve segment for
+        the caller to swap in; a mark inside the reserve pool itself
+        just shrinks the pool.
+        """
+        if phys in self.retired:
+            raise ValueError(f"segment {phys} is already retired")
+        if phys in self.reserve:
+            self.reserve.remove(phys)
+        self.retired[phys] = "factory"
+        replacement = None
+        if need_replacement:
+            replacement = self.reserve.pop(0) if self.reserve else None
+        self.history.append((phys, "factory", replacement))
+        return replacement
+
     def is_bad(self, phys: int) -> bool:
         return phys in self.retired
 

@@ -11,8 +11,9 @@ external tool.
 from __future__ import annotations
 
 import io
+import json
 import struct
-from typing import BinaryIO, Iterable, List, Optional, Union
+from typing import BinaryIO, Iterable, List, Optional, TextIO, Union
 
 from .base import WriteWorkload
 
@@ -20,6 +21,15 @@ __all__ = ["TraceWorkload", "TraceRecorder", "TraceError"]
 
 MAGIC = b"eNVyTRC1"
 _ENTRY = struct.Struct("<I")
+
+#: Versioned JSONL trace format: a header object on the first line,
+#: one ``{"p": page}`` object per reference after it.  The header
+#: carries the geometry the trace was recorded under (``num_pages``,
+#: ``page_bytes``), the generating ``seed``, and a ``config_digest``
+#: fingerprinting the full controller config — the loader refuses to
+#: replay a trace against mismatched geometry.
+JSONL_FORMAT = "envy-trace"
+JSONL_VERSION = 1
 
 
 class TraceError(Exception):
@@ -73,6 +83,8 @@ class TraceWorkload(WriteWorkload):
                                  f"0..{num_pages - 1}")
         self.cycle = cycle
         self._cursor = 0
+        #: JSONL header metadata (populated by :meth:`load_jsonl`).
+        self.header: dict = {}
 
     def next_page(self) -> int:
         if self._cursor >= len(self.trace):
@@ -126,6 +138,124 @@ class TraceWorkload(WriteWorkload):
             raise TraceError("truncated trace")
         pages = [value for (value,) in _ENTRY.iter_unpack(raw)]
         return cls(num_pages, pages, cycle=cycle)
+
+    # ------------------------------------------------------------------
+    # Versioned JSONL format
+    # ------------------------------------------------------------------
+
+    def save_jsonl(self, target: Union[str, TextIO],
+                   page_bytes: Optional[int] = None,
+                   seed: Optional[int] = None,
+                   config_digest: Optional[str] = None) -> None:
+        """Write the trace as versioned JSONL (header + one ref/line)."""
+        header = {"format": JSONL_FORMAT, "version": JSONL_VERSION,
+                  "num_pages": self.num_pages}
+        if page_bytes is not None:
+            header["page_bytes"] = int(page_bytes)
+        if seed is not None:
+            header["seed"] = int(seed)
+        if config_digest is not None:
+            header["config_digest"] = str(config_digest)
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                self._write_jsonl(handle, header)
+        else:
+            self._write_jsonl(target, header)
+
+    def _write_jsonl(self, handle: TextIO, header: dict) -> None:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for page in self.trace:
+            handle.write('{"p": %d}\n' % page)
+
+    @classmethod
+    def load_jsonl(cls, source: Union[str, TextIO], cycle: bool = True,
+                   expect_num_pages: Optional[int] = None,
+                   expect_page_bytes: Optional[int] = None,
+                   expect_config_digest: Optional[str] = None
+                   ) -> "TraceWorkload":
+        """Load a JSONL trace, validating geometry against the caller.
+
+        ``expect_*`` arguments describe the system the trace is about
+        to drive; any mismatch against the recorded header raises
+        :class:`TraceError` with a message naming both sides — a trace
+        recorded for one geometry silently replayed against another
+        would corrupt every downstream comparison.
+        """
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls._read_jsonl(handle, cycle, expect_num_pages,
+                                       expect_page_bytes,
+                                       expect_config_digest,
+                                       name=source)
+        return cls._read_jsonl(source, cycle, expect_num_pages,
+                               expect_page_bytes, expect_config_digest,
+                               name="<stream>")
+
+    @classmethod
+    def _read_jsonl(cls, handle: TextIO, cycle: bool,
+                    expect_num_pages: Optional[int],
+                    expect_page_bytes: Optional[int],
+                    expect_config_digest: Optional[str],
+                    name: str) -> "TraceWorkload":
+        first = handle.readline()
+        if not first.strip():
+            raise TraceError(f"{name}: empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{name}: malformed header: {exc}") from exc
+        if not isinstance(header, dict) or \
+                header.get("format") != JSONL_FORMAT:
+            raise TraceError(f"{name}: not an eNVy JSONL trace "
+                             f"(header {header!r})")
+        version = header.get("version")
+        if version != JSONL_VERSION:
+            raise TraceError(
+                f"{name}: trace version {version} not supported "
+                f"(expected {JSONL_VERSION})")
+        num_pages = header.get("num_pages")
+        if not isinstance(num_pages, int) or num_pages <= 0:
+            raise TraceError(f"{name}: bad num_pages {num_pages!r}")
+        if expect_num_pages is not None and \
+                num_pages != expect_num_pages:
+            raise TraceError(
+                f"{name}: geometry mismatch — trace was recorded for "
+                f"{num_pages} logical pages, this system has "
+                f"{expect_num_pages}")
+        page_bytes = header.get("page_bytes")
+        if (expect_page_bytes is not None and page_bytes is not None
+                and page_bytes != expect_page_bytes):
+            raise TraceError(
+                f"{name}: geometry mismatch — trace was recorded with "
+                f"{page_bytes}-byte pages, this system uses "
+                f"{expect_page_bytes}-byte pages")
+        digest = header.get("config_digest")
+        if (expect_config_digest is not None and digest is not None
+                and digest != expect_config_digest):
+            raise TraceError(
+                f"{name}: config mismatch — trace was recorded under "
+                f"config {digest}, this system is {expect_config_digest}")
+        pages: List[int] = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                pages.append(record["p"])
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise TraceError(
+                    f"{name}:{lineno}: malformed record "
+                    f"{line.strip()!r}: {exc}") from exc
+        workload = cls(num_pages, pages, cycle=cycle)
+        workload.header = dict(header)
+        return workload
+
+    def roundtrip_jsonl(self, **header) -> "TraceWorkload":
+        """Save to memory as JSONL and reload (used by tests)."""
+        buffer = io.StringIO()
+        self.save_jsonl(buffer, **header)
+        buffer.seek(0)
+        return type(self).load_jsonl(buffer)
 
     @classmethod
     def from_workload(cls, workload: WriteWorkload,

@@ -153,3 +153,72 @@ class TestFileSystem:
         fs = FileSystem(device)
         with pytest.raises(FileSystemError):
             fs.list_files()
+
+
+class TestBlockDeviceCostModel:
+    """Block-device ops are charged through the timing model (PR-10)."""
+
+    def test_reads_charge_memory_time(self, device):
+        _, ns = device.read_block_timed(0)
+        assert ns > 0
+        assert device.read_ns == ns
+        _, again = device.read_block_timed(0)
+        assert device.read_ns == ns + again
+
+    def test_writes_charge_memory_time(self, device):
+        ns = device.write_block_timed(0, b"\x01" * 512)
+        assert ns > 0
+        assert device.write_ns == ns
+
+    def test_untimed_memory_falls_back_to_dram_rates(self):
+        from repro.core.costmodel import DRAM_READ_NS, DRAM_WRITE_NS
+
+        class RawMemory:
+            size_bytes = 4096
+
+            def read(self, address, length):
+                return bytes(length)
+
+            def write(self, address, data):
+                return None  # no timing information
+
+        device = BlockDevice(RawMemory(), block_bytes=512)
+        _, read_ns = device.read_block_timed(1)
+        assert read_ns == DRAM_READ_NS
+        assert device.write_block_timed(1, bytes(512)) == DRAM_WRITE_NS
+
+    def test_update_bytes_returns_rmw_time(self, device):
+        ns = device.update_bytes(2, 100, b"\x55\x55")
+        assert ns == device.read_ns + device.write_ns
+
+    def test_stats_snapshot(self, device):
+        device.write_block(0, bytes(512))
+        device.read_block(0)
+        stats = device.stats()
+        assert stats["reads"] == 1
+        assert stats["writes"] == 1
+        assert stats["read_ns"] > 0
+        assert stats["write_ns"] > 0
+        assert stats["block_bytes"] == 512
+
+    def test_counters_surface_in_health_report(self):
+        system = make_system()
+        device = BlockDevice(system, block_bytes=512)
+        device.write_block(0, b"\x42" * 512)
+        device.read_block(0)
+        health = system.health_report()
+        assert health["blockdev0_writes"] == 1
+        assert health["blockdev0_reads"] == 1
+        assert health["blockdev0_write_ns"] > 0
+        assert health["blockdev0_read_ns"] > 0
+
+    def test_two_devices_report_separately(self):
+        system = make_system()
+        a = BlockDevice(system, block_bytes=512, offset=0, num_blocks=4)
+        b = BlockDevice(system, block_bytes=512, offset=2048,
+                        num_blocks=4)
+        a.write_block(0, bytes(512))
+        b.read_block(0)
+        health = system.health_report()
+        assert health["blockdev0_writes"] == 1
+        assert health["blockdev1_reads"] == 1

@@ -272,3 +272,72 @@ class TestMetricsAndInvariants:
     def test_rejects_single_position(self):
         with pytest.raises(ValueError):
             SegmentStore(1, 4, 2)
+
+
+class TestCopyListeners:
+    """Several consumers can watch relocations at once (PR-10).
+
+    The primary ``copy_listener`` slot stays a plain property (the DRAM
+    cache and the transaction executor save-and-restore it); extra
+    listeners registered with ``add_copy_listener`` fire after it, in
+    registration order, for every physically relocated live copy.
+    """
+
+    def make_watched_store(self):
+        store = make_store(4, 8, logical=8)
+        store.populate_sequential()  # all live pages in position 0
+        events = []
+        store.copy_listener = lambda page: events.append(("cache", page))
+        store.add_copy_listener(
+            lambda page: events.append(("trace", page)))
+        return store, events
+
+    def test_clean_notifies_every_listener_per_page(self):
+        store, events = self.make_watched_store()
+        copied = store.clean(0)
+        assert copied == 8
+        assert len(events) == 16
+        cache = [page for kind, page in events if kind == "cache"]
+        trace = [page for kind, page in events if kind == "trace"]
+        assert cache == trace == list(range(8))
+
+    def test_primary_fires_before_extras_for_each_page(self):
+        store, events = self.make_watched_store()
+        store.clean(0)
+        for first, second in zip(events[::2], events[1::2]):
+            assert first[0] == "cache"
+            assert second[0] == "trace"
+            assert first[1] == second[1]
+
+    def test_receive_notifies_all_listeners(self):
+        store, events = self.make_watched_store()
+        page = store.pop_live(0, from_end=True)
+        del events[:]
+        store.receive(1, page)
+        assert events == [("cache", page), ("trace", page)]
+
+    def test_extra_listeners_survive_primary_swap(self):
+        # The executor's save/restore of the primary slot must not
+        # disturb independently registered listeners.
+        store, events = self.make_watched_store()
+        saved = store.copy_listener
+        store.copy_listener = None
+        store.clean(0)
+        assert all(kind == "trace" for kind, _ in events)
+        assert len(events) == 8
+        store.copy_listener = saved
+
+    def test_remove_copy_listener(self):
+        store, events = self.make_watched_store()
+        extra = store._copy_listeners[0]
+        store.remove_copy_listener(extra)
+        store.clean(0)
+        assert all(kind == "cache" for kind, _ in events)
+
+    def test_flush_does_not_notify(self):
+        # Listeners watch *relocations* (cleaner copies), not host
+        # writes landing from the buffer.
+        store, events = self.make_watched_store()
+        store.buffer_page(0)
+        store.append(1, 0)
+        assert events == []

@@ -55,6 +55,66 @@ class TestTraceWorkload:
             TraceWorkload.load(clipped)
 
 
+class TestTraceWorkloadJsonl:
+    def test_jsonl_round_trip_preserves_refs_and_header(self):
+        trace = TraceWorkload(100, [5, 50, 99, 0])
+        loaded = trace.roundtrip_jsonl(page_bytes=256, seed=7,
+                                       config_digest="abcd1234")
+        assert loaded.trace == trace.trace
+        assert loaded.num_pages == 100
+        assert loaded.header["format"] == "envy-trace"
+        assert loaded.header["version"] == 1
+        assert loaded.header["page_bytes"] == 256
+        assert loaded.header["seed"] == 7
+        assert loaded.header["config_digest"] == "abcd1234"
+
+    def test_jsonl_loader_rejects_wrong_num_pages(self):
+        buffer = io.StringIO()
+        TraceWorkload(64, [1, 2]).save_jsonl(buffer)
+        buffer.seek(0)
+        with pytest.raises(TraceError, match="64 logical pages.*128"):
+            TraceWorkload.load_jsonl(buffer, expect_num_pages=128)
+
+    def test_jsonl_loader_rejects_wrong_page_bytes(self):
+        buffer = io.StringIO()
+        TraceWorkload(64, [1, 2]).save_jsonl(buffer, page_bytes=512)
+        buffer.seek(0)
+        with pytest.raises(TraceError, match="512-byte pages.*256"):
+            TraceWorkload.load_jsonl(buffer, expect_page_bytes=256)
+
+    def test_jsonl_loader_rejects_wrong_config(self):
+        buffer = io.StringIO()
+        TraceWorkload(64, [1]).save_jsonl(buffer, config_digest="aaaa")
+        buffer.seek(0)
+        with pytest.raises(TraceError, match="config mismatch"):
+            TraceWorkload.load_jsonl(buffer,
+                                     expect_config_digest="bbbb")
+
+    def test_jsonl_loader_tolerates_absent_header_fields(self):
+        # A minimal trace (no page_bytes/config_digest) replays against
+        # any system: there is nothing recorded to contradict.
+        buffer = io.StringIO()
+        TraceWorkload(64, [1, 2]).save_jsonl(buffer)
+        buffer.seek(0)
+        loaded = TraceWorkload.load_jsonl(buffer, expect_page_bytes=256,
+                                          expect_config_digest="bbbb")
+        assert loaded.trace == [1, 2]
+
+    def test_jsonl_loader_rejects_wrong_version(self):
+        buffer = io.StringIO('{"format": "envy-trace", "version": 9, '
+                             '"num_pages": 4}\n{"p": 1}\n')
+        with pytest.raises(TraceError, match="version 9"):
+            TraceWorkload.load_jsonl(buffer)
+
+    def test_jsonl_loader_rejects_garbage(self):
+        with pytest.raises(TraceError, match="not an eNVy JSONL"):
+            TraceWorkload.load_jsonl(io.StringIO('{"nope": 1}\n'))
+        with pytest.raises(TraceError, match="malformed record"):
+            TraceWorkload.load_jsonl(io.StringIO(
+                '{"format": "envy-trace", "version": 1, '
+                '"num_pages": 4}\nbroken line\n'))
+
+
 class TestTraceRecorder:
     def test_records_what_it_yields(self):
         recorder = TraceRecorder(UniformWorkload(50, seed=3))
